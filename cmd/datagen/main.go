@@ -1,0 +1,56 @@
+// datagen emits the synthetic workloads in libsvm format so they can be
+// inspected, fed back through -data flags, or used by external tools.
+//
+//	datagen -workload webspam -scale 1 -out webspam.libsvm
+//	datagen -workload rcv1 -split test -out rcv1.test.libsvm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"malt/internal/data"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "rcv1", "shape: rcv1|alpha|dna|webspam|splice")
+		scale    = flag.Int("scale", 1, "dataset scale multiplier")
+		split    = flag.String("split", "train", "which split to write: train|test")
+		out      = flag.String("out", "", "output file (stdout when empty)")
+	)
+	flag.Parse()
+
+	ds, err := data.Shape(*workload).Generate(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	examples := ds.Train
+	if *split == "test" {
+		examples = ds.Test
+	} else if *split != "train" {
+		log.Fatalf("unknown -split %q", *split)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := data.WriteLibSVM(w, examples); err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Fprintf(os.Stderr, "wrote %d %s examples (%d features, avg nnz %.1f)\n",
+		len(examples), *split, st.Dim, st.AvgNNZ)
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"malt/internal/consistency"
+	"malt/internal/core"
+	"malt/internal/data"
+	"malt/internal/dataflow"
+	"malt/internal/ml/kmeans"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/mf"
+	"malt/internal/ml/nn"
+	"malt/internal/vol"
+)
+
+// runMF trains the Netflix-shaped matrix factorization with distributed
+// Hogwild (sparse row scatters, coordinate replace) and prints RMSE.
+func runMF(ranks, cb, epochs, scale int) error {
+	spec := data.NetflixSpec(scale)
+	ds, err := data.GenerateRatings(spec)
+	if err != nil {
+		return err
+	}
+	ds.SortByItem()
+	cfg := mf.Config{Users: ds.Users, Items: ds.Items, Rank: ds.Rank, Eta0: 0.02}
+	fmt.Printf("netflix-shaped: %d ratings over %dx%d, rank %d\n",
+		len(ds.Train), ds.Users, ds.Items, ds.Rank)
+
+	cluster, err := core.NewCluster(core.Config{
+		Ranks: ranks, Dataflow: dataflow.All, Sync: consistency.ASP, QueueLen: 8,
+	})
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var rmse float64
+	start := time.Now()
+	res := cluster.Run(func(ctx *core.Context) error {
+		uDim, vDim := cfg.Users*cfg.Rank, cfg.Items*cfg.Rank
+		uVec, err := ctx.CreateVectorOpts("U", vol.Sparse, uDim, vol.Options{MaxNNZ: uDim})
+		if err != nil {
+			return err
+		}
+		vVec, err := ctx.CreateVectorOpts("V", vol.Sparse, vDim, vol.Options{MaxNNZ: vDim})
+		if err != nil {
+			return err
+		}
+		model, err := mf.NewOver(cfg, uVec.Data(), vVec.Data())
+		if err != nil {
+			return err
+		}
+		model.Init(31)
+		if err := ctx.Barrier(uVec); err != nil {
+			return err
+		}
+		lo, hi, err := ctx.Shard(len(ds.Train))
+		if err != nil {
+			return err
+		}
+		shard := ds.Train[lo:hi]
+		touchedU := map[int32]bool{}
+		touchedV := map[int32]bool{}
+		iter := uint64(0)
+		for epoch := 0; epoch < epochs; epoch++ {
+			for at := 0; at+cb <= len(shard); at += cb {
+				ctx.Compute(func() {
+					for _, r := range shard[at : at+cb] {
+						model.Step(r)
+						touchedU[r.User] = true
+						touchedV[r.Item] = true
+					}
+				})
+				iter++
+				ctx.SetIteration(iter)
+				if err := scatterFactorRows(ctx, uVec, touchedU, cfg.Rank, iter); err != nil {
+					return err
+				}
+				if err := scatterFactorRows(ctx, vVec, touchedV, cfg.Rank, iter); err != nil {
+					return err
+				}
+				clear(touchedU)
+				clear(touchedV)
+				if _, err := ctx.Gather(uVec, vol.ReplaceCoords); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(vVec, vol.ReplaceCoords); err != nil {
+					return err
+				}
+			}
+		}
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			rmse = model.RMSE(ds.Test)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v; test RMSE %.4f (noise floor %.2f)\n",
+		time.Since(start).Round(time.Millisecond), rmse, spec.Noise)
+	return nil
+}
+
+func scatterFactorRows(ctx *core.Context, v *vol.Vector, touched map[int32]bool, rank int, iter uint64) error {
+	if len(touched) == 0 {
+		return nil
+	}
+	rows := make([]int32, 0, len(touched))
+	for r := range touched {
+		rows = append(rows, r)
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	sv := &linalg.SparseVector{}
+	buf := v.Data()
+	for _, row := range rows {
+		base := int(row) * rank
+		for k := 0; k < rank; k++ {
+			sv.Append(int32(base+k), buf[base+k])
+		}
+	}
+	_, err := v.ScatterSparse(sv, iter)
+	return err
+}
+
+// runNN trains the KDD12-shaped SSI network with per-layer vectors under
+// BSP model averaging and prints the test AUC.
+func runNN(ranks, cb, epochs, scale int) error {
+	spec := data.KDD12Spec(scale)
+	ds, err := data.GenerateClicks(spec)
+	if err != nil {
+		return err
+	}
+	cfg := nn.Config{Input: ds.Dim, H1: 64, H2: 32, Eta0: 0.1}
+	sizes, err := nn.LayerSizes(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kdd12-shaped: %d examples, %d features, layers %v\n", len(ds.Train), ds.Dim, sizes)
+
+	cluster, err := core.NewCluster(core.Config{Ranks: ranks, Dataflow: dataflow.All, Sync: consistency.BSP})
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var auc float64
+	start := time.Now()
+	res := cluster.Run(func(ctx *core.Context) error {
+		layers := make([]*vol.Vector, nn.NumLayers)
+		bufs := make([][]float64, nn.NumLayers)
+		for i := range layers {
+			v, err := ctx.CreateVector(fmt.Sprintf("layer%d", i), vol.Dense, sizes[i])
+			if err != nil {
+				return err
+			}
+			layers[i] = v
+			bufs[i] = v.Data()
+		}
+		net, err := nn.NewOver(cfg, bufs)
+		if err != nil {
+			return err
+		}
+		net.Init(42)
+		if err := ctx.Barrier(layers[0]); err != nil {
+			return err
+		}
+		iter := uint64(0)
+		for epoch := 0; epoch < epochs; epoch++ {
+			lo, hi, err := ctx.Shard(len(ds.Train))
+			if err != nil {
+				return err
+			}
+			shard := ds.Train[lo:hi]
+			nBatches := len(ds.Train) / len(ctx.Survivors()) / cb
+			for b := 0; b < nBatches; b++ {
+				ctx.Compute(func() { net.TrainEpoch(shard[b*cb : (b+1)*cb]) })
+				iter++
+				ctx.SetIteration(iter)
+				for _, v := range layers {
+					if err := ctx.Scatter(v); err != nil {
+						return err
+					}
+				}
+				if err := ctx.Advance(layers[0]); err != nil {
+					return err
+				}
+				for _, v := range layers {
+					if _, err := ctx.Gather(v, vol.Average); err != nil {
+						return err
+					}
+				}
+				if err := ctx.Commit(layers[0]); err != nil {
+					return err
+				}
+			}
+		}
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			auc = net.AUC(ds.Test)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v; test AUC %.4f\n", time.Since(start).Round(time.Millisecond), auc)
+	return nil
+}
+
+// runKMeans clusters a Gaussian mixture with distributed Lloyd's and
+// prints the final inertia.
+func runKMeans(ranks, epochs, scale int) error {
+	spec := data.ClusterSpec{Name: "mixture", K: 8, Dim: 32, Train: 40000 * scale, Spread: 0.2, Seed: 17}
+	ds, _, err := data.GenerateClusters(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mixture: %d points, %d dims, k=%d\n", len(ds.Train), spec.Dim, spec.K)
+
+	cluster, err := core.NewCluster(core.Config{Ranks: ranks, Dataflow: dataflow.All, Sync: consistency.BSP})
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var inertia float64
+	start := time.Now()
+	res := cluster.Run(func(ctx *core.Context) error {
+		m, err := kmeans.New(kmeans.Config{K: spec.K, Dim: spec.Dim})
+		if err != nil {
+			return err
+		}
+		if err := m.Init(ds.Train, 5); err != nil {
+			return err
+		}
+		stats, err := ctx.CreateVector("stats", vol.Dense, m.StatsLen())
+		if err != nil {
+			return err
+		}
+		lo, hi, err := ctx.Shard(len(ds.Train))
+		if err != nil {
+			return err
+		}
+		shard := ds.Train[lo:hi]
+		for round := 0; round < epochs; round++ {
+			ctx.SetIteration(uint64(round + 1))
+			ctx.Compute(func() { _ = m.Accumulate(stats.Data(), shard) })
+			if err := ctx.Scatter(stats); err != nil {
+				return err
+			}
+			if err := ctx.Advance(stats); err != nil {
+				return err
+			}
+			if _, err := ctx.Gather(stats, vol.Sum); err != nil {
+				return err
+			}
+			if err := m.Update(stats.Data()); err != nil {
+				return err
+			}
+			if err := ctx.Commit(stats); err != nil {
+				return err
+			}
+		}
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			inertia = m.Inertia(ds.Train) / float64(len(ds.Train))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		return err
+	}
+	fmt.Printf("clustered in %v; mean squared distance %.4f\n",
+		time.Since(start).Round(time.Millisecond), inertia)
+	return nil
+}

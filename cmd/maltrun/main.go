@@ -1,0 +1,151 @@
+// maltrun launches one distributed SVM training job over the simulated
+// cluster and reports its convergence, per-phase time breakdown and
+// network traffic — the operational front end to the MALT runtime.
+//
+//	maltrun -workload rcv1 -ranks 10 -cb 50 -dataflow halton -sync asp -epochs 10
+//	maltrun -data train.libsvm -ranks 4 -cb 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"malt/internal/bench"
+	"malt/internal/consistency"
+	"malt/internal/data"
+	"malt/internal/dataflow"
+	"malt/internal/ml/svm"
+	"malt/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "svm", "application: svm|mf|nn|kmeans")
+		workload = flag.String("workload", "rcv1", "synthetic workload shape for svm: rcv1|alpha|dna|webspam|splice")
+		dataFile = flag.String("data", "", "libsvm training file (overrides -workload)")
+		scale    = flag.Int("scale", 1, "dataset scale multiplier")
+		ranks    = flag.Int("ranks", 4, "model replicas")
+		cb       = flag.Int("cb", 50, "communication batch size (examples)")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		flowStr  = flag.String("dataflow", "all", "dataflow: all|halton|ring")
+		syncStr  = flag.String("sync", "bsp", "consistency: bsp|asp|ssp")
+		modeStr  = flag.String("mode", "gradavg", "update exchanged: gradavg|modelavg")
+		goal     = flag.Float64("goal", 0, "stop at this training loss (0 = run all epochs)")
+		lambda   = flag.Float64("lambda", 1e-5, "L2 regularization")
+		eta      = flag.Float64("eta", 1, "initial learning rate")
+		sparse   = flag.Bool("sparse", true, "sparse wire format")
+	)
+	flag.Parse()
+
+	switch *app {
+	case "svm":
+		// handled below
+	case "mf":
+		if err := runMF(*ranks, *cb*10, *epochs, *scale); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "nn":
+		if err := runNN(*ranks, max(*cb, 100), *epochs, *scale); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "kmeans":
+		if err := runKMeans(*ranks, *epochs, *scale); err != nil {
+			log.Fatal(err)
+		}
+		return
+	default:
+		log.Fatalf("unknown -app %q", *app)
+	}
+
+	ds, err := loadDataset(*dataFile, *workload, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow, err := dataflow.ParseKind(*flowStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := consistency.ParseModel(*syncStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mode bench.CommMode
+	switch *modeStr {
+	case "gradavg":
+		mode = bench.GradAvg
+	case "modelavg":
+		mode = bench.ModelAvg
+	default:
+		log.Fatalf("unknown -mode %q", *modeStr)
+	}
+
+	fmt.Printf("workload %s: %d train / %d test examples, %d features\n",
+		ds.Name, len(ds.Train), len(ds.Test), ds.Dim)
+	fmt.Printf("cluster: %d ranks, %v dataflow, %v, %s, cb=%d\n", *ranks, flow, sync, mode, *cb)
+
+	res, err := bench.RunSVM(bench.SVMOpts{
+		DS: ds, Ranks: *ranks, CB: *cb,
+		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
+		Mode: mode, Epochs: *epochs, Goal: *goal,
+		SVM:    svm.Config{Dim: ds.Dim, Lambda: *lambda, Eta0: *eta},
+		Sparse: *sparse, EvalEvery: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr, _ := svm.New(svm.Config{Dim: ds.Dim, Lambda: *lambda})
+	fmt.Printf("\ntrained in %v; final test loss %.4f, accuracy %.3f\n",
+		res.Elapsed.Round(1e6), res.Curve.Final(), tr.Accuracy(res.FinalW, ds.Test))
+	if *goal > 0 {
+		if res.Reached {
+			fmt.Printf("goal %.4f reached after %.2fs (%.0f examples/rank)\n", *goal, res.TimeToGoal, res.ItersToGoal)
+		} else {
+			fmt.Printf("goal %.4f not reached\n", *goal)
+		}
+	}
+
+	agg := &trace.Timer{}
+	for _, tm := range res.Timers {
+		agg.Merge(tm)
+	}
+	n := float64(*ranks)
+	fmt.Printf("\nper-rank phase breakdown (mean):\n")
+	for _, p := range trace.Phases() {
+		fmt.Printf("  %-8s %10.3fs\n", p, agg.Get(p).Seconds()/n)
+	}
+	fmt.Printf("\nnetwork: %.1f MB total, %d messages, modeled wire time %v\n",
+		float64(res.Stats.TotalBytes())/(1<<20), res.Stats.TotalMessages(),
+		res.Stats.ModeledNetworkTime().Round(1e6))
+}
+
+func loadDataset(file, workload string, scale int) (*data.Dataset, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds, err := data.ReadLibSVM(f, "user", 0)
+		if err != nil {
+			return nil, err
+		}
+		// Hold out 10% for evaluation.
+		cut := len(ds.Train) * 9 / 10
+		ds.Test = ds.Train[cut:]
+		ds.Train = ds.Train[:cut]
+		return ds, nil
+	}
+	return data.Shape(workload).Generate(scale)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package malt_test
+
+import (
+	"fmt"
+
+	"malt"
+)
+
+// ExampleRun shows the paper's Algorithm 2: four replicas average a shared
+// value under bulk-synchronous training.
+func ExampleRun() {
+	const ranks, dim = 4, 3
+	res, err := malt.Run(malt.Config{Ranks: ranks, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			v, err := ctx.CreateVector("w", malt.Dense, dim)
+			if err != nil {
+				return err
+			}
+			// Each replica proposes its rank number; averaging converges
+			// every replica to the same mean.
+			v.Data()[0] = float64(ctx.Rank())
+			ctx.SetIteration(1)
+			if err := ctx.Scatter(v); err != nil { // g.scatter(ALL)
+				return err
+			}
+			if err := ctx.Advance(v); err != nil { // barrier under BSP
+				return err
+			}
+			if _, err := ctx.Gather(v, malt.Average); err != nil { // g.gather(AVG)
+				return err
+			}
+			if ctx.Rank() == 0 {
+				fmt.Printf("averaged value: %.1f\n", v.Data()[0])
+			}
+			return ctx.Commit(v)
+		})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstError(); err != nil {
+		panic(err)
+	}
+	// Output: averaged value: 1.5
+}
+
+// ExampleContext_Shard shows data loading: every replica takes its slice
+// of the training set, and re-sharding after a failure is automatic.
+func ExampleContext_Shard() {
+	_, err := malt.Run(malt.Config{Ranks: 2}, func(ctx *malt.Context) error {
+		lo, hi, err := ctx.Shard(100)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			fmt.Printf("rank 0 trains on [%d,%d)\n", lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: rank 0 trains on [0,50)
+}

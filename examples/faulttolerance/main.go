@@ -1,0 +1,154 @@
+// Fault tolerance demo: a replica crashes mid-training and the survivors
+// recover — rebuild their send/receive lists, redistribute the dead rank's
+// data, and converge anyway (paper §3.3 and Fig 14).
+//
+//	go run ./examples/faulttolerance -ranks 6 -kill 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"malt"
+)
+
+var (
+	flagRanks  = flag.Int("ranks", 6, "model replicas")
+	flagKill   = flag.Int("kill", 3, "rank to crash mid-run (-1 disables)")
+	flagEpochs = flag.Int("epochs", 8, "training epochs")
+)
+
+const (
+	dim = 500
+	cb  = 50
+)
+
+type example struct {
+	x []float64
+	y float64
+}
+
+func makeData(n int, seed int64) []example {
+	rng := rand.New(rand.NewSource(seed))
+	teacher := make([]float64, dim)
+	for i := range teacher {
+		teacher[i] = rng.NormFloat64()
+	}
+	out := make([]example, n)
+	for i := range out {
+		x := make([]float64, dim)
+		dot := 0.0
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * teacher[j]
+		}
+		y := 1.0
+		if dot < 0 {
+			y = -1
+		}
+		out[i] = example{x, y}
+	}
+	return out
+}
+
+func main() {
+	flag.Parse()
+	all := makeData(14000, 1)
+	train, test := all[:12000], all[12000:]
+
+	cluster, err := malt.NewCluster(malt.Config{
+		Ranks:    *flagRanks,
+		Dataflow: malt.All,
+		Sync:     malt.ASP, // asynchronous: survivors never block on the dead
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	final := make([]float64, dim)
+	res := cluster.Run(func(ctx *malt.Context) error {
+		g, err := ctx.CreateVector("grad", malt.Dense, dim)
+		if err != nil {
+			return err
+		}
+		w := make([]float64, dim)
+		iter := uint64(0)
+		for epoch := 0; epoch < *flagEpochs; epoch++ {
+			// Shard over the *surviving* ranks: after the crash the dead
+			// rank's examples are redistributed automatically.
+			lo, hi, err := ctx.Shard(len(train))
+			if err != nil {
+				return err
+			}
+			shard := train[lo:hi]
+			if epoch == 0 || len(ctx.Survivors()) < ctx.Ranks() {
+				fmt.Printf("rank %d: epoch %d trains on [%d,%d) (%d survivors)\n",
+					ctx.Rank(), epoch, lo, hi, len(ctx.Survivors()))
+			}
+			for at := 0; at+cb <= len(shard); at += cb {
+				iter++
+				if ctx.Rank() == *flagKill && epoch == *flagEpochs/2 && at == 0 {
+					fmt.Printf("rank %d: simulating machine crash\n", ctx.Rank())
+					if err := cluster.Fabric().Kill(ctx.Rank()); err != nil {
+						return err
+					}
+					return fmt.Errorf("rank %d crashed", ctx.Rank())
+				}
+				// Hinge-gradient over the batch.
+				for i := range w {
+					g.Data()[i] = 0
+				}
+				for _, ex := range shard[at : at+cb] {
+					dot := 0.0
+					for j, v := range ex.x {
+						dot += v * w[j]
+					}
+					if 1-ex.y*dot > 0 {
+						for j, v := range ex.x {
+							g.Data()[j] -= ex.y * v / cb
+						}
+					}
+				}
+				ctx.SetIteration(iter)
+				if err := ctx.Scatter(g); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(g, malt.Average); err != nil {
+					return err
+				}
+				for j := range w {
+					w[j] -= 0.1 * g.Data()[j]
+				}
+			}
+		}
+		if ctx.Rank() == 0 {
+			copy(final, w)
+		}
+		return nil
+	})
+
+	// The killed rank reports an error; every survivor must not.
+	for _, rr := range res.PerRank {
+		switch {
+		case rr.Err != nil && rr.Rank == *flagKill:
+			fmt.Printf("rank %d terminated as injected: %v\n", rr.Rank, rr.Err)
+		case rr.Err != nil:
+			log.Fatalf("survivor rank %d failed: %v", rr.Rank, rr.Err)
+		}
+	}
+
+	correct := 0
+	for _, ex := range test {
+		dot := 0.0
+		for j, v := range ex.x {
+			dot += v * final[j]
+		}
+		if (dot >= 0) == (ex.y > 0) {
+			correct++
+		}
+	}
+	fmt.Printf("survivors: %v\n", cluster.Fabric().AliveRanks())
+	fmt.Printf("test accuracy after recovery: %.3f\n", float64(correct)/float64(len(test)))
+}

@@ -1,0 +1,162 @@
+// Distributed k-means over MALT — one of the gradient-descent-family
+// algorithms the paper names as targets (§2).
+//
+// The exchange pattern differs from SGD: replicas trade per-cluster
+// sufficient statistics (coordinate sums and counts), which are *additive*,
+// so the gather is a Sum instead of an Average, and after every round all
+// replicas hold identical centroids — distributed Lloyd's is exactly
+// equivalent to serial Lloyd's on the full data.
+//
+//	go run ./examples/kmeans -ranks 4 -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"malt"
+)
+
+var (
+	flagRanks  = flag.Int("ranks", 4, "replicas")
+	flagK      = flag.Int("k", 8, "clusters")
+	flagDim    = flag.Int("dim", 32, "dimensions")
+	flagN      = flag.Int("n", 40000, "points")
+	flagRounds = flag.Int("rounds", 12, "Lloyd's rounds")
+)
+
+func main() {
+	flag.Parse()
+	k, dim, n := *flagK, *flagDim, *flagN
+	points := makeMixture(k, dim, n, 1)
+
+	statsLen := k*dim + k
+	var finalInertia float64
+	res, err := malt.Run(malt.Config{Ranks: *flagRanks, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			stats, err := ctx.CreateVector("stats", malt.Dense, statsLen)
+			if err != nil {
+				return err
+			}
+			centroids := initCentroids(points, k, dim, 7) // same seed everywhere
+			lo, hi, err := ctx.Shard(len(points))
+			if err != nil {
+				return err
+			}
+			shard := points[lo:hi]
+			for round := 0; round < *flagRounds; round++ {
+				ctx.SetIteration(uint64(round + 1))
+				accumulate(stats.Data(), shard, centroids, k, dim)
+				if err := ctx.Scatter(stats); err != nil {
+					return err
+				}
+				if err := ctx.Advance(stats); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(stats, malt.Sum); err != nil { // additive stats
+					return err
+				}
+				recompute(centroids, stats.Data(), k, dim)
+				if err := ctx.Commit(stats); err != nil {
+					return err
+				}
+			}
+			if ctx.Rank() == 0 {
+				finalInertia = inertia(points, centroids, k, dim)
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d points into %d clusters on %d replicas in %v\n",
+		n, k, *flagRanks, res.Elapsed)
+	fmt.Printf("final inertia (mean squared distance): %.4f\n", finalInertia/float64(n))
+}
+
+func makeMixture(k, dim, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 2
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.Intn(k)]
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*0.2
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func initCentroids(points [][]float64, k, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(points))
+	out := make([]float64, k*dim)
+	for c := 0; c < k; c++ {
+		copy(out[c*dim:(c+1)*dim], points[perm[c]])
+	}
+	return out
+}
+
+func nearest(p, centroids []float64, k, dim int) (int, float64) {
+	best, bestD := 0, -1.0
+	for c := 0; c < k; c++ {
+		var d float64
+		row := centroids[c*dim : (c+1)*dim]
+		for j, v := range p {
+			diff := v - row[j]
+			d += diff * diff
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+func accumulate(stats []float64, points [][]float64, centroids []float64, k, dim int) {
+	for _, p := range points {
+		c, _ := nearest(p, centroids, k, dim)
+		row := stats[c*dim : (c+1)*dim]
+		for j, v := range p {
+			row[j] += v
+		}
+		stats[k*dim+c]++
+	}
+}
+
+func recompute(centroids, stats []float64, k, dim int) {
+	for c := 0; c < k; c++ {
+		count := stats[k*dim+c]
+		if count == 0 {
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			centroids[c*dim+j] = stats[c*dim+j] / count
+		}
+	}
+	for i := range stats {
+		stats[i] = 0
+	}
+}
+
+func inertia(points [][]float64, centroids []float64, k, dim int) float64 {
+	var total float64
+	for _, p := range points {
+		_, d := nearest(p, centroids, k, dim)
+		total += d
+	}
+	return total
+}

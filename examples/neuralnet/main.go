@@ -1,0 +1,276 @@
+// Click-through-rate prediction with a data-parallel neural network — the
+// paper's KDD12 workload (supervised semantic indexing, a three-layer
+// fully-connected network).
+//
+// The "existing application" is a self-contained MLP with sparse inputs,
+// tanh hidden layers and logistic loss. Because a data-parallel neural
+// network must synchronize parameters at every layer, each layer lives in
+// its own MALT vector with its own scatter/gather — exactly the structure
+// §4 of the paper describes.
+//
+//	go run ./examples/neuralnet -ranks 8 -cb 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"malt"
+)
+
+var (
+	flagRanks  = flag.Int("ranks", 8, "model replicas")
+	flagCB     = flag.Int("cb", 200, "examples between layer synchronizations")
+	flagEpochs = flag.Int("epochs", 4, "training epochs")
+	flagDim    = flag.Int("dim", 5000, "sparse input dimensionality")
+	flagH1     = flag.Int("h1", 64, "first hidden layer width")
+	flagH2     = flag.Int("h2", 32, "second hidden layer width")
+)
+
+type example struct {
+	idx []int32
+	val []float64
+	y   float64 // +1 click, -1 no click
+}
+
+// mlp is the user's network: three layers over flat parameter buffers, so
+// each layer can live directly inside a MALT vector.
+type mlp struct {
+	dim, h1, h2 int
+	l1, l2, l3  []float64 // weights then biases, per layer
+	z1, a1, d1  []float64
+	z2, a2, d2  []float64
+}
+
+func layerSizes(dim, h1, h2 int) [3]int {
+	return [3]int{h1*dim + h1, h2*h1 + h2, h2 + 1}
+}
+
+func newMLP(dim, h1, h2 int, l1, l2, l3 []float64) *mlp {
+	return &mlp{
+		dim: dim, h1: h1, h2: h2,
+		l1: l1, l2: l2, l3: l3,
+		z1: make([]float64, h1), a1: make([]float64, h1), d1: make([]float64, h1),
+		z2: make([]float64, h2), a2: make([]float64, h2), d2: make([]float64, h2),
+	}
+}
+
+func (m *mlp) init(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fill := func(buf []float64, fanIn int) {
+		s := 1 / math.Sqrt(float64(fanIn))
+		for i := range buf {
+			buf[i] = rng.NormFloat64() * s
+		}
+	}
+	fill(m.l1[:m.h1*m.dim], m.dim)
+	fill(m.l2[:m.h2*m.h1], m.h1)
+	fill(m.l3[:m.h2], m.h2)
+}
+
+func (m *mlp) score(ex example) float64 {
+	for h := 0; h < m.h1; h++ {
+		z := m.l1[m.h1*m.dim+h] // bias
+		row := m.l1[h*m.dim : (h+1)*m.dim]
+		for i, ix := range ex.idx {
+			z += row[ix] * ex.val[i]
+		}
+		m.z1[h] = z
+		m.a1[h] = math.Tanh(z)
+	}
+	for h := 0; h < m.h2; h++ {
+		z := m.l2[m.h2*m.h1+h]
+		row := m.l2[h*m.h1 : (h+1)*m.h1]
+		for j, a := range m.a1 {
+			z += row[j] * a
+		}
+		m.z2[h] = z
+		m.a2[h] = math.Tanh(z)
+	}
+	out := m.l3[m.h2]
+	for j, a := range m.a2 {
+		out += m.l3[j] * a
+	}
+	return out
+}
+
+// step is one backprop SGD update with logistic loss.
+func (m *mlp) step(ex example, eta float64) {
+	out := m.score(ex)
+	z := -ex.y * out
+	var dOut float64
+	if z > 30 {
+		dOut = -ex.y
+	} else {
+		e := math.Exp(z)
+		dOut = -ex.y * e / (1 + e)
+	}
+	for h := 0; h < m.h2; h++ {
+		m.d2[h] = dOut * m.l3[h] * (1 - m.a2[h]*m.a2[h])
+	}
+	for h := 0; h < m.h2; h++ {
+		m.l3[h] -= eta * dOut * m.a2[h]
+	}
+	m.l3[m.h2] -= eta * dOut
+	for j := 0; j < m.h1; j++ {
+		var s float64
+		for h := 0; h < m.h2; h++ {
+			s += m.l2[h*m.h1+j] * m.d2[h]
+		}
+		m.d1[j] = s * (1 - m.a1[j]*m.a1[j])
+	}
+	for h := 0; h < m.h2; h++ {
+		row := m.l2[h*m.h1 : (h+1)*m.h1]
+		for j, a := range m.a1 {
+			row[j] -= eta * m.d2[h] * a
+		}
+		m.l2[m.h2*m.h1+h] -= eta * m.d2[h]
+	}
+	for h := 0; h < m.h1; h++ {
+		row := m.l1[h*m.dim : (h+1)*m.dim]
+		for i, ix := range ex.idx {
+			row[ix] -= eta * m.d1[h] * ex.val[i]
+		}
+		m.l1[m.h1*m.dim+h] -= eta * m.d1[h]
+	}
+}
+
+func (m *mlp) auc(examples []example) float64 {
+	type sc struct {
+		s float64
+		y float64
+	}
+	scores := make([]sc, len(examples))
+	for i, ex := range examples {
+		scores[i] = sc{m.score(ex), ex.y}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].s < scores[j].s })
+	var rankSum float64
+	var nPos, nNeg int
+	for i, s := range scores {
+		if s.y > 0 {
+			nPos++
+			rankSum += float64(i + 1)
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// makeClicks synthesizes KDD12-shaped click data from a nonlinear teacher.
+func makeClicks(dim, n int, seed int64) []example {
+	rng := rand.New(rand.NewSource(seed))
+	const nnz = 30
+	teacher := make([]float64, dim)
+	for i := range teacher {
+		teacher[i] = rng.NormFloat64()
+	}
+	out := make([]example, n)
+	for i := range out {
+		ex := example{}
+		seen := map[int32]bool{}
+		for len(ex.idx) < nnz {
+			ix := int32(rng.Intn(dim))
+			if !seen[ix] {
+				seen[ix] = true
+				ex.idx = append(ex.idx, ix)
+			}
+		}
+		sort.Slice(ex.idx, func(a, b int) bool { return ex.idx[a] < ex.idx[b] })
+		var s float64
+		for _, ix := range ex.idx {
+			v := math.Abs(rng.NormFloat64())
+			ex.val = append(ex.val, v)
+			s += math.Tanh(v * teacher[ix])
+		}
+		if s > 0.5 { // roughly 25% positive
+			ex.y = 1
+		} else {
+			ex.y = -1
+		}
+		out[i] = ex
+	}
+	return out
+}
+
+func main() {
+	flag.Parse()
+	dim, h1, h2 := *flagDim, *flagH1, *flagH2
+	all := makeClicks(dim, 24000, 1)
+	train, test := all[:20000], all[20000:]
+	sizes := layerSizes(dim, h1, h2)
+	const eta = 0.1
+
+	var finalAUC float64
+	res, err := malt.Run(malt.Config{Ranks: *flagRanks, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			// One MALT vector per layer — per-layer dataflow control.
+			var layers [3]*malt.Vector
+			var bufs [3][]float64
+			for i := range layers {
+				v, err := ctx.CreateVector(fmt.Sprintf("layer%d", i), malt.Dense, sizes[i])
+				if err != nil {
+					return err
+				}
+				layers[i] = v
+				bufs[i] = v.Data()
+			}
+			net := newMLP(dim, h1, h2, bufs[0], bufs[1], bufs[2])
+			net.init(9) // identical initialization on every replica
+			if err := ctx.Barrier(layers[0]); err != nil {
+				return err
+			}
+			iter := uint64(0)
+			for epoch := 0; epoch < *flagEpochs; epoch++ {
+				lo, hi, err := ctx.Shard(len(train))
+				if err != nil {
+					return err
+				}
+				shard := train[lo:hi]
+				nBatches := len(train) / len(ctx.Survivors()) / *flagCB
+				for b := 0; b < nBatches; b++ {
+					for _, ex := range shard[b**flagCB : (b+1)**flagCB] {
+						net.step(ex, eta)
+					}
+					iter++
+					ctx.SetIteration(iter)
+					for _, v := range layers { // sync every layer
+						if err := ctx.Scatter(v); err != nil {
+							return err
+						}
+					}
+					if err := ctx.Advance(layers[0]); err != nil {
+						return err
+					}
+					for _, v := range layers {
+						if _, err := ctx.Gather(v, malt.Average); err != nil {
+							return err
+						}
+					}
+					if err := ctx.Commit(layers[0]); err != nil {
+						return err
+					}
+				}
+			}
+			if ctx.Rank() == 0 {
+				finalAUC = net.auc(test)
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d replicas x %d epochs in %v\n", *flagRanks, *flagEpochs, res.Elapsed)
+	fmt.Printf("test AUC: %.4f\n", finalAUC)
+}

@@ -1,0 +1,145 @@
+// Quickstart: the paper's Algorithm 2 in a complete program.
+//
+// A serial SGD loop for a linear classifier (Algorithm 1) becomes
+// data-parallel with four MALT calls: CreateVector, Scatter, Gather and
+// the BSP Advance/Commit barriers. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"malt"
+)
+
+const (
+	dim    = 200
+	nTrain = 8000
+	ranks  = 4
+	cb     = 100 // communication batch: examples between scatters
+	epochs = 6
+)
+
+// example is one labelled instance of the user's "existing application".
+type example struct {
+	x []float64
+	y float64
+}
+
+// makeData draws a linearly separable problem with 5% label noise.
+func makeData(n int, seed int64) []example {
+	rng := rand.New(rand.NewSource(seed))
+	teacher := make([]float64, dim)
+	for i := range teacher {
+		teacher[i] = rng.NormFloat64()
+	}
+	out := make([]example, n)
+	for i := range out {
+		x := make([]float64, dim)
+		dot := 0.0
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * teacher[j]
+		}
+		y := 1.0
+		if dot < 0 {
+			y = -1
+		}
+		if rng.Float64() < 0.05 {
+			y = -y
+		}
+		out[i] = example{x: x, y: y}
+	}
+	return out
+}
+
+// gradient accumulates the averaged hinge-loss gradient of a batch — the
+// unchanged heart of the serial application.
+func gradient(g, w []float64, batch []example) {
+	for i := range g {
+		g[i] = 0
+	}
+	for _, ex := range batch {
+		dot := 0.0
+		for j, v := range ex.x {
+			dot += v * w[j]
+		}
+		if 1-ex.y*dot > 0 { // margin violated
+			for j, v := range ex.x {
+				g[j] -= ex.y * v / float64(len(batch))
+			}
+		}
+	}
+}
+
+func accuracy(w []float64, data []example) float64 {
+	correct := 0
+	for _, ex := range data {
+		dot := 0.0
+		for j, v := range ex.x {
+			dot += v * w[j]
+		}
+		if (dot >= 0) == (ex.y > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(data))
+}
+
+func main() {
+	all := makeData(nTrain+2000, 1)
+	train, test := all[:nTrain], all[nTrain:]
+
+	final := make([]float64, dim)
+	res, err := malt.Run(malt.Config{Ranks: ranks, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			g, err := ctx.CreateVector("grad", malt.Dense, dim)
+			if err != nil {
+				return err
+			}
+			w := make([]float64, dim)
+			lo, hi, err := ctx.Shard(len(train)) // load_data: each rank takes its shard
+			if err != nil {
+				return err
+			}
+			shard := train[lo:hi]
+			eta, iter := 0.2, uint64(0)
+			for epoch := 0; epoch < epochs; epoch++ {
+				for at := 0; at+cb <= len(shard); at += cb {
+					gradient(g.Data(), w, shard[at:at+cb]) // unchanged serial code
+					iter++
+					ctx.SetIteration(iter)
+					if err := ctx.Scatter(g); err != nil { // g.scatter(ALL)
+						return err
+					}
+					if err := ctx.Advance(g); err != nil { // barrier (BSP)
+						return err
+					}
+					if _, err := ctx.Gather(g, malt.Average); err != nil { // g.gather(AVG)
+						return err
+					}
+					for j := range w { // w = w - eta*g
+						w[j] -= eta * g.Data()[j]
+					}
+					if err := ctx.Commit(g); err != nil {
+						return err
+					}
+				}
+			}
+			if ctx.Rank() == 0 {
+				copy(final, w) // identical on all ranks under BSP all-to-all
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d replicas x %d epochs in %v\n", ranks, epochs, res.Elapsed)
+	fmt.Printf("test accuracy: %.3f\n", accuracy(final, test))
+}

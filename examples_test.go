@@ -1,0 +1,41 @@
+package malt_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example with small parameters and
+// checks each prints its success line — the examples are documentation and
+// must not rot. Skipped in -short mode (each invocation compiles a binary).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir    string
+		args   []string
+		expect string
+	}{
+		{"./examples/quickstart", nil, "test accuracy:"},
+		{"./examples/svm", []string{"-ranks", "2", "-epochs", "2"}, "wall-time ratio"},
+		{"./examples/matrixfactorization", []string{"-ranks", "2", "-epochs", "2"}, "test RMSE:"},
+		{"./examples/neuralnet", []string{"-ranks", "2", "-epochs", "1", "-dim", "1000"}, "test AUC:"},
+		{"./examples/faulttolerance", []string{"-ranks", "4", "-kill", "2", "-epochs", "4"}, "test accuracy after recovery:"},
+		{"./examples/kmeans", []string{"-ranks", "2", "-n", "5000", "-rounds", "4"}, "final inertia"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			args := append([]string{"run", tc.dir}, tc.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tc.expect) {
+				t.Fatalf("output missing %q:\n%s", tc.expect, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module malt
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package allreduce implements the classic all-reduce strategies the paper
+// discusses in §3.4 as alternatives to MALT's dataflows: naive all-to-all
+// (what MALTall does in one round), tree reduce-broadcast (as in the
+// AllReduce of Agarwal et al.'s terascale learner), and butterfly mixing
+// (Canny & Zhao). They are built on the same dstorm segments so their
+// traffic and latency are directly comparable in the ablation benches.
+//
+// Each strategy computes, at every rank, the element-wise average of all
+// ranks' input vectors. Tree and butterfly trade fewer messages for more
+// rounds — exactly the latency-vs-bandwidth trade-off the paper cites for
+// preferring Halton dissemination.
+package allreduce
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"malt/internal/dataflow"
+	"malt/internal/dstorm"
+	"malt/internal/ml/linalg"
+	"malt/internal/vol"
+)
+
+// Strategy names an all-reduce algorithm.
+type Strategy int
+
+const (
+	// Naive: every rank sends to every rank, one round, N(N−1) messages.
+	Naive Strategy = iota
+	// Tree: reduce up a binary tree to rank 0, broadcast back down.
+	// 2(N−1) messages over 2·⌈log₂N⌉ rounds.
+	Tree
+	// Butterfly: recursive pairwise exchange; N·log₂N messages over
+	// ⌈log₂N⌉ rounds, no root. Requires a power-of-two rank count.
+	Butterfly
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case Tree:
+		return "tree"
+	case Butterfly:
+		return "butterfly"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Reducer performs repeated all-reduce-average operations over one
+// cluster. Create one per rank with New (a collective call).
+type Reducer struct {
+	strategy Strategy
+	node     *dstorm.Node
+	n        int
+	vec      *vol.Vector
+	round    uint64
+}
+
+// New collectively creates a reducer for the given strategy and vector
+// dimension. Every rank must call New with identical arguments. The
+// butterfly strategy requires n to be a power of two.
+func New(node *dstorm.Node, strategy Strategy, dim int) (*Reducer, error) {
+	n := node.Cluster().Fabric().Ranks()
+	if strategy == Butterfly && bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("allreduce: butterfly needs a power-of-two rank count, got %d", n)
+	}
+	// All strategies communicate over a complete graph; per-call targeting
+	// picks the edges each round actually uses.
+	graph, err := dataflow.New(dataflow.All, n)
+	if err != nil {
+		return nil, err
+	}
+	// Deep queues: tree/butterfly rounds overlap between fast and slow
+	// ranks, and barriers between rounds keep the depth bounded.
+	vec, err := vol.Create(node, fmt.Sprintf("allreduce/%s", strategy), vol.Dense, dim,
+		graph, vol.Options{QueueLen: 8})
+	if err != nil {
+		return nil, err
+	}
+	return &Reducer{strategy: strategy, node: node, n: n, vec: vec}, nil
+}
+
+// Reduce overwrites x with the element-wise average of every rank's x.
+// All live ranks must call Reduce the same number of times. The reduction
+// is synchronous (internally barriered).
+func (r *Reducer) Reduce(x []float64) error {
+	if len(x) != r.vec.Dim() {
+		return fmt.Errorf("allreduce: input length %d != dim %d", len(x), r.vec.Dim())
+	}
+	if r.n == 1 {
+		return nil
+	}
+	r.round++
+	copy(r.vec.Data(), x)
+	var err error
+	switch r.strategy {
+	case Naive:
+		err = r.naive()
+	case Tree:
+		err = r.tree()
+	case Butterfly:
+		err = r.butterfly()
+	default:
+		err = fmt.Errorf("allreduce: unknown strategy %v", r.strategy)
+	}
+	if err != nil {
+		return err
+	}
+	copy(x, r.vec.Data())
+	return nil
+}
+
+func (r *Reducer) naive() error {
+	if _, err := r.vec.Scatter(r.round); err != nil {
+		return err
+	}
+	if err := r.vec.Barrier(); err != nil {
+		return err
+	}
+	if _, err := r.vec.Gather(vol.Average); err != nil {
+		return err
+	}
+	return r.vec.Barrier()
+}
+
+// tree reduces sums up a binary tree rooted at 0, then broadcasts the
+// average back down. Rank i's parent is (i−1)/2; children are 2i+1, 2i+2.
+func (r *Reducer) tree() error {
+	rank := r.node.Rank()
+	left, right := 2*rank+1, 2*rank+2
+	// Phase 1 (up): accumulate children's partial sums, then forward to
+	// the parent. Leaves forward immediately.
+	expect := 0
+	if left < r.n {
+		expect++
+	}
+	if right < r.n {
+		expect++
+	}
+	for got := 0; got < expect; {
+		stats, err := r.vec.Gather(vol.Sum)
+		if err != nil {
+			return err
+		}
+		got += stats.Updates
+		if stats.Updates == 0 {
+			runtime.Gosched()
+		}
+	}
+	if rank != 0 {
+		parent := (rank - 1) / 2
+		if _, err := r.vec.ScatterTo([]int{parent}, r.round); err != nil {
+			return err
+		}
+		// Phase 2 (down): wait for the final average from the parent.
+		for {
+			stats, err := r.vec.GatherLatest(vol.Replace)
+			if err != nil {
+				return err
+			}
+			if stats.Updates > 0 {
+				break
+			}
+			runtime.Gosched()
+		}
+	} else {
+		linalg.Scale(1/float64(r.n), r.vec.Data())
+	}
+	// Broadcast downward.
+	var kids []int
+	if left < r.n {
+		kids = append(kids, left)
+	}
+	if right < r.n {
+		kids = append(kids, right)
+	}
+	if len(kids) > 0 {
+		if _, err := r.vec.ScatterTo(kids, r.round); err != nil {
+			return err
+		}
+	}
+	return r.vec.Barrier()
+}
+
+// butterfly performs log₂(n) rounds of pairwise exchange-and-average with
+// the partner at distance 2^k.
+func (r *Reducer) butterfly() error {
+	rank := r.node.Rank()
+	for dist := 1; dist < r.n; dist *= 2 {
+		partner := rank ^ dist
+		if _, err := r.vec.ScatterTo([]int{partner}, r.round); err != nil {
+			return err
+		}
+		for {
+			stats, err := r.vec.Gather(func(f vol.Fold) {
+				// Average with the partner's contribution only.
+				for _, u := range f.Updates {
+					if u.From == partner {
+						for i := range f.Local {
+							f.Local[i] = (f.Local[i] + u.Data[i]) / 2
+						}
+					}
+				}
+			})
+			if err != nil {
+				return err
+			}
+			if stats.Updates > 0 {
+				break
+			}
+			runtime.Gosched()
+		}
+		// Round barrier keeps exchanges aligned across ranks.
+		if err := r.vec.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the reducer's segment.
+func (r *Reducer) Close() error { return r.vec.Close() }

@@ -1,0 +1,189 @@
+package allreduce
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+)
+
+// runReduce creates one reducer per rank, feeds each rank the vector
+// inputs[rank], performs `rounds` reductions and returns the final values.
+func runReduce(t *testing.T, strategy Strategy, inputs [][]float64, rounds int) [][]float64 {
+	t.Helper()
+	n := len(inputs)
+	f, err := fabric.New(fabric.Config{Ranks: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dstorm.NewCluster(f)
+	dim := len(inputs[0])
+	out := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			red, err := New(c.Node(r), strategy, dim)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			x := append([]float64(nil), inputs[r]...)
+			for i := 0; i < rounds; i++ {
+				if err := red.Reduce(x); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			out[r] = x
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return out
+}
+
+func expectAverage(t *testing.T, inputs, outputs [][]float64) {
+	t.Helper()
+	dim := len(inputs[0])
+	want := make([]float64, dim)
+	for _, in := range inputs {
+		for i, v := range in {
+			want[i] += v / float64(len(inputs))
+		}
+	}
+	for r, out := range outputs {
+		for i := range want {
+			if math.Abs(out[i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d out[%d] = %v, want %v (strategy output %v)", r, i, out[i], want[i], out)
+			}
+		}
+	}
+}
+
+func inputsFor(n, dim int) [][]float64 {
+	in := make([][]float64, n)
+	for r := range in {
+		in[r] = make([]float64, dim)
+		for i := range in[r] {
+			in[r][i] = float64(r*dim+i) - 3.5
+		}
+	}
+	return in
+}
+
+func TestNaiveAverages(t *testing.T) {
+	in := inputsFor(5, 4)
+	out := runReduce(t, Naive, in, 1)
+	expectAverage(t, in, out)
+}
+
+func TestTreeAverages(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		in := inputsFor(n, 3)
+		out := runReduce(t, Tree, in, 1)
+		expectAverage(t, in, out)
+	}
+}
+
+func TestButterflyAverages(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		in := inputsFor(n, 3)
+		out := runReduce(t, Butterfly, in, 1)
+		expectAverage(t, in, out)
+	}
+}
+
+func TestButterflyRejectsNonPowerOfTwo(t *testing.T) {
+	f, _ := fabric.New(fabric.Config{Ranks: 3})
+	c := dstorm.NewCluster(f)
+	if _, err := New(c.Node(0), Butterfly, 4); err == nil {
+		t.Fatal("butterfly with 3 ranks should fail")
+	}
+}
+
+func TestRepeatedReductions(t *testing.T) {
+	// Averaging is idempotent once all ranks agree: a second reduction
+	// must not change the value.
+	in := inputsFor(4, 2)
+	once := runReduce(t, Tree, in, 1)
+	twice := runReduce(t, Tree, in, 2)
+	for r := range once {
+		for i := range once[r] {
+			if math.Abs(once[r][i]-twice[r][i]) > 1e-9 {
+				t.Fatalf("second reduction changed the value: %v vs %v", once[r], twice[r])
+			}
+		}
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	// Naive: N(N−1) messages. Tree: 2(N−1). Butterfly: N·log₂N.
+	const n, dim = 8, 4
+	counts := map[Strategy]uint64{}
+	for _, s := range []Strategy{Naive, Tree, Butterfly} {
+		f, err := fabric.New(fabric.Config{Ranks: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := dstorm.NewCluster(f)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				red, err := New(c.Node(r), s, dim)
+				if err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+				x := make([]float64, dim)
+				if err := red.Reduce(x); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+				}
+			}(r)
+		}
+		wg.Wait()
+		counts[s] = f.Stats().TotalMessages()
+	}
+	if counts[Naive] != n*(n-1) {
+		t.Fatalf("naive messages = %d, want %d", counts[Naive], n*(n-1))
+	}
+	if counts[Tree] != 2*(n-1) {
+		t.Fatalf("tree messages = %d, want %d", counts[Tree], 2*(n-1))
+	}
+	if counts[Butterfly] != n*3 { // log2(8) = 3
+		t.Fatalf("butterfly messages = %d, want %d", counts[Butterfly], n*3)
+	}
+	if counts[Tree] >= counts[Naive] || counts[Butterfly] >= counts[Naive] {
+		t.Fatal("tree/butterfly should send fewer messages than naive")
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	f, _ := fabric.New(fabric.Config{Ranks: 1})
+	c := dstorm.NewCluster(f)
+	red, err := New(c.Node(0), Naive, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.Reduce(make([]float64, 3)); err == nil {
+		t.Fatal("wrong length should fail")
+	}
+	// Single rank: reduce is the identity.
+	x := []float64{1, 2, 3, 4}
+	if err := red.Reduce(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[3] != 4 {
+		t.Fatalf("single-rank reduce changed x: %v", x)
+	}
+}

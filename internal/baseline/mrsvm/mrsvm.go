@@ -1,0 +1,134 @@
+// Package mrsvm implements the MR-SVM baseline of the paper's Fig 5: the
+// Hadoop/map-reduce style of distributed SVM training (Zinkevich et al.,
+// "Parallelized Stochastic Gradient Descent"), where replicas train
+// *independently* over their shard for a whole partition-epoch and average
+// their models once at the end of it — one-shot parameter mixing with a
+// very large communication batch.
+//
+// The paper implements MR-SVM over the MALT library to show that an
+// algorithm designed for a high-latency substrate (communicate rarely,
+// huge cb) is not optimal on a low-latency one; this package does exactly
+// the same: it is a thin loop over the same core runtime MALT uses, with
+// cb equal to the entire shard.
+package mrsvm
+
+import (
+	"fmt"
+	"time"
+
+	"malt/internal/core"
+	"malt/internal/data"
+	"malt/internal/fabric"
+	"malt/internal/ml/svm"
+	"malt/internal/trace"
+	"malt/internal/vol"
+)
+
+// Config describes an MR-SVM job.
+type Config struct {
+	// Ranks is the number of replicas.
+	Ranks int
+	// Epochs is the number of partition-epochs (map-reduce rounds).
+	Epochs int
+	// SVM carries the per-replica trainer configuration.
+	SVM svm.Config
+	// Fabric tunes the simulated interconnect.
+	Fabric fabric.Config
+}
+
+// Result reports an MR-SVM run.
+type Result struct {
+	// FinalModel is the averaged model after the last epoch.
+	FinalModel []float64
+	// LossByEpoch is the training-shard loss of rank 0's model after each
+	// averaging round.
+	LossByEpoch []float64
+	// StepsPerRank is the SGD steps each rank performed.
+	StepsPerRank uint64
+	// Timers holds the per-rank phase breakdowns.
+	Timers []*trace.Timer
+	// Stats is the fabric traffic accounting.
+	Stats *fabric.Stats
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Train runs MR-SVM over the dataset's training split, sharded across the
+// ranks, evaluating the loss on eval after every averaging round.
+func Train(cfg Config, ds *data.Dataset, eval []data.Example) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("mrsvm: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("mrsvm: Epochs must be positive, got %d", cfg.Epochs)
+	}
+	cluster, err := core.NewCluster(core.Config{
+		Ranks:  cfg.Ranks,
+		Fabric: cfg.Fabric,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	final := make([]float64, cfg.SVM.Dim)
+	losses := make([]float64, cfg.Epochs)
+	var steps uint64
+	res := cluster.Run(func(ctx *core.Context) error {
+		w, err := ctx.CreateVector("mr/w", vol.Dense, cfg.SVM.Dim)
+		if err != nil {
+			return err
+		}
+		tr, err := svm.New(cfg.SVM)
+		if err != nil {
+			return err
+		}
+		lo, hi, err := ctx.Shard(len(ds.Train))
+		if err != nil {
+			return err
+		}
+		shard := ds.Train[lo:hi]
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			// Map phase: a full serial-SGD pass over the shard, no
+			// communication at all.
+			ctx.Compute(func() { tr.TrainEpoch(w.Data(), shard) })
+			// Reduce phase: one-shot model averaging.
+			ctx.SetIteration(uint64(epoch + 1))
+			if err := ctx.Scatter(w); err != nil {
+				return err
+			}
+			if err := ctx.Barrier(w); err != nil {
+				return err
+			}
+			if _, err := ctx.Gather(w, vol.Average); err != nil {
+				return err
+			}
+			if err := ctx.Barrier(w); err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				losses[epoch] = tr.Loss(w.Data(), eval)
+			}
+		}
+		if ctx.Rank() == 0 {
+			copy(final, w.Data())
+			steps = tr.Steps()
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		FinalModel:   final,
+		LossByEpoch:  losses,
+		StepsPerRank: steps,
+		Timers:       make([]*trace.Timer, cfg.Ranks),
+		Stats:        cluster.Fabric().Stats(),
+		Elapsed:      res.Elapsed,
+	}
+	for r := range out.Timers {
+		out.Timers[r] = res.PerRank[r].Timer
+	}
+	return out, nil
+}

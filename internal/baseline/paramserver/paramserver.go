@@ -1,0 +1,309 @@
+// Package paramserver implements the master–client parameter-server
+// baseline that the paper compares MALT against (Figs 9 and 13; the
+// OSDI'14 parameter-server architecture).
+//
+// Rank 0 is the server; ranks 1..Workers are clients. Every round a client
+// computes an update (a gradient, or its whole local model in model-
+// averaging mode), pushes it to the server over the same one-sided fabric
+// MALT uses, and then *waits* for a fresher global model to come back
+// before its next round — that wait is the architectural cost the paper
+// measures: MALT peers never wait on a central hop. The server folds
+// incoming updates into the global model and broadcasts it to all clients.
+//
+// Traffic shape matches the paper's argument: clients may send compact
+// (sparse) gradients, but they always receive the whole dense model, so
+// the download dominates for high-dimensional workloads.
+package paramserver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"malt/internal/core"
+	"malt/internal/dataflow"
+	"malt/internal/fabric"
+	"malt/internal/ml/linalg"
+	"malt/internal/trace"
+	"malt/internal/vol"
+)
+
+// ComputeFn produces a client's update for one round. rank is the client's
+// rank (1-based; rank 0 is the server), round counts from 0. model is the
+// client's current copy of the global model (read-only); the update —
+// gradient or local model depending on Config.SendModel — must be written
+// into out.
+type ComputeFn func(rank, round int, model []float64, out []float64)
+
+// Config describes a parameter-server training job.
+type Config struct {
+	// Workers is the number of clients; the cluster has Workers+1 ranks.
+	Workers int
+	// Dim is the model dimensionality.
+	Dim int
+	// Rounds is the number of update rounds each client performs.
+	Rounds int
+	// Sync makes the server wait for one update from every live client
+	// before folding and broadcasting (synchronous PS). Otherwise the
+	// server folds updates as they arrive (asynchronous PS).
+	Sync bool
+	// SendModel makes clients push their whole local model, folded by
+	// averaging ("PS-model-avg" in Fig 9). Otherwise clients push
+	// gradients, applied with Eta ("PS-grad-avg").
+	SendModel bool
+	// GradSparse uses the sparse wire format for client→server pushes,
+	// matching MALT's sparse gradient scatters.
+	GradSparse bool
+	// Eta is the server's application rate for gradient pushes. Default 0.1.
+	Eta float64
+	// QueueLen is the receive-queue depth. Default 8 (the server fans in
+	// from many clients).
+	QueueLen int
+	// Fabric tunes the simulated interconnect.
+	Fabric fabric.Config
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 {
+		return c, fmt.Errorf("paramserver: Workers must be positive, got %d", c.Workers)
+	}
+	if c.Dim <= 0 {
+		return c, fmt.Errorf("paramserver: Dim must be positive, got %d", c.Dim)
+	}
+	if c.Rounds <= 0 {
+		return c, fmt.Errorf("paramserver: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.Eta == 0 {
+		c.Eta = 0.1
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 8
+	}
+	return c, nil
+}
+
+// Result reports a parameter-server run.
+type Result struct {
+	// FinalModel is the server's model after all rounds.
+	FinalModel []float64
+	// WorkerTimers holds per-client phase breakdowns (compute vs wait),
+	// indexed by client rank minus 1.
+	WorkerTimers []*trace.Timer
+	// ServerTimer is the server's phase breakdown.
+	ServerTimer *trace.Timer
+	// Stats is the fabric traffic accounting.
+	Stats *fabric.Stats
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Train runs the job. The returned error reflects infrastructure failures;
+// per-rank training errors surface through it as well.
+func Train(cfg Config, compute ComputeFn) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if compute == nil {
+		return nil, errors.New("paramserver: compute function is required")
+	}
+	ranks := cfg.Workers + 1
+	graph, err := dataflow.New(dataflow.MasterSlave, ranks)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := core.NewCluster(core.Config{
+		Ranks:    ranks,
+		Graph:    graph,
+		QueueLen: cfg.QueueLen,
+		Fabric:   cfg.Fabric,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return train(cluster, cfg, compute)
+}
+
+// train runs the job on an existing cluster (exposed separately so tests
+// can inject failures through the cluster's fabric). Errors from ranks
+// that died during the run are expected and tolerated.
+func train(cluster *core.Cluster, cfg Config, compute ComputeFn) (*Result, error) {
+	final := make([]float64, cfg.Dim)
+	res := cluster.Run(func(ctx *core.Context) error {
+		if ctx.Rank() == 0 {
+			return runServer(cfg, ctx, final)
+		}
+		return runClient(cfg, ctx, compute)
+	})
+	if errs := res.LiveErrors(cluster.Fabric().Alive); len(errs) > 0 {
+		return nil, errs[0]
+	}
+
+	out := &Result{
+		FinalModel:   final,
+		WorkerTimers: make([]*trace.Timer, cfg.Workers),
+		ServerTimer:  res.PerRank[0].Timer,
+		Stats:        cluster.Fabric().Stats(),
+		Elapsed:      res.Elapsed,
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		out.WorkerTimers[w] = res.PerRank[w+1].Timer
+	}
+	return out, nil
+}
+
+// gradType returns the wire format of client→server pushes.
+func (c Config) gradType() vol.Type {
+	if c.GradSparse && !c.SendModel {
+		return vol.Sparse
+	}
+	return vol.Dense
+}
+
+func runServer(cfg Config, ctx *core.Context, final []float64) error {
+	up, err := ctx.CreateVectorOpts("ps/up", cfg.gradType(), cfg.Dim,
+		vol.Options{QueueLen: cfg.QueueLen})
+	if err != nil {
+		return err
+	}
+	down, err := ctx.CreateVector("ps/down", vol.Dense, cfg.Dim)
+	if err != nil {
+		return err
+	}
+	model := down.Data() // the global model lives in the broadcast vector
+
+	// A background watchdog detects clients that die while the server is
+	// idle (it otherwise only learns of deaths through failed broadcasts),
+	// so a sync round missing a dead client's update still completes with
+	// the survivors instead of hanging.
+	stopWatch := ctx.WatchFaults(2 * time.Millisecond)
+	defer stopWatch()
+
+	received := make([]int, cfg.Workers+1) // updates folded per client
+	version := uint64(0)
+	pendingRound := make([][]float64, 0, cfg.Workers)
+
+	for {
+		// Fold whatever has arrived; the UDF sees each client's update.
+		arrived := false
+		_, err := up.Gather(func(f vol.Fold) {
+			for _, u := range f.Updates {
+				received[u.From]++
+				arrived = true
+				if cfg.Sync {
+					cp := make([]float64, len(u.Data))
+					copy(cp, u.Data)
+					pendingRound = append(pendingRound, cp)
+				} else {
+					applyUpdate(cfg, model, [][]float64{u.Data})
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		// A broadcast releases waiting clients, so under Sync it must only
+		// happen after a full round has been folded.
+		progressed := arrived && !cfg.Sync
+		if cfg.Sync && len(pendingRound) >= liveClients(ctx, cfg.Workers) && len(pendingRound) > 0 {
+			applyUpdate(cfg, model, pendingRound)
+			pendingRound = pendingRound[:0]
+			progressed = true
+		}
+		if progressed {
+			version++
+			ctx.SetIteration(version)
+			if err := ctx.Scatter(down); err != nil {
+				return err
+			}
+		}
+		// Done when every *live* client has delivered all its rounds
+		// (dead clients owe nothing).
+		pending := false
+		for w := 1; w <= cfg.Workers; w++ {
+			if ctx.Alive(w) && received[w] < cfg.Rounds {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			break
+		}
+		if !progressed {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	copy(final, model)
+	// Final broadcast so clients observe the terminal model.
+	version++
+	ctx.SetIteration(version)
+	return ctx.Scatter(down)
+}
+
+func liveClients(ctx *core.Context, workers int) int {
+	n := 0
+	for w := 1; w <= workers; w++ {
+		if ctx.Alive(w) {
+			n++
+		}
+	}
+	return n
+}
+
+func applyUpdate(cfg Config, model []float64, updates [][]float64) {
+	if len(updates) == 0 {
+		return
+	}
+	if cfg.SendModel {
+		// Model averaging: global ← mean(incoming models).
+		linalg.AverageInto(model, updates...)
+		return
+	}
+	// Gradient descent: average the batch, apply with Eta.
+	scale := cfg.Eta / float64(len(updates))
+	for _, g := range updates {
+		linalg.Axpy(-scale, g, model)
+	}
+}
+
+func runClient(cfg Config, ctx *core.Context, compute ComputeFn) error {
+	up, err := ctx.CreateVectorOpts("ps/up", cfg.gradType(), cfg.Dim,
+		vol.Options{QueueLen: cfg.QueueLen})
+	if err != nil {
+		return err
+	}
+	down, err := ctx.CreateVector("ps/down", vol.Dense, cfg.Dim)
+	if err != nil {
+		return err
+	}
+	model := make([]float64, cfg.Dim)
+	var lastSeen uint64
+
+	for round := 0; round < cfg.Rounds; round++ {
+		ctx.Compute(func() { compute(ctx.Rank(), round, model, up.Data()) })
+		ctx.SetIteration(uint64(round + 1))
+		if err := ctx.Scatter(up); err != nil {
+			return err
+		}
+		// Wait for a model fresher than the last one we saw — the
+		// parameter-server wait the paper measures in Fig 9.
+		start := time.Now()
+		for {
+			stats, err := down.GatherLatest(vol.Replace)
+			if err != nil {
+				return err
+			}
+			if stats.Updates > 0 && stats.MaxIter > lastSeen {
+				lastSeen = stats.MaxIter
+				copy(model, down.Data())
+				break
+			}
+			if !ctx.Alive(0) {
+				return errors.New("paramserver: server died")
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+		ctx.Timer().Add(trace.Wait, time.Since(start))
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package paramserver
+
+import (
+	"testing"
+
+	"malt/internal/core"
+	"malt/internal/data"
+	"malt/internal/dataflow"
+	"malt/internal/ml/svm"
+	"malt/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, Dim: 4, Rounds: 1},
+		{Workers: 1, Dim: 0, Rounds: 1},
+		{Workers: 1, Dim: 4, Rounds: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(cfg, func(int, int, []float64, []float64) {}); err == nil {
+			t.Fatalf("config %d should fail", i)
+		}
+	}
+	if _, err := Train(Config{Workers: 1, Dim: 4, Rounds: 1}, nil); err == nil {
+		t.Fatal("nil compute should fail")
+	}
+}
+
+func TestAsyncGradientDescentConverges(t *testing.T) {
+	// Quadratic toy objective: minimize ‖model − target‖²; gradient is
+	// 2(model − target). The PS must drive the model to the target.
+	target := []float64{1, -2, 3, 0.5}
+	cfg := Config{Workers: 3, Dim: 4, Rounds: 60, Eta: 0.2}
+	res, err := Train(cfg, func(rank, round int, model, out []float64) {
+		for i := range out {
+			out[i] = 2 * (model[i] - target[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.FinalModel {
+		if d := v - target[i]; d > 0.05 || d < -0.05 {
+			t.Fatalf("model[%d] = %v, want %v", i, v, target[i])
+		}
+	}
+	// Clients accumulated wait time — the defining PS cost.
+	for w, tm := range res.WorkerTimers {
+		if tm.Get(trace.Wait) == 0 {
+			t.Fatalf("worker %d recorded no wait time", w)
+		}
+		if tm.Get(trace.Compute) == 0 {
+			t.Fatalf("worker %d recorded no compute time", w)
+		}
+	}
+	if res.Stats.TotalBytes() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestSyncRoundsProduceDeterministicModel(t *testing.T) {
+	target := []float64{2, 2}
+	run := func() []float64 {
+		res, err := Train(Config{Workers: 2, Dim: 2, Rounds: 30, Eta: 0.3, Sync: true},
+			func(rank, round int, model, out []float64) {
+				for i := range out {
+					out[i] = 2 * (model[i] - target[i])
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalModel
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sync PS not deterministic: %v vs %v", a, b)
+		}
+	}
+	if d := a[0] - 2; d > 0.05 || d < -0.05 {
+		t.Fatalf("sync PS did not converge: %v", a)
+	}
+}
+
+func TestModelAveragingMode(t *testing.T) {
+	// Each worker pushes a constant local model; the server must hold the
+	// average of the pushes.
+	res, err := Train(Config{Workers: 4, Dim: 2, Rounds: 5, SendModel: true, Sync: true},
+		func(rank, round int, model, out []float64) {
+			out[0] = float64(rank) // workers are ranks 1..4
+			out[1] = 10
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.FinalModel[0] - 2.5; d > 1e-9 || d < -1e-9 { // mean(1,2,3,4)
+		t.Fatalf("model avg = %v, want 2.5", res.FinalModel[0])
+	}
+	if res.FinalModel[1] != 10 {
+		t.Fatalf("model[1] = %v", res.FinalModel[1])
+	}
+}
+
+func TestSparseUploadsReduceTraffic(t *testing.T) {
+	// With sparse gradient uploads, the client→server bytes must be far
+	// below the dense server→client model broadcasts.
+	const dim = 5000
+	cfg := Config{Workers: 2, Dim: dim, Rounds: 10, GradSparse: true}
+	res, err := Train(cfg, func(rank, round int, model, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+		out[rank] = 1 // one non-zero per gradient
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := res.Stats.LinkBytes(1, 0) + res.Stats.LinkBytes(2, 0)
+	down := res.Stats.LinkBytes(0, 1) + res.Stats.LinkBytes(0, 2)
+	if up*10 > down {
+		t.Fatalf("sparse uploads not compact: up=%d down=%d", up, down)
+	}
+}
+
+func TestPSTrainsRealSVM(t *testing.T) {
+	// Integration: parameter-server SVM on a synthetic workload reaches
+	// reasonable accuracy.
+	ds, err := data.GenerateClassification(data.ClassificationSpec{
+		Name: "t", Dim: 50, Train: 2000, Test: 400, NNZ: 8, Noise: 0.05, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds, cb = 2, 40, 50
+	trainers := make([]*svm.Trainer, workers+1)
+	for w := 1; w <= workers; w++ {
+		trainers[w], _ = svm.New(svm.Config{Dim: ds.Dim, Lambda: 1e-5})
+	}
+	res, err := Train(Config{Workers: workers, Dim: ds.Dim, Rounds: rounds, Eta: 1, Sync: true},
+		func(rank, round int, model, out []float64) {
+			lo, _ := data.Shard(len(ds.Train), rank-1, workers)
+			at := (lo + round*cb) % (len(ds.Train) - cb)
+			trainers[rank].BatchGradient(out, model, ds.Train[at:at+cb])
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := svm.New(svm.Config{Dim: ds.Dim})
+	if acc := tr.Accuracy(res.FinalModel, ds.Test); acc < 0.75 {
+		t.Fatalf("PS-SVM accuracy %v too low", acc)
+	}
+}
+
+func TestSyncSurvivesClientDeath(t *testing.T) {
+	// A client dies mid-job: the sync server must finish the remaining
+	// rounds with the survivors instead of waiting forever for the dead
+	// client's contribution. We inject the death from the compute callback
+	// of the doomed client's 5th round.
+	target := []float64{1, 1}
+	cfg, err := (Config{Workers: 3, Dim: 2, Rounds: 30, Eta: 0.2, Sync: true}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := dataflow.New(dataflow.MasterSlave, cfg.Workers+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := core.NewCluster(core.Config{
+		Ranks: cfg.Workers + 1, Graph: graph, QueueLen: cfg.QueueLen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train(cluster, cfg, func(rank, round int, model, out []float64) {
+		if rank == 3 && round == 5 {
+			_ = cluster.Fabric().Kill(3)
+			panic("client 3 crashed") // trapped by the rank's fault monitor
+		}
+		for i := range out {
+			out[i] = 2 * (model[i] - target[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.FinalModel {
+		if d := v - target[i]; d > 0.1 || d < -0.1 {
+			t.Fatalf("model[%d] = %v, want ≈%v despite client death", i, v, target[i])
+		}
+	}
+}

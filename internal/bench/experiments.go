@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies dataset sizes (1 = default benchmark size).
+	Scale int
+	// Quick shrinks epochs/rank counts for CI-speed smoke runs. Shapes
+	// still hold; absolute numbers are noisier.
+	Quick bool
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Experiment is one table or figure reproduction.
+type Experiment struct {
+	// ID is the registry key ("fig4" … "fig14", "table2", "table3",
+	// "saturation").
+	ID string
+	// Title echoes the paper's caption.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// run wraps an experiment body with timing and report boilerplate.
+func run(id, title string, body func(o Options, r *Report) error) func(Options) (*Report, error) {
+	return func(o Options) (*Report, error) {
+		if o.Scale <= 0 {
+			o.Scale = 1
+		}
+		r := &Report{ID: id, Title: title}
+		start := time.Now()
+		if err := body(o, r); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		r.Elapsed = time.Since(start)
+		return r, nil
+	}
+}
+
+// cbScale converts the paper's nominal communication batch size to this
+// repo's scaled datasets (≈100× fewer examples per rank), flooring at 10.
+func cbScale(nominal int) int {
+	cb := nominal / 100
+	if cb < 10 {
+		cb = 10
+	}
+	return cb
+}
+
+// speedup returns a/b guarding against division by zero.
+func speedup(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; the experiment
+// suite (a performance/integration workload, fully covered for races by
+// the unit tests beneath it) is skipped to keep `go test -race` fast.
+const raceEnabled = true

@@ -1,0 +1,153 @@
+// Package bench is the experiment harness: one driver per table and figure
+// of the paper's evaluation (§6), each regenerating the corresponding rows
+// or curves over the simulated substrate. The cmd/maltbench binary and the
+// top-level benchmark suite both dispatch into this package.
+//
+// Scale note: dataset sizes are the synthetic scaled-down equivalents from
+// internal/data (≈1000× smaller than the paper's), so communication batch
+// (cb) sizes are scaled by each experiment's stated factor to keep
+// batches-per-epoch comparable; every driver prints both the paper's
+// nominal cb and the scaled value it actually ran. Absolute times are not
+// comparable to the paper's testbed; shapes and ratios are.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a convergence curve.
+type Point struct {
+	// Time is seconds since the run started.
+	Time float64
+	// Iter is the cumulative per-rank iteration (communication batch)
+	// count at the sample.
+	Iter float64
+	// Value is the metric (loss, AUC, RMSE).
+	Value float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Final returns the last value of the series (0 if empty).
+func (s Series) Final() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// TimeToReach returns the first sample time at which the series reached
+// goal (descending metrics like loss: value ≤ goal) and whether it did.
+func (s Series) TimeToReach(goal float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Value <= goal {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// ItersToReach is TimeToReach over the iteration axis.
+func (s Series) ItersToReach(goal float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Value <= goal {
+			return p.Iter, true
+		}
+	}
+	return 0, false
+}
+
+// TimeToExceed returns the first sample time at which the series reached
+// goal for ascending metrics (AUC: value ≥ goal).
+func (s Series) TimeToExceed(goal float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Value >= goal {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the experiment identifier ("fig4", "table2", …).
+	ID string
+	// Title echoes the paper's caption.
+	Title string
+	// Lines are the formatted result rows.
+	Lines []string
+	// Series holds the convergence curves (may be empty for tables).
+	Series []Series
+	// Metrics are headline numbers ("speedup_time": 6.7) keyed for
+	// programmatic assertions in the benchmark suite.
+	Metrics map[string]float64
+	// Elapsed is how long the experiment took to run.
+	Elapsed time.Duration
+}
+
+// Metric records a headline number.
+func (r *Report) Metric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[key] = v
+}
+
+// Linef appends a formatted row.
+func (r *Report) Linef(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Print writes the report in the harness's standard layout.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, line := range r.Lines {
+		fmt.Fprintf(w, "%s\n", line)
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s=%.4g", k, r.Metrics[k])
+		}
+		fmt.Fprintf(w, "-- %s\n", b.String())
+	}
+	fmt.Fprintf(w, "-- elapsed %v\n\n", r.Elapsed.Round(time.Millisecond))
+}
+
+// PrintSeries writes the curves in a gnuplot-friendly "label time iter
+// value" layout (used by -curves).
+func (r *Report) PrintSeries(w io.Writer) {
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "# %s / %s\n", r.ID, s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%q %.4f %.0f %.6f\n", s.Label, p.Time, p.Iter, p.Value)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (r *Report) FindSeries(label string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}

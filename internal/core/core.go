@@ -1,0 +1,412 @@
+// Package core is the MALT runtime: it assembles the fabric, dstorm,
+// vector library, consistency controller and fault monitors into a cluster
+// of model replicas, and runs one user-supplied training function per rank
+// (the paper's "write code once, run everywhere" model — no separate
+// master/server program exists).
+//
+// The public package malt at the module root is a thin facade over this
+// package; see there for the user-facing documentation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"malt/internal/consistency"
+	"malt/internal/data"
+	"malt/internal/dataflow"
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+	"malt/internal/fault"
+	"malt/internal/trace"
+	"malt/internal/vol"
+)
+
+// Config describes a MALT cluster.
+type Config struct {
+	// Ranks is the number of model replicas.
+	Ranks int
+	// Dataflow selects the pre-built communication graph. Default All.
+	Dataflow dataflow.Kind
+	// Graph overrides Dataflow with an explicit adjacency when non-nil.
+	Graph *dataflow.Graph
+	// Sync selects the consistency model. Default BSP.
+	Sync consistency.Model
+	// StalenessBound is the SSP bound (see consistency.Policy.Bound).
+	StalenessBound uint64
+	// ASPCutoff is the ASP stale-update filter (consistency.Policy.ASPCutoff).
+	ASPCutoff uint64
+	// QueueLen is the per-sender receive queue depth for vectors.
+	QueueLen int
+	// AsyncSend enables sender-side queues of the given depth when > 0.
+	AsyncSend int
+	// Fabric tunes the simulated interconnect (zero value = defaults).
+	Fabric fabric.Config
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Ranks <= 0 {
+		return c, fmt.Errorf("core: Ranks must be positive, got %d", c.Ranks)
+	}
+	c.Fabric.Ranks = c.Ranks
+	return c, nil
+}
+
+// Cluster is an in-process MALT cluster: Ranks replicas sharing one
+// simulated RDMA fabric.
+type Cluster struct {
+	cfg    Config
+	fab    *fabric.Fabric
+	dsc    *dstorm.Cluster
+	faults *fault.Group
+	graph  *dataflow.Graph
+
+	contexts []*Context
+}
+
+// NewCluster builds the cluster, its fabric, and its dataflow graph.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := fabric.New(cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	graph := cfg.Graph
+	if graph == nil {
+		graph, err = dataflow.New(cfg.Dataflow, cfg.Ranks)
+		if err != nil {
+			return nil, err
+		}
+	} else if graph.N() != cfg.Ranks {
+		return nil, fmt.Errorf("core: graph covers %d ranks, config says %d", graph.N(), cfg.Ranks)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		fab:    fab,
+		dsc:    dstorm.NewCluster(fab),
+		faults: fault.NewGroup(fab),
+		graph:  graph,
+	}
+	c.contexts = make([]*Context, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		c.contexts[r] = c.newContext(r)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Fabric exposes the simulated interconnect (stats, failure injection).
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Graph returns the cluster's dataflow graph.
+func (c *Cluster) Graph() *dataflow.Graph { return c.graph }
+
+// Context returns the per-rank context (for tests and tools; Run hands the
+// same contexts to the training function).
+func (c *Cluster) Context(rank int) *Context { return c.contexts[rank] }
+
+// RankResult is one replica's outcome.
+type RankResult struct {
+	// Rank identifies the replica.
+	Rank int
+	// Err is the training function's error (nil on success). A replica
+	// killed by failure injection typically returns a non-nil error.
+	Err error
+	// Timer holds the per-phase time breakdown.
+	Timer *trace.Timer
+}
+
+// Result aggregates a Run.
+type Result struct {
+	// PerRank has one entry per rank, indexed by rank.
+	PerRank []RankResult
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// FirstError returns the first non-nil rank error, or nil.
+func (r *Result) FirstError() error {
+	for _, rr := range r.PerRank {
+		if rr.Err != nil {
+			return rr.Err
+		}
+	}
+	return nil
+}
+
+// LiveErrors returns the errors of ranks that were still alive at the end
+// of the run — failures of deliberately killed replicas are expected and
+// usually filtered out this way.
+func (r *Result) LiveErrors(alive func(rank int) bool) []error {
+	var errs []error
+	for _, rr := range r.PerRank {
+		if rr.Err != nil && alive(rr.Rank) {
+			errs = append(errs, fmt.Errorf("rank %d: %w", rr.Rank, rr.Err))
+		}
+	}
+	return errs
+}
+
+// Run executes fn once per rank, each on its own goroutine (the replicas of
+// the paper's Figure 1), and waits for all of them. Panics in fn are
+// trapped by the rank's fault monitor and converted into rank errors plus
+// fabric death, so surviving replicas observe a crash, not a hang.
+func (c *Cluster) Run(fn func(ctx *Context) error) *Result {
+	start := time.Now()
+	res := &Result{PerRank: make([]RankResult, c.cfg.Ranks)}
+	var wg sync.WaitGroup
+	for r := 0; r < c.cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := c.contexts[r]
+			if c.cfg.AsyncSend > 0 {
+				ctx.node.EnableAsyncSend(c.cfg.AsyncSend)
+				defer ctx.node.DisableAsyncSend()
+			}
+			err := ctx.monitor.Guard(func() error { return fn(ctx) })
+			res.PerRank[r] = RankResult{Rank: r, Err: err, Timer: ctx.timer}
+		}(r)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Context is one rank's handle on the cluster, passed to the training
+// function. It owns the rank's fault monitor, consistency controller and
+// phase timer, and instruments every MALT call with them. A Context must
+// only be used from its own replica goroutine.
+type Context struct {
+	cluster *Cluster
+	rank    int
+	node    *dstorm.Node
+	monitor *fault.Monitor
+	ctrl    *consistency.Controller
+	timer   *trace.Timer
+
+	mu      sync.Mutex
+	vectors []*vol.Vector
+	iter    uint64
+}
+
+func (c *Cluster) newContext(rank int) *Context {
+	ctx := &Context{
+		cluster: c,
+		rank:    rank,
+		node:    c.dsc.Node(rank),
+		monitor: c.faults.Monitor(rank),
+		timer:   &trace.Timer{},
+	}
+	ctx.ctrl = consistency.New(consistency.Policy{
+		Model:     c.cfg.Sync,
+		Bound:     c.cfg.StalenessBound,
+		ASPCutoff: c.cfg.ASPCutoff,
+		Alive:     ctx.monitor.Alive,
+	})
+	// Failure recovery: when this rank's monitor confirms a peer dead,
+	// rebuild this rank's send/receive lists (paper §3.3).
+	ctx.monitor.OnDeath(func(dead int) {
+		ctx.mu.Lock()
+		vecs := append([]*vol.Vector(nil), ctx.vectors...)
+		ctx.mu.Unlock()
+		for _, v := range vecs {
+			v.RemovePeer(dead)
+		}
+	})
+	return ctx
+}
+
+// Rank returns this replica's rank.
+func (ctx *Context) Rank() int { return ctx.rank }
+
+// Ranks returns the cluster size (including dead ranks).
+func (ctx *Context) Ranks() int { return ctx.cluster.cfg.Ranks }
+
+// Survivors returns this rank's current view of the live ranks.
+func (ctx *Context) Survivors() []int { return ctx.monitor.Survivors() }
+
+// Alive reports this rank's view of a peer.
+func (ctx *Context) Alive(rank int) bool { return ctx.monitor.Alive(rank) }
+
+// Timer returns the per-phase time accounting for this rank.
+func (ctx *Context) Timer() *trace.Timer { return ctx.timer }
+
+// Monitor returns the rank's fault monitor (for explicit health checks and
+// model validation).
+func (ctx *Context) Monitor() *fault.Monitor { return ctx.monitor }
+
+// SetIteration records the replica's logical iteration count; scatters are
+// stamped with it and staleness policies compare against it.
+func (ctx *Context) SetIteration(iter uint64) { ctx.iter = iter }
+
+// Iteration returns the last value passed to SetIteration.
+func (ctx *Context) Iteration() uint64 { return ctx.iter }
+
+// CreateVector collectively creates a shared model/gradient vector over
+// the cluster's dataflow graph. All live ranks must call it with identical
+// arguments (it blocks until they have).
+func (ctx *Context) CreateVector(name string, typ vol.Type, dim int) (*vol.Vector, error) {
+	return ctx.CreateVectorOpts(name, typ, dim, vol.Options{QueueLen: ctx.cluster.cfg.QueueLen})
+}
+
+// CreateVectorOpts is CreateVector with explicit vector options.
+func (ctx *Context) CreateVectorOpts(name string, typ vol.Type, dim int, opts vol.Options) (*vol.Vector, error) {
+	if opts.QueueLen == 0 {
+		opts.QueueLen = ctx.cluster.cfg.QueueLen
+	}
+	v, err := vol.Create(ctx.node, name, typ, dim, ctx.cluster.graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	ctx.mu.Lock()
+	ctx.vectors = append(ctx.vectors, v)
+	ctx.mu.Unlock()
+	// Drop peers this rank already knows are dead (vector created after a
+	// failure, e.g. during recovery).
+	for r := 0; r < ctx.Ranks(); r++ {
+		if !ctx.monitor.Alive(r) {
+			v.RemovePeer(r)
+		}
+	}
+	return v, nil
+}
+
+// CreateAddVector collectively creates a fetch-and-add gradient
+// accumulator (the hardware-averaging extension from the paper's
+// conclusion): peers' scatters merge into a single accumulator at deposit
+// time and Drain fetches the running average. All live ranks must call it
+// with identical arguments.
+func (ctx *Context) CreateAddVector(name string, dim int) (*dstorm.AddSegment, error) {
+	s, err := ctx.node.CreateAddSegment(name, dim, ctx.cluster.graph)
+	if err != nil {
+		return nil, err
+	}
+	ctx.monitor.OnDeath(func(dead int) { s.RemovePeer(dead) })
+	for r := 0; r < ctx.Ranks(); r++ {
+		if !ctx.monitor.Alive(r) {
+			s.RemovePeer(r)
+		}
+	}
+	return s, nil
+}
+
+// Scatter pushes v to its dataflow peers, stamped with the current
+// iteration, charging the scatter phase and feeding any failed writes into
+// the fault monitor (which may trigger recovery before Scatter returns).
+func (ctx *Context) Scatter(v *vol.Vector) error {
+	return ctx.timer.TimeErr(trace.Scatter, func() error {
+		failed, err := v.Scatter(ctx.iter)
+		if err != nil {
+			return err
+		}
+		ctx.reportFailures(failed)
+		return nil
+	})
+}
+
+// Gather folds arrived updates into v with udf under the cluster's
+// consistency policy, charging the gather phase.
+func (ctx *Context) Gather(v *vol.Vector, udf vol.UDF) (vol.GatherStats, error) {
+	var stats vol.GatherStats
+	err := ctx.timer.TimeErr(trace.Gather, func() error {
+		var gerr error
+		stats, gerr = ctx.ctrl.Gather(v, udf, ctx.iter)
+		return gerr
+	})
+	return stats, err
+}
+
+// GatherLatest folds only the freshest update per peer into v — the right
+// fold for model averaging, where an old snapshot of a peer carries no
+// information once a newer one has arrived. Staleness filters do not apply
+// (the freshest update is by definition the least stale available).
+func (ctx *Context) GatherLatest(v *vol.Vector, udf vol.UDF) (vol.GatherStats, error) {
+	var stats vol.GatherStats
+	err := ctx.timer.TimeErr(trace.Gather, func() error {
+		var gerr error
+		stats, gerr = v.GatherLatest(udf)
+		return gerr
+	})
+	return stats, err
+}
+
+// Advance runs the post-scatter synchronization (BSP barrier, SSP stall,
+// or nothing for ASP), charging barrier/wait phases. Under BSP, call
+// Advance after Scatter and before Gather so the gather observes exactly
+// the current round's updates, and call Commit after applying the gathered
+// result so no rank scatters the next round into a peer that has not yet
+// consumed this one — the classic two-barrier superstep.
+func (ctx *Context) Advance(v *vol.Vector) error {
+	waited, err := ctx.ctrl.Advance(v, ctx.iter)
+	switch ctx.cluster.cfg.Sync {
+	case consistency.BSP:
+		ctx.timer.Add(trace.Barrier, waited)
+	default:
+		ctx.timer.Add(trace.Wait, waited)
+	}
+	if err != nil && errors.Is(err, dstorm.ErrDead) {
+		return err
+	}
+	return err
+}
+
+// Commit closes a BSP superstep: a second barrier that keeps any rank from
+// scattering the next round before all ranks consumed this one. Under ASP
+// and SSP it is a no-op (those disciplines embrace mixed rounds).
+func (ctx *Context) Commit(v *vol.Vector) error {
+	if ctx.cluster.cfg.Sync != consistency.BSP {
+		return nil
+	}
+	return ctx.timer.TimeErr(trace.Barrier, func() error { return v.Barrier() })
+}
+
+// Barrier is an explicit bulk-synchronous barrier on v (the paper's
+// g.barrier()), independent of the consistency policy.
+func (ctx *Context) Barrier(v *vol.Vector) error {
+	return ctx.timer.TimeErr(trace.Barrier, func() error { return v.Barrier() })
+}
+
+// Compute charges fn's duration to the compute phase. Training loops wrap
+// their gradient computation in it so Fig 8-style breakdowns are exact.
+func (ctx *Context) Compute(fn func()) {
+	ctx.timer.Time(trace.Compute, fn)
+}
+
+// Shard returns this rank's [lo, hi) share of n examples over the ranks
+// this replica currently believes are alive. After a confirmed failure the
+// same call re-shards over the survivors, implementing the paper's data
+// redistribution.
+func (ctx *Context) Shard(n int) (lo, hi int, err error) {
+	return data.ShardOver(n, ctx.rank, ctx.monitor.Survivors())
+}
+
+// WatchFaults starts the rank's background fault watchdog (probing every
+// peer each interval); the returned stop function terminates it. Useful
+// for phases that compute for a long time without communicating.
+func (ctx *Context) WatchFaults(interval time.Duration) (stop func()) {
+	return ctx.monitor.Watch(interval)
+}
+
+// ReportFailures feeds explicitly observed write failures (e.g. from
+// asynchronous sends) into the fault monitor.
+func (ctx *Context) ReportFailures(peers []int) { ctx.reportFailures(peers) }
+
+func (ctx *Context) reportFailures(peers []int) {
+	if len(peers) == 0 {
+		// Async sends surface failures out of band; poll them here so the
+		// monitor still learns about dead peers promptly.
+		peers = ctx.node.AsyncFailures()
+		if len(peers) == 0 {
+			return
+		}
+	}
+	ctx.monitor.ReportFailedWrites(peers)
+}

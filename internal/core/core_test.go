@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"malt/internal/consistency"
+	"malt/internal/data"
+	"malt/internal/dataflow"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/svm"
+	"malt/internal/trace"
+	"malt/internal/vol"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Ranks: 0}); err == nil {
+		t.Fatal("Ranks=0 should fail")
+	}
+	g, _ := dataflow.New(dataflow.All, 3)
+	if _, err := NewCluster(Config{Ranks: 4, Graph: g}); err == nil {
+		t.Fatal("graph/ranks mismatch should fail")
+	}
+	c, err := NewCluster(Config{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph().Kind() != dataflow.All {
+		t.Fatalf("default dataflow = %v", c.Graph().Kind())
+	}
+}
+
+func TestRunAllRanks(t *testing.T) {
+	c, err := NewCluster(Config{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	res := c.Run(func(ctx *Context) error {
+		mu.Lock()
+		seen[ctx.Rank()] = true
+		mu.Unlock()
+		if ctx.Ranks() != 4 {
+			return fmt.Errorf("Ranks() = %d", ctx.Ranks())
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ran on %d ranks", len(seen))
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}
+
+func TestRunTrapsPanics(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 2})
+	res := c.Run(func(ctx *Context) error {
+		if ctx.Rank() == 1 {
+			panic("simulated segfault")
+		}
+		return nil
+	})
+	if res.PerRank[1].Err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if res.PerRank[0].Err != nil {
+		t.Fatalf("healthy rank errored: %v", res.PerRank[0].Err)
+	}
+	if c.Fabric().Alive(1) {
+		t.Fatal("panicking rank should be dead on the fabric")
+	}
+	errs := res.LiveErrors(c.Fabric().Alive)
+	if len(errs) != 0 {
+		t.Fatalf("LiveErrors = %v", errs)
+	}
+}
+
+func TestDistributedSVMBSPConverges(t *testing.T) {
+	// End-to-end: 4 replicas train a shared SVM with gradient averaging
+	// under BSP — the paper's Algorithm 2.
+	ds, err := data.GenerateClassification(data.ClassificationSpec{
+		Name: "t", Dim: 100, Train: 4000, Test: 500, NNZ: 10, Noise: 0.02, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{Ranks: 4, Sync: consistency.BSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cb = 100
+	finals := make([][]float64, 4)
+	res := c.Run(func(ctx *Context) error {
+		g, err := ctx.CreateVector("grad", vol.Dense, ds.Dim)
+		if err != nil {
+			return err
+		}
+		tr, err := svm.New(svm.Config{Dim: ds.Dim, Eta0: 2, Lambda: 1e-5})
+		if err != nil {
+			return err
+		}
+		w := make([]float64, ds.Dim)
+		lo, hi, err := ctx.Shard(len(ds.Train))
+		if err != nil {
+			return err
+		}
+		shard := ds.Train[lo:hi]
+		iter := uint64(0)
+		for epoch := 0; epoch < 20; epoch++ {
+			for at := 0; at+cb <= len(shard); at += cb {
+				batch := shard[at : at+cb]
+				ctx.Compute(func() { tr.BatchGradient(g.Data(), w, batch) })
+				iter++
+				ctx.SetIteration(iter)
+				if err := ctx.Scatter(g); err != nil {
+					return err
+				}
+				if err := ctx.Advance(g); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(g, vol.Average); err != nil {
+					return err
+				}
+				ctx.Compute(func() { tr.ApplyGradient(w, g.Data(), cb) })
+				if err := ctx.Commit(g); err != nil {
+					return err
+				}
+			}
+		}
+		finals[ctx.Rank()] = w
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := svm.New(svm.Config{Dim: ds.Dim})
+	acc := tr.Accuracy(finals[0], ds.Test)
+	if acc < 0.85 {
+		t.Fatalf("distributed accuracy %v too low", acc)
+	}
+	// BSP all-to-all with deterministic fold order: all replicas end
+	// bit-identical (the paper: "the final parameter value w is identical
+	// across all machines in the synchronous, all-all case").
+	for r := 1; r < 4; r++ {
+		for i := range finals[0] {
+			if finals[0][i] != finals[r][i] {
+				t.Fatalf("rank %d model diverged at %d: %v vs %v", r, i, finals[0][i], finals[r][i])
+			}
+		}
+	}
+	// Phase accounting saw every phase.
+	tm := res.PerRank[0].Timer
+	if tm.Get(trace.Compute) == 0 || tm.Get(trace.Scatter) == 0 || tm.Get(trace.Gather) == 0 {
+		t.Fatalf("phase accounting incomplete: %v", tm)
+	}
+	if tm.Get(trace.Barrier) == 0 {
+		t.Fatalf("BSP run recorded no barrier time: %v", tm)
+	}
+	// Traffic flowed.
+	if c.Fabric().Stats().TotalBytes() == 0 {
+		t.Fatal("no network traffic recorded")
+	}
+}
+
+func TestFailureRecoveryMidTraining(t *testing.T) {
+	// 4 replicas, rank 3 dies mid-run; survivors must finish, re-shard,
+	// and drop the dead peer from their send lists.
+	c, err := NewCluster(Config{Ranks: 4, Sync: consistency.ASP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 16
+	var resharded sync.Map
+	res := c.Run(func(ctx *Context) error {
+		v, err := ctx.CreateVector("w", vol.Dense, dim)
+		if err != nil {
+			return err
+		}
+		for it := uint64(1); it <= 60; it++ {
+			ctx.SetIteration(it)
+			if ctx.Rank() == 3 && it == 20 {
+				// Simulated machine crash.
+				if err := c.Fabric().Kill(3); err != nil {
+					return err
+				}
+				return fmt.Errorf("rank 3 crashed")
+			}
+			v.Data()[0] = float64(ctx.Rank())
+			if err := ctx.Scatter(v); err != nil {
+				return err
+			}
+			if _, err := ctx.Gather(v, vol.Average); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		lo, hi, err := ctx.Shard(90)
+		if err != nil {
+			return err
+		}
+		resharded.Store(ctx.Rank(), [2]int{lo, hi})
+		return nil
+	})
+	if errs := res.LiveErrors(c.Fabric().Alive); len(errs) != 0 {
+		t.Fatalf("surviving ranks errored: %v", errs)
+	}
+	if res.PerRank[3].Err == nil {
+		t.Fatal("crashed rank should report its error")
+	}
+	// Survivors re-sharded 90 examples three ways: 30 each.
+	count := 0
+	resharded.Range(func(k, v any) bool {
+		count++
+		r := v.([2]int)
+		if r[1]-r[0] != 30 {
+			t.Errorf("rank %v shard = %v, want width 30", k, r)
+		}
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("%d survivors resharded, want 3", count)
+	}
+	// Survivor contexts confirmed the death.
+	for _, r := range []int{0, 1, 2} {
+		if c.Context(r).Alive(3) {
+			t.Fatalf("rank %d still believes 3 is alive", r)
+		}
+	}
+}
+
+func TestCreateVectorAfterFailureDropsDeadPeers(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 3})
+	if err := c.Fabric().Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0 and 1 learn of the death, then create a vector.
+	var wg sync.WaitGroup
+	vecs := make([]*vol.Vector, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := c.Context(r)
+			ctx.Monitor().ReportFailedWrites([]int{2})
+			v, err := ctx.CreateVector("w", vol.Dense, 4)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			vecs[r] = v
+		}(r)
+	}
+	wg.Wait()
+	for r, v := range vecs {
+		if v == nil {
+			t.Fatal("vector creation failed")
+		}
+		for _, p := range v.Segment().SendPeers() {
+			if p == 2 {
+				t.Fatalf("rank %d still sends to dead rank", r)
+			}
+		}
+	}
+}
+
+func TestShardOverSurvivors(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 2})
+	lo, hi, err := c.Context(1).Shard(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 5 || hi != 10 {
+		t.Fatalf("shard = [%d,%d)", lo, hi)
+	}
+}
+
+func TestIterationRoundTrip(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 1})
+	ctx := c.Context(0)
+	ctx.SetIteration(7)
+	if ctx.Iteration() != 7 {
+		t.Fatal("iteration not stored")
+	}
+}
+
+func TestLinalgVisibleThroughVector(t *testing.T) {
+	// Smoke test: matrix view over a context-created vector trains in place.
+	c, _ := NewCluster(Config{Ranks: 1})
+	res := c.Run(func(ctx *Context) error {
+		v, err := ctx.CreateVector("m", vol.Dense, 6)
+		if err != nil {
+			return err
+		}
+		m := v.AsMatrix(2, 3)
+		m.Set(0, 0, 5)
+		if v.Data()[0] != 5 {
+			return fmt.Errorf("matrix view not shared")
+		}
+		_ = linalg.Norm2(v.Data())
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherLatestFoldsFreshestOnly(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 2, Sync: consistency.ASP, QueueLen: 8})
+	done := make(chan error, 2)
+	go func() {
+		done <- func() error {
+			ctx := c.Context(0)
+			v, err := ctx.CreateVector("w", vol.Dense, 1)
+			if err != nil {
+				return err
+			}
+			for i := 1; i <= 3; i++ {
+				v.Data()[0] = float64(i * 10)
+				ctx.SetIteration(uint64(i))
+				if err := ctx.Scatter(v); err != nil {
+					return err
+				}
+			}
+			return ctx.Barrier(v)
+		}()
+	}()
+	go func() {
+		done <- func() error {
+			ctx := c.Context(1)
+			v, err := ctx.CreateVector("w", vol.Dense, 1)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Barrier(v); err != nil {
+				return err
+			}
+			st, err := ctx.GatherLatest(v, vol.Replace)
+			if err != nil {
+				return err
+			}
+			if st.Updates != 1 {
+				return fmt.Errorf("folded %d updates, want 1", st.Updates)
+			}
+			if v.Data()[0] != 30 {
+				return fmt.Errorf("got %v, want freshest (30)", v.Data()[0])
+			}
+			return nil
+		}()
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCommitIsNoopOutsideBSP(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 2, Sync: consistency.ASP})
+	// Only rank 0 calls Commit: under ASP it must not block on rank 1.
+	res := c.Run(func(ctx *Context) error {
+		v, err := ctx.CreateVector("w", vol.Dense, 1)
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			return ctx.Commit(v)
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAddVectorThroughRuntime(t *testing.T) {
+	c, _ := NewCluster(Config{Ranks: 2})
+	res := c.Run(func(ctx *Context) error {
+		acc, err := ctx.CreateAddVector("g", 2)
+		if err != nil {
+			return err
+		}
+		if _, err := acc.Scatter([]float64{1, 2}, 1); err != nil {
+			return err
+		}
+		if err := acc.Barrier(); err != nil {
+			return err
+		}
+		avg := make([]float64, 2)
+		n, err := acc.Drain(avg)
+		if err != nil {
+			return err
+		}
+		if n != 1 || avg[1] != 2 {
+			return fmt.Errorf("drain = %d, %v", n, avg)
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZombieWritesBounceAfterRecovery(t *testing.T) {
+	// A rank is confirmed dead, the survivors rebuild, and then the "dead"
+	// machine comes back (revive) and scatters: its writes must bounce off
+	// the survivors' rebuilt receive lists instead of corrupting state —
+	// the paper's re-registration guard against zombies.
+	c, _ := NewCluster(Config{Ranks: 3, Sync: consistency.ASP})
+	vecs := make([]*vol.Vector, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v, err := c.Context(r).CreateVector("w", vol.Dense, 2)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			vecs[r] = v
+		}(r)
+	}
+	wg.Wait()
+
+	if err := c.Fabric().Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0 and 1 confirm the death (rebuilds receive lists via OnDeath).
+	c.Context(0).Monitor().ReportFailedWrites([]int{2})
+	c.Context(1).Monitor().ReportFailedWrites([]int{2})
+
+	// Zombie returns and scatters garbage.
+	if err := c.Fabric().Revive(2); err != nil {
+		t.Fatal(err)
+	}
+	vecs[2].Data()[0] = 666
+	c.Context(2).SetIteration(99)
+	if err := c.Context(2).Scatter(vecs[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors gather: nothing from the zombie may fold.
+	for _, r := range []int{0, 1} {
+		st, err := c.Context(r).Gather(vecs[r], vol.Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Updates != 0 {
+			t.Fatalf("rank %d folded %d zombie updates", r, st.Updates)
+		}
+		if vecs[r].Data()[0] != 0 {
+			t.Fatalf("rank %d state corrupted by zombie: %v", r, vecs[r].Data())
+		}
+	}
+}
+
+func TestNetworkPartitionBothSidesTrain(t *testing.T) {
+	// Paper §3.3: "If there is a network partition, training resumes on
+	// both clusters independently." Four ranks split 2+2 mid-run; each
+	// side confirms the other dead, re-shards, and finishes training.
+	ds, err := data.GenerateClassification(data.ClassificationSpec{
+		Name: "t", Dim: 60, Train: 2000, Test: 400, NNZ: 8, Noise: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{Ranks: 4, Sync: consistency.ASP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cb = 50
+	finals := make([][]float64, 4)
+	var mu sync.Mutex
+	res := c.Run(func(ctx *Context) error {
+		g, err := ctx.CreateVector("grad", vol.Dense, ds.Dim)
+		if err != nil {
+			return err
+		}
+		tr, err := svm.New(svm.Config{Dim: ds.Dim, Lambda: 1e-4, Eta0: 1})
+		if err != nil {
+			return err
+		}
+		w := make([]float64, ds.Dim)
+		before := make([]float64, ds.Dim)
+		iter := uint64(0)
+		for epoch := 0; epoch < 8; epoch++ {
+			// Epoch barrier keeps the partition point aligned across ranks;
+			// after the split it is group-scoped and spans only one side.
+			if err := ctx.Barrier(g); err != nil {
+				return err
+			}
+			if epoch == 3 && ctx.Rank() == 0 {
+				if err := c.Fabric().Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+					return err
+				}
+			}
+			lo, hi, err := ctx.Shard(len(ds.Train))
+			if err != nil {
+				return err
+			}
+			shard := ds.Train[lo:hi]
+			for at := 0; at+cb <= len(shard); at += cb {
+				copy(before, w)
+				ctx.Compute(func() { tr.TrainEpoch(w, shard[at:at+cb]) })
+				for i := range w {
+					g.Data()[i] = w[i] - before[i]
+				}
+				iter++
+				ctx.SetIteration(iter)
+				if err := ctx.Scatter(g); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(g, vol.Average); err != nil {
+					return err
+				}
+				for i := range w {
+					w[i] = before[i] + g.Data()[i]
+				}
+			}
+		}
+		mu.Lock()
+		finals[ctx.Rank()] = append([]float64(nil), w...)
+		mu.Unlock()
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	// Each side believes only its half survived...
+	for _, r := range []int{0, 1} {
+		s := c.Context(r).Survivors()
+		if len(s) != 2 || s[0] != 0 || s[1] != 1 {
+			t.Fatalf("rank %d survivors = %v, want [0 1]", r, s)
+		}
+	}
+	for _, r := range []int{2, 3} {
+		s := c.Context(r).Survivors()
+		if len(s) != 2 || s[0] != 2 || s[1] != 3 {
+			t.Fatalf("rank %d survivors = %v, want [2 3]", r, s)
+		}
+	}
+	// ...and both sides' models converged independently.
+	tr, _ := svm.New(svm.Config{Dim: ds.Dim})
+	for _, r := range []int{0, 2} {
+		if acc := tr.Accuracy(finals[r], ds.Test); acc < 0.8 {
+			t.Fatalf("rank %d accuracy %v after partition", r, acc)
+		}
+	}
+}

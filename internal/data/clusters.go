@@ -1,0 +1,84 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"malt/internal/ml/linalg"
+)
+
+// ClusterSpec parameterizes a synthetic Gaussian-mixture dataset for the
+// k-means workload: K well-separated centers in Dim dimensions, Spread
+// standard deviation around each.
+type ClusterSpec struct {
+	Name   string
+	K      int // true cluster count
+	Dim    int
+	Train  int
+	Spread float64 // intra-cluster stddev; centers are ~unit-separated
+	Seed   int64
+	NNZ    int // non-zeros per example (sparse clusters); 0 = dense
+}
+
+// GenerateClusters builds the mixture. Example labels carry the generating
+// cluster id (useful for diagnostics; k-means itself ignores them).
+func GenerateClusters(spec ClusterSpec) (*Dataset, [][]float64, error) {
+	if spec.K <= 0 || spec.Dim <= 0 || spec.Train <= 0 {
+		return nil, nil, fmt.Errorf("data: cluster spec needs positive K/Dim/Train: %+v", spec)
+	}
+	if spec.Spread == 0 {
+		spec.Spread = 0.15
+	}
+	nnz := spec.NNZ
+	if nnz <= 0 || nnz > spec.Dim {
+		nnz = spec.Dim
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	centers := make([][]float64, spec.K)
+	for c := range centers {
+		center := make([]float64, spec.Dim)
+		for i := range center {
+			center[i] = rng.NormFloat64()
+		}
+		centers[c] = center
+	}
+
+	ds := &Dataset{Name: spec.Name, Dim: spec.Dim}
+	for i := 0; i < spec.Train; i++ {
+		c := rng.Intn(spec.K)
+		center := centers[c]
+		sv := &linalg.SparseVector{}
+		if nnz == spec.Dim {
+			for j := 0; j < spec.Dim; j++ {
+				sv.Append(int32(j), center[j]+rng.NormFloat64()*spec.Spread)
+			}
+		} else {
+			// Sparse points: perturb a random subset of coordinates; the
+			// rest stay at the center's value of zero-ish (dropped).
+			seen := make(map[int]bool, nnz)
+			idxs := make([]int, 0, nnz)
+			for len(idxs) < nnz {
+				j := rng.Intn(spec.Dim)
+				if !seen[j] {
+					seen[j] = true
+					idxs = append(idxs, j)
+				}
+			}
+			sortInts(idxs)
+			for _, j := range idxs {
+				sv.Append(int32(j), center[j]+rng.NormFloat64()*spec.Spread)
+			}
+		}
+		ds.Train = append(ds.Train, Example{Features: sv, Label: float64(c)})
+	}
+	return ds, centers, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateClustersValidation(t *testing.T) {
+	bad := []ClusterSpec{
+		{K: 0, Dim: 2, Train: 10},
+		{K: 2, Dim: 0, Train: 10},
+		{K: 2, Dim: 2, Train: 0},
+	}
+	for i, spec := range bad {
+		if _, _, err := GenerateClusters(spec); err == nil {
+			t.Fatalf("spec %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+func TestGenerateClustersDense(t *testing.T) {
+	spec := ClusterSpec{Name: "c", K: 3, Dim: 6, Train: 600, Spread: 0.05, Seed: 5}
+	ds, centers, err := GenerateClusters(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 3 || len(ds.Train) != 600 || ds.Dim != 6 {
+		t.Fatalf("shape: %d centers, %d examples, dim %d", len(centers), len(ds.Train), ds.Dim)
+	}
+	// Every example must lie near its generating center (label = cluster id).
+	for i, ex := range ds.Train {
+		c := int(ex.Label)
+		if c < 0 || c >= 3 {
+			t.Fatalf("example %d label %v out of range", i, ex.Label)
+		}
+		dense := ex.Features.ToDense(6)
+		var d float64
+		for j, v := range dense {
+			diff := v - centers[c][j]
+			d += diff * diff
+		}
+		// 6 dims at σ=0.05: E[d] = 6·0.0025 = 0.015; 1.0 is a >10σ bound.
+		if d > 1.0 {
+			t.Fatalf("example %d is %.3f away from its center", i, math.Sqrt(d))
+		}
+	}
+}
+
+func TestGenerateClustersSparse(t *testing.T) {
+	spec := ClusterSpec{Name: "c", K: 2, Dim: 100, Train: 50, NNZ: 7, Seed: 9}
+	ds, _, err := GenerateClusters(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ex := range ds.Train {
+		if ex.Features.NNZ() != 7 {
+			t.Fatalf("example %d nnz = %d, want 7", i, ex.Features.NNZ())
+		}
+		for j := 1; j < ex.Features.NNZ(); j++ {
+			if ex.Features.Idx[j-1] >= ex.Features.Idx[j] {
+				t.Fatalf("example %d indices not strictly increasing", i)
+			}
+		}
+	}
+}
+
+func TestGenerateClustersDeterministic(t *testing.T) {
+	spec := ClusterSpec{Name: "c", K: 2, Dim: 4, Train: 30, Seed: 7}
+	a, ca, _ := GenerateClusters(spec)
+	b, cb, _ := GenerateClusters(spec)
+	for i := range ca {
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				t.Fatal("centers not deterministic")
+			}
+		}
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateClassificationDeterministic(t *testing.T) {
+	spec := ClassificationSpec{Name: "t", Dim: 100, Train: 50, Test: 10, NNZ: 5, Noise: 0.1, Seed: 7}
+	a, err := GenerateClassification(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClassification(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != 50 || len(a.Test) != 10 {
+		t.Fatalf("sizes: %d/%d", len(a.Train), len(a.Test))
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+		for j := range a.Train[i].Features.Idx {
+			if a.Train[i].Features.Idx[j] != b.Train[i].Features.Idx[j] {
+				t.Fatalf("indices differ at example %d", i)
+			}
+		}
+	}
+}
+
+func TestGenerateClassificationShape(t *testing.T) {
+	spec := ClassificationSpec{Name: "t", Dim: 1000, Train: 200, Test: 0, NNZ: 20, Noise: 0, Seed: 1}
+	ds, err := GenerateClassification(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ex := range ds.Train {
+		if ex.Features.NNZ() != 20 {
+			t.Fatalf("example %d has %d nnz, want 20", i, ex.Features.NNZ())
+		}
+		if ex.Label != 1 && ex.Label != -1 {
+			t.Fatalf("example %d label %v", i, ex.Label)
+		}
+		// Indices sorted and in range.
+		for j, idx := range ex.Features.Idx {
+			if idx < 0 || int(idx) >= spec.Dim {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if j > 0 && ex.Features.Idx[j-1] >= idx {
+				t.Fatalf("indices not strictly increasing: %v", ex.Features.Idx)
+			}
+		}
+		// Normalized features.
+		if n := ex.Features.Norm2(); n < 0.99 || n > 1.01 {
+			t.Fatalf("example %d norm %v, want ~1", i, n)
+		}
+	}
+	st := ds.Stats()
+	if st.AvgNNZ != 20 || st.Train != 200 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PositiveFrac <= 0.1 || st.PositiveFrac >= 0.9 {
+		t.Fatalf("classes badly imbalanced: %v", st.PositiveFrac)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []ClassificationSpec{
+		{Dim: 0, Train: 1, NNZ: 1},
+		{Dim: 10, Train: 0, NNZ: 1},
+		{Dim: 10, Train: 1, NNZ: 11},
+		{Dim: 10, Train: 1, NNZ: 1, Noise: 0.7},
+	}
+	for i, s := range bad {
+		if _, err := GenerateClassification(s); err == nil {
+			t.Fatalf("spec %d should fail: %+v", i, s)
+		}
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	spec := ClassificationSpec{Name: "t", Dim: 50, Train: 100, NNZ: 3, Seed: 2}
+	a, _ := GenerateClassification(spec)
+	b, _ := GenerateClassification(spec)
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label ||
+			a.Train[i].Features.Idx[0] != b.Train[i].Features.Idx[0] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	for _, sh := range Shapes() {
+		spec, err := sh.Spec(1)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%v: invalid default spec: %v", sh, err)
+		}
+		s2, _ := sh.Spec(3)
+		if s2.Train != 3*spec.Train {
+			t.Fatalf("%v: scale did not multiply examples", sh)
+		}
+		if s2.Dim != spec.Dim {
+			t.Fatalf("%v: scale must not change dimensionality", sh)
+		}
+	}
+	if _, err := Shape("bogus").Spec(1); err == nil {
+		t.Fatal("unknown shape should fail")
+	}
+	// Relative ordering from the paper: webspam has the largest model,
+	// splice the largest example count.
+	web, _ := WebspamShape.Spec(1)
+	spl, _ := SpliceShape.Spec(1)
+	rcv, _ := RCV1Shape.Spec(1)
+	if web.Dim <= rcv.Dim || web.Dim <= spl.Dim {
+		t.Fatal("webspam should be the high-dimensional workload")
+	}
+	if spl.Train <= rcv.Train {
+		t.Fatal("splice should be the big-data workload")
+	}
+}
+
+func TestShardExactCover(t *testing.T) {
+	f := func(nRaw, totalRaw uint16) bool {
+		n := int(nRaw % 1000)
+		total := int(totalRaw%20) + 1
+		covered := 0
+		prevHi := 0
+		for r := 0; r < total; r++ {
+			lo, hi := Shard(n, r, total)
+			if lo != prevHi {
+				return false // gaps or overlap
+			}
+			if hi < lo {
+				return false
+			}
+			if hi-lo > n/total+1 {
+				return false // imbalance
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard with rank >= total should panic")
+		}
+	}()
+	Shard(10, 3, 3)
+}
+
+func TestShardOverRedistributes(t *testing.T) {
+	// 4 ranks, rank 2 died: survivors 0,1,3 split the data three ways.
+	lo, hi, err := ShardOver(90, 3, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 60 || hi != 90 {
+		t.Fatalf("rank 3 shard = [%d,%d)", lo, hi)
+	}
+	if _, _, err := ShardOver(90, 2, []int{0, 1, 3}); err == nil {
+		t.Fatal("dead rank should not get a shard")
+	}
+	if _, _, err := ShardOver(90, 1, []int{1, 0, 3}); err == nil {
+		t.Fatal("unsorted alive list should fail")
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	spec := ClassificationSpec{Name: "t", Dim: 100, Train: 30, NNZ: 4, Seed: 3}
+	ds, _ := GenerateClassification(spec)
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVM(&buf, "t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Train) != 30 {
+		t.Fatalf("round trip lost examples: %d", len(back.Train))
+	}
+	for i := range ds.Train {
+		a, b := ds.Train[i], back.Train[i]
+		if a.Label != b.Label || a.Features.NNZ() != b.Features.NNZ() {
+			t.Fatalf("example %d mismatch", i)
+		}
+		for j := range a.Features.Idx {
+			if a.Features.Idx[j] != b.Features.Idx[j] {
+				t.Fatalf("example %d index mismatch", i)
+			}
+		}
+	}
+}
+
+func TestLibSVMParsing(t *testing.T) {
+	in := "+1 1:0.5 3:2 # comment\n-1 2:1\n\n"
+	ds, err := ReadLibSVM(strings.NewReader(in), "x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 2 {
+		t.Fatalf("parsed %d examples", len(ds.Train))
+	}
+	if ds.Dim != 3 { // max index 3 (1-based) → dim 3
+		t.Fatalf("inferred dim = %d", ds.Dim)
+	}
+	if ds.Train[0].Features.Idx[0] != 0 { // 1-based → 0-based
+		t.Fatal("index base conversion wrong")
+	}
+	for _, bad := range []string{"x 1:1\n", "1 0:1\n", "1 1:x\n", "1 nocolon\n", "1 2:1 # ok\n1 9:1\n"} {
+		if _, err := ReadLibSVM(strings.NewReader(bad), "x", 5); err == nil {
+			t.Fatalf("bad input %q accepted", bad)
+		}
+	}
+}
+
+func TestGenerateRatings(t *testing.T) {
+	spec := NetflixSpec(1)
+	spec.Train = 5000
+	spec.Test = 500
+	ds, err := GenerateRatings(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 5000 || len(ds.Test) != 500 {
+		t.Fatalf("sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+	for _, r := range ds.Train {
+		if r.User < 0 || int(r.User) >= ds.Users || r.Item < 0 || int(r.Item) >= ds.Items {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("score out of [1,5]: %v", r.Score)
+		}
+	}
+	ds.SortByItem()
+	for i := 1; i < len(ds.Train); i++ {
+		if ds.Train[i-1].Item > ds.Train[i].Item {
+			t.Fatal("SortByItem did not sort")
+		}
+	}
+	if _, err := GenerateRatings(RatingsSpec{}); err == nil {
+		t.Fatal("empty ratings spec should fail")
+	}
+}
+
+func TestGenerateClicks(t *testing.T) {
+	spec := KDD12Spec(1)
+	spec.Train = 3000
+	spec.Test = 500
+	spec.Dim = 500
+	ds, err := GenerateClicks(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 3000 {
+		t.Fatalf("train size %d", len(ds.Train))
+	}
+	pos := 0
+	for _, ex := range ds.Train {
+		if ex.Label == 1 {
+			pos++
+		} else if ex.Label != -1 {
+			t.Fatalf("bad label %v", ex.Label)
+		}
+		if ex.Features.NNZ() != spec.NNZ {
+			t.Fatalf("nnz %d", ex.Features.NNZ())
+		}
+	}
+	ctr := float64(pos) / float64(len(ds.Train))
+	if ctr < spec.CTR-0.12 || ctr > spec.CTR+0.12 {
+		t.Fatalf("CTR = %v, want ≈ %v", ctr, spec.CTR)
+	}
+	if _, err := GenerateClicks(ClickSpec{}); err == nil {
+		t.Fatal("empty click spec should fail")
+	}
+}
+
+func TestReadLibSVMShard(t *testing.T) {
+	spec := ClassificationSpec{Name: "t", Dim: 20, Train: 10, NNZ: 3, Seed: 4}
+	ds, _ := GenerateClassification(spec)
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	total := 0
+	for rank := 0; rank < 3; rank++ {
+		shard, err := ReadLibSVMShard(strings.NewReader(raw), "t", 20, rank, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(shard.Train)
+		// Round-robin assignment: shard examples are originals rank, rank+3, …
+		for j, ex := range shard.Train {
+			orig := ds.Train[rank+3*j]
+			if ex.Label != orig.Label || ex.Features.NNZ() != orig.Features.NNZ() {
+				t.Fatalf("rank %d shard example %d mismatched", rank, j)
+			}
+		}
+	}
+	if total != 10 {
+		t.Fatalf("shards cover %d examples, want 10", total)
+	}
+	if _, err := ReadLibSVMShard(strings.NewReader(raw), "t", 20, 3, 3); err == nil {
+		t.Fatal("out-of-range rank should fail")
+	}
+}

@@ -1,0 +1,110 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"malt/internal/ml/linalg"
+)
+
+// ReadLibSVM parses examples in libsvm format — "label idx:val idx:val …",
+// one example per line, 1-based feature indices, '#' comments stripped —
+// the interchange format of the paper's SVM datasets (RCV1, PASCAL suite).
+// dim caps the dimensionality; pass 0 to infer it from the data.
+func ReadLibSVM(r io.Reader, name string, dim int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	ds := &Dataset{Name: name, Dim: dim}
+	lineNo := 0
+	maxIdx := int32(-1)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad label %q: %v", lineNo, fields[0], err)
+		}
+		sv := &linalg.SparseVector{}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("data: line %d: bad feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("data: line %d: bad index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad value %q: %v", lineNo, f[colon+1:], err)
+			}
+			zeroIdx := int32(idx - 1) // libsvm is 1-based
+			if zeroIdx > maxIdx {
+				maxIdx = zeroIdx
+			}
+			sv.Append(zeroIdx, val)
+		}
+		ds.Train = append(ds.Train, Example{Features: sv, Label: label})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading libsvm input: %w", err)
+	}
+	if ds.Dim == 0 {
+		ds.Dim = int(maxIdx) + 1
+	} else if int(maxIdx) >= ds.Dim {
+		return nil, fmt.Errorf("data: feature index %d exceeds declared dimension %d", maxIdx+1, ds.Dim)
+	}
+	return ds, nil
+}
+
+// WriteLibSVM writes examples in libsvm format (1-based indices).
+func WriteLibSVM(w io.Writer, examples []Example) error {
+	bw := bufio.NewWriter(w)
+	for _, ex := range examples {
+		if _, err := fmt.Fprintf(bw, "%g", ex.Label); err != nil {
+			return err
+		}
+		for i, idx := range ex.Features.Idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", idx+1, ex.Features.Val[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibSVMShard parses a libsvm stream but keeps only this rank's shard:
+// example i is kept when i % total == rank. This is how MALT replicas load
+// a dataset that exceeds any single machine's memory from the shared file
+// system — each process streams the whole file but materializes 1/total of
+// it (§3: "each process loads a portion of data depending on the number of
+// processes").
+func ReadLibSVMShard(r io.Reader, name string, dim, rank, total int) (*Dataset, error) {
+	if total <= 0 || rank < 0 || rank >= total {
+		return nil, fmt.Errorf("data: shard rank %d of %d out of range", rank, total)
+	}
+	full, err := ReadLibSVM(r, name, dim)
+	if err != nil {
+		return nil, err
+	}
+	shard := &Dataset{Name: name, Dim: full.Dim}
+	for i, ex := range full.Train {
+		if i%total == rank {
+			shard.Train = append(shard.Train, ex)
+		}
+	}
+	return shard, nil
+}

@@ -1,0 +1,50 @@
+package data
+
+import "fmt"
+
+// Shard returns the half-open [Lo, Hi) range of examples assigned to one
+// rank when n examples are split evenly across total ranks. The first
+// n%total ranks receive one extra example, so every example is assigned
+// exactly once and shard sizes differ by at most one.
+func Shard(n, rank, total int) (lo, hi int) {
+	if total <= 0 || rank < 0 || rank >= total {
+		panic(fmt.Sprintf("data: Shard(n=%d, rank=%d, total=%d) out of range", n, rank, total))
+	}
+	base := n / total
+	extra := n % total
+	lo = rank*base + min(rank, extra)
+	size := base
+	if rank < extra {
+		size++
+	}
+	return lo, lo + size
+}
+
+// ShardOver assigns a range to rank when only the ranks listed in alive
+// remain: the dead ranks' data is redistributed across the survivors
+// (paper §3.3: "a failed replica is removed from the parameter mixing step
+// and its data is redistributed to other replicas"). rank must appear in
+// alive; alive must be sorted ascending.
+func ShardOver(n, rank int, alive []int) (lo, hi int, err error) {
+	pos := -1
+	for i, r := range alive {
+		if i > 0 && alive[i-1] >= r {
+			return 0, 0, fmt.Errorf("data: ShardOver alive list not sorted: %v", alive)
+		}
+		if r == rank {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return 0, 0, fmt.Errorf("data: rank %d not in alive list %v", rank, alive)
+	}
+	lo, hi = Shard(n, pos, len(alive))
+	return lo, hi, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

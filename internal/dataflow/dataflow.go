@@ -1,0 +1,291 @@
+// Package dataflow describes which MALT replicas send model updates to
+// which peers.
+//
+// A Graph is a directed adjacency over ranks 0..N-1: an edge A→B means that
+// when A scatters a model update, B receives it in its per-sender queue for
+// A. The paper (§3.4) ships two pre-built dataflows — ALL, where every node
+// sends to every other node (O(N²) updates per iteration), and HALTON, where
+// node i sends to the ⌈log₂ N⌉ peers selected by the Halton sequence
+// (O(N log N) updates) — and lets developers pass arbitrary graphs as long
+// as they are connected, so updates from every node eventually reach every
+// other node directly or through intermediates.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind names a pre-built dataflow.
+type Kind int
+
+const (
+	// All sends every node's updates to every other node.
+	All Kind = iota
+	// Halton sends each node's updates to ~log2(N) peers chosen by the
+	// Halton sequence, dispersing updates uniformly across the cluster.
+	Halton
+	// Ring sends each node's updates to its successor only (k=1). It is the
+	// cheapest connected dataflow and the slowest to disseminate; used in
+	// ablations.
+	Ring
+	// MasterSlave sends every worker's updates to rank 0 and rank 0's
+	// updates to every worker, modeling a parameter-server-style star.
+	MasterSlave
+	// Custom marks a graph built from an explicit adjacency.
+	Custom
+)
+
+// String returns the lower-case name used in flags and bench labels.
+func (k Kind) String() string {
+	switch k {
+	case All:
+		return "all"
+	case Halton:
+		return "halton"
+	case Ring:
+		return "ring"
+	case MasterSlave:
+		return "masterslave"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a flag string to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "all":
+		return All, nil
+	case "halton":
+		return Halton, nil
+	case "ring":
+		return Ring, nil
+	case "masterslave":
+		return MasterSlave, nil
+	default:
+		return 0, fmt.Errorf("dataflow: unknown kind %q", s)
+	}
+}
+
+// Graph is a directed communication graph over ranks 0..N-1.
+// Graphs are immutable once built; rebuilding after a failure produces a
+// new Graph over the survivor ranks.
+type Graph struct {
+	kind Kind
+	n    int
+	out  [][]int // out[i] = sorted ranks that i sends to
+	in   [][]int // in[i] = sorted ranks that send to i
+}
+
+// New builds one of the pre-defined dataflows over n ranks.
+func New(kind Kind, n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataflow: need at least 1 rank, got %d", n)
+	}
+	out := make([][]int, n)
+	switch kind {
+	case All:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j != i {
+					out[i] = append(out[i], j)
+				}
+			}
+		}
+	case Halton:
+		for i := 0; i < n; i++ {
+			out[i] = haltonPeers(i, n)
+		}
+	case Ring:
+		if n > 1 {
+			for i := 0; i < n; i++ {
+				out[i] = []int{(i + 1) % n}
+			}
+		}
+	case MasterSlave:
+		for i := 1; i < n; i++ {
+			out[i] = []int{0}
+			out[0] = append(out[0], i)
+		}
+	default:
+		return nil, fmt.Errorf("dataflow: New does not build kind %v; use FromAdjacency", kind)
+	}
+	return build(kind, n, out)
+}
+
+// FromAdjacency builds a custom graph from an explicit out-neighbour list.
+// adj[i] lists the ranks that rank i sends updates to. Self-edges and
+// duplicate edges are rejected.
+func FromAdjacency(adj [][]int) (*Graph, error) {
+	n := len(adj)
+	if n == 0 {
+		return nil, fmt.Errorf("dataflow: empty adjacency")
+	}
+	out := make([][]int, n)
+	for i, peers := range adj {
+		seen := make(map[int]bool, len(peers))
+		for _, p := range peers {
+			if p < 0 || p >= n {
+				return nil, fmt.Errorf("dataflow: rank %d has out-of-range peer %d (n=%d)", i, p, n)
+			}
+			if p == i {
+				return nil, fmt.Errorf("dataflow: rank %d has a self-edge", i)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("dataflow: rank %d lists peer %d twice", i, p)
+			}
+			seen[p] = true
+			out[i] = append(out[i], p)
+		}
+	}
+	return build(Custom, n, out)
+}
+
+func build(kind Kind, n int, out [][]int) (*Graph, error) {
+	in := make([][]int, n)
+	for i := range out {
+		sort.Ints(out[i])
+		for _, j := range out[i] {
+			in[j] = append(in[j], i)
+		}
+	}
+	for i := range in {
+		sort.Ints(in[i])
+	}
+	return &Graph{kind: kind, n: n, out: out, in: in}, nil
+}
+
+// Kind reports which pre-built dataflow this graph is (Custom otherwise).
+func (g *Graph) Kind() Kind { return g.kind }
+
+// N returns the number of ranks.
+func (g *Graph) N() int { return g.n }
+
+// SendPeers returns the ranks that rank i scatters updates to.
+// The returned slice must not be modified.
+func (g *Graph) SendPeers(i int) []int { return g.out[i] }
+
+// RecvPeers returns the ranks whose updates arrive at rank i.
+// The returned slice must not be modified.
+func (g *Graph) RecvPeers(i int) []int { return g.in[i] }
+
+// Edges returns the total number of directed edges, i.e. the number of
+// update messages transmitted per scatter round across the whole cluster.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, peers := range g.out {
+		total += len(peers)
+	}
+	return total
+}
+
+// Connected reports whether the graph is strongly connected when treating
+// each directed edge as reaching its receiver: every node's updates must be
+// able to reach every other node directly or indirectly (the paper's
+// "eventual dissemination" requirement). For n==1 it is trivially true.
+func (g *Graph) Connected() bool {
+	if g.n == 1 {
+		return true
+	}
+	// Strong connectivity via two BFS passes: forward from 0 and along
+	// reversed edges from 0.
+	return g.reaches(g.out) && g.reaches(g.in)
+}
+
+func (g *Graph) reaches(adj [][]int) bool {
+	seen := make([]bool, g.n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// DisseminationRounds returns, for each rank, the maximum number of scatter
+// rounds before that rank's update has reached all other ranks (the graph
+// eccentricity), or -1 if some rank is unreachable. ALL graphs return 1;
+// HALTON graphs return O(log N); rings return N-1.
+func (g *Graph) DisseminationRounds() int {
+	worst := 0
+	for src := 0; src < g.n; src++ {
+		dist := make([]int, g.n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.out[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// RemoveRank returns a new graph over n-1 ranks with the given rank deleted
+// and the remaining ranks renumbered densely (preserving order). Edges
+// into or out of the failed rank are dropped; the dataflow kind is
+// recomputed for the pre-built kinds so the survivor graph keeps the same
+// communication structure (this mirrors MALT's recovery, which rebuilds
+// send/receive lists over the survivors rather than patching the old graph).
+func (g *Graph) RemoveRank(failed int) (*Graph, error) {
+	if failed < 0 || failed >= g.n {
+		return nil, fmt.Errorf("dataflow: RemoveRank %d out of range (n=%d)", failed, g.n)
+	}
+	if g.n == 1 {
+		return nil, fmt.Errorf("dataflow: cannot remove the last rank")
+	}
+	if g.kind != Custom {
+		return New(g.kind, g.n-1)
+	}
+	renum := make([]int, g.n)
+	next := 0
+	for i := 0; i < g.n; i++ {
+		if i == failed {
+			renum[i] = -1
+			continue
+		}
+		renum[i] = next
+		next++
+	}
+	adj := make([][]int, g.n-1)
+	for i := 0; i < g.n; i++ {
+		if i == failed {
+			continue
+		}
+		for _, p := range g.out[i] {
+			if p == failed {
+				continue
+			}
+			adj[renum[i]] = append(adj[renum[i]], renum[p])
+		}
+	}
+	return FromAdjacency(adj)
+}

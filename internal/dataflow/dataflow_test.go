@@ -1,0 +1,284 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllGraph(t *testing.T) {
+	g, err := New(All, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 30 {
+		t.Fatalf("All(6) edges = %d, want 30", g.Edges())
+	}
+	if !g.Connected() {
+		t.Fatal("All graph must be connected")
+	}
+	if r := g.DisseminationRounds(); r != 1 {
+		t.Fatalf("All dissemination = %d, want 1", r)
+	}
+	for i := 0; i < 6; i++ {
+		if len(g.SendPeers(i)) != 5 || len(g.RecvPeers(i)) != 5 {
+			t.Fatalf("rank %d peers: send=%v recv=%v", i, g.SendPeers(i), g.RecvPeers(i))
+		}
+	}
+}
+
+func TestHaltonGraphPaperExample(t *testing.T) {
+	// Paper §3.4, Fig 3: N=6, each node sends to log2(6)≈3... the figure
+	// shows 2 out-edges per node for N=6 (to N/2+i and N/4+i).
+	g, err := New(Halton, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := HaltonFanout(6)
+	for i := 0; i < 6; i++ {
+		if len(g.SendPeers(i)) != k {
+			t.Fatalf("rank %d out-degree = %d, want %d", i, len(g.SendPeers(i)), k)
+		}
+	}
+	// Node 0's first two peers follow the Halton offsets N/2=3, N/4≈2.
+	p := g.SendPeers(0)
+	has := func(x int) bool {
+		for _, v := range p {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(3) {
+		t.Fatalf("rank 0 should send to offset N/2=3, got %v", p)
+	}
+	if !g.Connected() {
+		t.Fatal("Halton graph must be connected")
+	}
+}
+
+func TestHaltonEdgeGrowth(t *testing.T) {
+	// Total updates per round must be O(N log N), strictly below all-to-all.
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		h, err := New(Halton, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(All, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 4 && h.Edges() >= a.Edges() {
+			t.Fatalf("n=%d: Halton edges %d not below All edges %d", n, h.Edges(), a.Edges())
+		}
+		if h.Edges() != n*HaltonFanout(n) {
+			t.Fatalf("n=%d: edges %d != n*k %d", n, h.Edges(), n*HaltonFanout(n))
+		}
+	}
+}
+
+func TestHaltonConnectedUpTo128(t *testing.T) {
+	for n := 1; n <= 128; n++ {
+		g, err := New(Halton, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("Halton(%d) not connected", n)
+		}
+		if r := g.DisseminationRounds(); r < 0 {
+			t.Fatalf("Halton(%d) does not disseminate", n)
+		}
+	}
+}
+
+func TestRingGraph(t *testing.T) {
+	g, err := New(Ring, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 5 {
+		t.Fatalf("Ring(5) edges = %d", g.Edges())
+	}
+	if r := g.DisseminationRounds(); r != 4 {
+		t.Fatalf("Ring(5) dissemination = %d, want 4", r)
+	}
+	if !g.Connected() {
+		t.Fatal("ring must be connected")
+	}
+}
+
+func TestMasterSlaveGraph(t *testing.T) {
+	g, err := New(MasterSlave, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.SendPeers(0)) != 3 {
+		t.Fatalf("master sends to %v", g.SendPeers(0))
+	}
+	for i := 1; i < 4; i++ {
+		p := g.SendPeers(i)
+		if len(p) != 1 || p[0] != 0 {
+			t.Fatalf("worker %d sends to %v", i, p)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("master-slave must be connected")
+	}
+}
+
+func TestSingleRankGraphs(t *testing.T) {
+	for _, k := range []Kind{All, Halton, Ring, MasterSlave} {
+		g, err := New(k, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if g.Edges() != 0 {
+			t.Fatalf("%v(1) edges = %d", k, g.Edges())
+		}
+		if !g.Connected() {
+			t.Fatalf("%v(1) should be trivially connected", k)
+		}
+	}
+}
+
+func TestFromAdjacencyValidation(t *testing.T) {
+	cases := map[string][][]int{
+		"self edge":    {{0}},
+		"out of range": {{5}, {0}},
+		"duplicate":    {{1, 1}, {0}},
+	}
+	for name, adj := range cases {
+		if _, err := FromAdjacency(adj); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	g, err := FromAdjacency([][]int{{1}, {2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("3-cycle should be connected")
+	}
+}
+
+func TestDisconnectedGraphDetected(t *testing.T) {
+	// Two isolated pairs.
+	g, err := FromAdjacency([][]int{{1}, {0}, {3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.DisseminationRounds() != -1 {
+		t.Fatal("dissemination should be -1 for disconnected graph")
+	}
+}
+
+func TestRemoveRank(t *testing.T) {
+	g, err := New(Halton, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.RemoveRank(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 7 {
+		t.Fatalf("survivor graph N = %d", s.N())
+	}
+	if !s.Connected() {
+		t.Fatal("survivor graph must remain connected")
+	}
+	if _, err := g.RemoveRank(99); err == nil {
+		t.Fatal("out-of-range removal should fail")
+	}
+}
+
+func TestRemoveRankCustom(t *testing.T) {
+	g, err := FromAdjacency([][]int{{1, 2}, {2, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.RemoveRank(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 || !s.Connected() {
+		t.Fatalf("custom survivor graph wrong: n=%d connected=%v", s.N(), s.Connected())
+	}
+}
+
+func TestHaltonSequenceValues(t *testing.T) {
+	h := HaltonSequence(2, 6)
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375}
+	for i, w := range want {
+		if diff := h[i] - w; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("Halton[%d] = %v, want %v", i, h[i], w)
+		}
+	}
+}
+
+func TestHaltonSequenceProperty(t *testing.T) {
+	// All values in (0,1), all distinct for a reasonable prefix.
+	f := func(n uint8) bool {
+		count := int(n%64) + 1
+		h := HaltonSequence(2, count)
+		seen := make(map[float64]bool)
+		for _, v := range h {
+			if v <= 0 || v >= 1 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{All, Halton, Ring, MasterSlave} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind(bogus) should fail")
+	}
+}
+
+func TestHaltonDisseminationLogarithmic(t *testing.T) {
+	// Halton updates must reach every node within a handful of rounds —
+	// the eventual-dissemination promise with low eccentricity.
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		g, err := New(Halton, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := g.DisseminationRounds()
+		// Generous bound: 3·log2(N) rounds.
+		limit := 3 * HaltonFanout(n)
+		if rounds <= 0 || rounds > limit {
+			t.Fatalf("Halton(%d) disseminates in %d rounds, want (0,%d]", n, rounds, limit)
+		}
+	}
+}
+
+func TestEdgesSymmetricDegreesHalton(t *testing.T) {
+	// Circulant construction: every rank has identical in- and out-degree.
+	g, err := New(Halton, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := HaltonFanout(24)
+	for r := 0; r < 24; r++ {
+		if len(g.SendPeers(r)) != k || len(g.RecvPeers(r)) != k {
+			t.Fatalf("rank %d degrees: out=%d in=%d, want %d",
+				r, len(g.SendPeers(r)), len(g.RecvPeers(r)), k)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dataflow
+
+import "math"
+
+// HaltonSequence returns the first count elements of the Halton sequence
+// with the given base (≥2): the radical inverse of 1, 2, 3, … in that base.
+// Values lie in (0, 1) and fill the unit interval with low discrepancy,
+// which is exactly the property MALT exploits to pick peer sets that
+// disperse model updates uniformly across the cluster (§3.4: the base-2
+// sequence N/2, N/4, 3N/4, N/8, 3N/8, …).
+func HaltonSequence(base, count int) []float64 {
+	if base < 2 {
+		panic("dataflow: Halton base must be >= 2")
+	}
+	out := make([]float64, count)
+	for i := 1; i <= count; i++ {
+		out[i-1] = radicalInverse(i, base)
+	}
+	return out
+}
+
+func radicalInverse(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// HaltonFanout returns the per-node out-degree used by the HALTON dataflow:
+// ⌈log₂ N⌉, with a floor of 1 so two-node clusters stay connected.
+func HaltonFanout(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	k := int(math.Ceil(math.Log2(float64(n))))
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// haltonOffsets returns the k ring offsets used by every rank in the HALTON
+// dataflow over n ranks: round(h_j · n) mod n for successive base-2 Halton
+// values h_j (1/2, 1/4, 3/4, 1/8, …), i.e. the paper's
+// N/2, N/4, 3N/4, N/8, 3N/8, … sequence. Because every rank uses the same
+// offsets, the graph is a circulant graph, which is connected iff
+// gcd(n, offsets…) = 1; when the first k offsets share a factor with n
+// (e.g. n=8 gives {4,2,6}, all even), we keep walking the Halton sequence —
+// whose later terms are odd multiples of n/2^m — until the set is coprime,
+// replacing the coarsest redundant offset. The developer-facing guarantee
+// (paper §3.4) is that the pre-built dataflow is always connected.
+func haltonOffsets(n int) []int {
+	if n <= 1 {
+		return nil
+	}
+	k := HaltonFanout(n)
+	offsets := make([]int, 0, k)
+	seen := make(map[int]bool)
+	take := func(off int) bool {
+		off %= n
+		if off == 0 || seen[off] {
+			return false
+		}
+		seen[off] = true
+		offsets = append(offsets, off)
+		return true
+	}
+	h := HaltonSequence(2, 8*k+16)
+	i := 0
+	for ; i < len(h) && len(offsets) < k; i++ {
+		take(int(math.Round(h[i] * float64(n))))
+	}
+	// Connectivity: the circulant graph over these offsets is connected iff
+	// gcd(n, offsets…) == 1. If not, swap the last offset for the next
+	// Halton offset (or unit offset) that restores coprimality.
+	for gcdAll(n, offsets) != 1 {
+		replaced := false
+		for ; i < len(h); i++ {
+			cand := int(math.Round(h[i]*float64(n))) % n
+			if cand == 0 || seen[cand] {
+				continue
+			}
+			trial := append(append([]int(nil), offsets[:len(offsets)-1]...), cand)
+			if gcdAll(n, trial) == 1 {
+				seen[cand] = true
+				offsets = trial
+				replaced = true
+				i++
+				break
+			}
+		}
+		if !replaced {
+			// Degenerate tiny-n fallback: offset 1 always connects.
+			if !seen[1] {
+				offsets[len(offsets)-1] = 1
+			}
+			break
+		}
+	}
+	return offsets
+}
+
+func gcdAll(n int, offs []int) int {
+	g := n
+	for _, o := range offs {
+		g = gcd(g, o)
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// haltonPeers returns the sorted list of peers that rank i sends updates to
+// in the HALTON dataflow over n ranks: (i + offset) mod n for each Halton
+// offset. Offsetting by the sender's own rank makes the scheme symmetric:
+// every node sends to and receives from exactly k peers.
+func haltonPeers(i, n int) []int {
+	offs := haltonOffsets(n)
+	peers := make([]int, 0, len(offs))
+	for _, off := range offs {
+		peers = append(peers, (i+off)%n)
+	}
+	return peers
+}

@@ -1,0 +1,182 @@
+package dstorm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"malt/internal/dataflow"
+)
+
+// AddSegment implements the extension sketched in the paper's conclusion:
+// "primitives such as fetch_and_add can be used to perform gradient
+// averaging in hardware". Instead of per-sender receive queues that the
+// host averages after the fact, an AddSegment keeps a single accumulator
+// per rank; a one-sided scatter *adds* the update into every receiver's
+// accumulator at deposit time (what an RDMA fetch-and-add NIC would do),
+// and the local Drain fetches the running (sum, count) and resets it.
+//
+// Compared to queue-based averaging this removes the gather-side decode
+// and fold entirely and never overwrites updates (they merge instead), at
+// the cost of losing per-sender provenance: no staleness filtering, no
+// replace-style UDFs — averaging only. The ablation benchmarks quantify
+// the trade.
+type AddSegment struct {
+	node  *Node
+	name  string
+	dim   int
+	graph *dataflow.Graph
+
+	sendMu sync.Mutex
+	send   []int
+	iter   uint64
+
+	mu    sync.Mutex // the "NIC" lock guarding the accumulator
+	acc   []float64
+	count int
+
+	encBuf []byte
+}
+
+// addKey names the fabric registration of an AddSegment.
+func addKey(name string) string { return "dstorm-add/" + name }
+
+// CreateAddSegment collectively creates a fetch-and-add segment holding a
+// dim-length accumulator on every rank. Like CreateSegment it blocks until
+// all live ranks have created it.
+func (n *Node) CreateAddSegment(name string, dim int, graph *dataflow.Graph) (*AddSegment, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("dstorm: AddSegment dim must be positive, got %d", dim)
+	}
+	if graph == nil {
+		return nil, fmt.Errorf("dstorm: AddSegment requires a dataflow graph")
+	}
+	if graph.N() != n.cluster.fab.Ranks() {
+		return nil, fmt.Errorf("dstorm: graph covers %d ranks but fabric has %d", graph.N(), n.cluster.fab.Ranks())
+	}
+	s := &AddSegment{
+		node:   n,
+		name:   name,
+		dim:    dim,
+		graph:  graph,
+		send:   append([]int(nil), graph.SendPeers(n.rank)...),
+		acc:    make([]float64, dim),
+		encBuf: make([]byte, 8*dim),
+	}
+	if err := n.cluster.fab.Register(n.rank, addKey(name), s.handleAdd); err != nil {
+		return nil, err
+	}
+	if err := n.cluster.creationBarrier("add/"+name, n.rank); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// handleAdd is the one-sided deposit: it runs on the sender's goroutine
+// (or the TCP receive goroutine) and merges the update into the
+// accumulator — the simulated fetch-and-add.
+func (s *AddSegment) handleAdd(from int, payload []byte) error {
+	if len(payload) != 8*s.dim {
+		return fmt.Errorf("dstorm: AddSegment %q: payload %d bytes, want %d", s.name, len(payload), 8*s.dim)
+	}
+	s.mu.Lock()
+	for i := 0; i < s.dim; i++ {
+		s.acc[i] += math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// Scatter adds vals into every dataflow peer's accumulator, returning the
+// peers whose writes failed.
+func (s *AddSegment) Scatter(vals []float64, iter uint64) (failed []int, err error) {
+	if len(vals) != s.dim {
+		return nil, fmt.Errorf("dstorm: AddSegment scatter of %d values, want %d", len(vals), s.dim)
+	}
+	s.sendMu.Lock()
+	peers := append([]int(nil), s.send...)
+	s.iter = iter
+	buf := s.encBuf
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	s.sendMu.Unlock()
+
+	key := addKey(s.name)
+	for _, p := range peers {
+		if werr := s.node.write(p, key, buf); werr != nil {
+			failed = append(failed, p)
+		}
+	}
+	return failed, nil
+}
+
+// AddLocal merges this rank's own contribution into its accumulator, so a
+// subsequent Drain averages self together with the peers (the fold
+// Average performs for queue segments).
+func (s *AddSegment) AddLocal(vals []float64) error {
+	if len(vals) != s.dim {
+		return fmt.Errorf("dstorm: AddLocal of %d values, want %d", len(vals), s.dim)
+	}
+	s.mu.Lock()
+	for i, v := range vals {
+		s.acc[i] += v
+	}
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// Drain writes the average of everything accumulated since the last drain
+// into avg and resets the accumulator, returning how many contributions
+// were merged. With zero contributions avg is left untouched.
+func (s *AddSegment) Drain(avg []float64) (int, error) {
+	if len(avg) != s.dim {
+		return 0, fmt.Errorf("dstorm: Drain into %d values, want %d", len(avg), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0, nil
+	}
+	inv := 1 / float64(s.count)
+	for i := range avg {
+		avg[i] = s.acc[i] * inv
+		s.acc[i] = 0
+	}
+	n := s.count
+	s.count = 0
+	return n, nil
+}
+
+// Pending returns the number of undrained contributions.
+func (s *AddSegment) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// RemovePeer drops a failed rank from the send list.
+func (s *AddSegment) RemovePeer(rank int) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	out := s.send[:0]
+	for _, p := range s.send {
+		if p != rank {
+			out = append(out, p)
+		}
+	}
+	s.send = out
+}
+
+// Barrier blocks until every live rank reaches it.
+func (s *AddSegment) Barrier() error {
+	return s.node.cluster.barrier("add/"+s.name, s.node.rank)
+}
+
+// Close unregisters the segment.
+func (s *AddSegment) Close() error {
+	return s.node.cluster.fab.Unregister(s.node.rank, addKey(s.name))
+}

@@ -1,0 +1,244 @@
+package dstorm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"malt/internal/dataflow"
+	"malt/internal/fabric"
+)
+
+func newAddSegments(t *testing.T, ranks, dim int) (*Cluster, []*AddSegment) {
+	t.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(f)
+	g, err := dataflow.New(dataflow.All, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*AddSegment, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			segs[r], errs[r] = c.Node(r).CreateAddSegment("g", dim, g)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, segs
+}
+
+func TestAddSegmentAveragesInHardware(t *testing.T) {
+	_, segs := newAddSegments(t, 3, 2)
+	// Each rank contributes [rank+1, 10*(rank+1)] to every peer and itself.
+	for r, s := range segs {
+		vals := []float64{float64(r + 1), 10 * float64(r+1)}
+		if err := s.AddLocal(vals); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Scatter(vals, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every rank drains the average of all three contributions: mean(1,2,3)=2.
+	for r, s := range segs {
+		avg := make([]float64, 2)
+		n, err := s.Drain(avg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 3 {
+			t.Fatalf("rank %d merged %d contributions, want 3", r, n)
+		}
+		if math.Abs(avg[0]-2) > 1e-12 || math.Abs(avg[1]-20) > 1e-12 {
+			t.Fatalf("rank %d avg = %v", r, avg)
+		}
+	}
+}
+
+func TestAddSegmentDrainResets(t *testing.T) {
+	_, segs := newAddSegments(t, 2, 1)
+	if err := segs[0].AddLocal([]float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	avg := []float64{0}
+	if n, _ := segs[0].Drain(avg); n != 1 || avg[0] != 4 {
+		t.Fatalf("drain = %d, %v", n, avg)
+	}
+	avg[0] = 99
+	if n, _ := segs[0].Drain(avg); n != 0 || avg[0] != 99 {
+		t.Fatalf("empty drain should leave avg untouched: %d, %v", n, avg)
+	}
+	if segs[0].Pending() != 0 {
+		t.Fatal("pending should be 0 after drain")
+	}
+}
+
+func TestAddSegmentUpdatesMergeNotOverwrite(t *testing.T) {
+	// Unlike ring queues, many scatters before a drain all merge.
+	_, segs := newAddSegments(t, 2, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := segs[0].Scatter([]float64{1}, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := segs[1].Pending(); got != 10 {
+		t.Fatalf("pending = %d, want 10 (no overwrites)", got)
+	}
+	avg := []float64{0}
+	if n, _ := segs[1].Drain(avg); n != 10 || avg[0] != 1 {
+		t.Fatalf("drain = %d, %v", n, avg)
+	}
+}
+
+func TestAddSegmentValidation(t *testing.T) {
+	f, _ := fabric.New(fabric.Config{Ranks: 1})
+	c := NewCluster(f)
+	g1, _ := dataflow.New(dataflow.All, 1)
+	if _, err := c.Node(0).CreateAddSegment("g", 0, g1); err == nil {
+		t.Fatal("dim=0 should fail")
+	}
+	if _, err := c.Node(0).CreateAddSegment("g", 4, nil); err == nil {
+		t.Fatal("nil graph should fail")
+	}
+	s, err := c.Node(0).CreateAddSegment("g", 4, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scatter(make([]float64, 3), 1); err == nil {
+		t.Fatal("wrong scatter length should fail")
+	}
+	if err := s.AddLocal(make([]float64, 3)); err == nil {
+		t.Fatal("wrong AddLocal length should fail")
+	}
+	if _, err := s.Drain(make([]float64, 3)); err == nil {
+		t.Fatal("wrong drain length should fail")
+	}
+}
+
+func TestAddSegmentFailedPeerReported(t *testing.T) {
+	c, segs := newAddSegments(t, 3, 1)
+	if err := c.Fabric().Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := segs[0].Scatter([]float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed = %v", failed)
+	}
+	segs[0].RemovePeer(2)
+	failed, err = segs[0].Scatter([]float64{1}, 2)
+	if err != nil || failed != nil {
+		t.Fatalf("after removal: failed=%v err=%v", failed, err)
+	}
+}
+
+func TestAddSegmentConcurrentDeposits(t *testing.T) {
+	_, segs := newAddSegments(t, 4, 8)
+	var wg sync.WaitGroup
+	const rounds = 25
+	for r := 1; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			vals := make([]float64, 8)
+			for i := range vals {
+				vals[i] = float64(r)
+			}
+			for i := 0; i < rounds; i++ {
+				if _, err := segs[r].Scatter(vals, uint64(i+1)); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Rank 0 received rounds deposits from each of 3 peers: sum = rounds*(1+2+3).
+	avg := make([]float64, 8)
+	n, err := segs[0].Drain(avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*rounds {
+		t.Fatalf("merged %d, want %d", n, 3*rounds)
+	}
+	want := float64(rounds*(1+2+3)) / float64(3*rounds)
+	if math.Abs(avg[0]-want) > 1e-12 {
+		t.Fatalf("avg = %v, want %v", avg[0], want)
+	}
+}
+
+func TestAddSegmentDistributedSGDConverges(t *testing.T) {
+	// Gradient averaging through fetch-and-add: minimize ‖w − target‖² on
+	// 3 ranks; all replicas must converge to the target.
+	const dim = 4
+	target := []float64{1, -2, 0.5, 3}
+	_, segs := newAddSegments(t, 3, dim)
+	var wg sync.WaitGroup
+	finals := make([][]float64, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := segs[r]
+			w := make([]float64, dim)
+			grad := make([]float64, dim)
+			avg := make([]float64, dim)
+			for it := 0; it < 60; it++ {
+				for i := range grad {
+					grad[i] = 2 * (w[i] - target[i])
+				}
+				if err := s.AddLocal(grad); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Scatter(grad, uint64(it+1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				copy(avg, grad)
+				if _, err := s.Drain(avg); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range w {
+					w[i] -= 0.2 * avg[i]
+				}
+				if err := s.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			finals[r] = w
+		}(r)
+	}
+	wg.Wait()
+	for r, w := range finals {
+		if w == nil {
+			t.Fatal("missing result")
+		}
+		for i := range target {
+			if math.Abs(w[i]-target[i]) > 0.01 {
+				t.Fatalf("rank %d w[%d] = %v, want %v", r, i, w[i], target[i])
+			}
+		}
+	}
+}

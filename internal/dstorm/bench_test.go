@@ -1,0 +1,138 @@
+package dstorm
+
+import (
+	"sync"
+	"testing"
+
+	"malt/internal/dataflow"
+	"malt/internal/fabric"
+)
+
+func benchCluster(b *testing.B, ranks int, opts SegmentOptions) []*Segment {
+	b.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCluster(f)
+	if opts.Graph == nil {
+		g, err := dataflow.New(dataflow.All, ranks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Graph = g
+	}
+	segs := make([]*Segment, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := c.Node(r).CreateSegment("bench", opts)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			segs[r] = s
+		}(r)
+	}
+	wg.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+	return segs
+}
+
+// BenchmarkScatterLatency measures one scatter of a model-sized update to
+// a single peer (the paper's 1–3 µs RDMA write, here a locked memcpy).
+func BenchmarkScatterLatency(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(byteSize(size), func(b *testing.B) {
+			segs := benchCluster(b, 2, SegmentOptions{ObjectSize: size, QueueLen: 2})
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := segs[0].Scatter(payload, uint64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatherLatency measures the local fold side.
+func BenchmarkGatherLatency(b *testing.B) {
+	const size = 1 << 16
+	segs := benchCluster(b, 2, SegmentOptions{ObjectSize: size, QueueLen: 2})
+	payload := make([]byte, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segs[0].Scatter(payload, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := segs[1].Gather(GatherLatest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarrier measures a full-cluster barrier round.
+func BenchmarkBarrier(b *testing.B) {
+	for _, ranks := range []int{2, 8} {
+		b.Run(byteSize(ranks)+"ranks", func(b *testing.B) {
+			segs := benchCluster(b, ranks, SegmentOptions{ObjectSize: 8})
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for r := 0; r < ranks; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if err := segs[r].Barrier(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkChunkedVsAtomicWrite quantifies the cost of the chunked
+// (torn-read-capable) deposit against a single-lock atomic copy.
+func BenchmarkChunkedVsAtomicWrite(b *testing.B) {
+	const size = 1 << 16
+	for name, chunk := range map[string]int{"chunked4k": 4096, "atomic": -1} {
+		b.Run(name, func(b *testing.B) {
+			segs := benchCluster(b, 2, SegmentOptions{ObjectSize: size, QueueLen: 2, ChunkSize: chunk})
+			payload := make([]byte, size)
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := segs[0].Scatter(payload, uint64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1MiB"
+	case n >= 1<<16:
+		return "64KiB"
+	case n >= 1<<10:
+		return "1KiB"
+	default:
+		if n == 2 {
+			return "2"
+		}
+		return "8"
+	}
+}

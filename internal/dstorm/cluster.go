@@ -1,0 +1,288 @@
+package dstorm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"malt/internal/fabric"
+)
+
+// ErrDead is returned by collective operations invoked from a rank that has
+// been marked dead.
+var ErrDead = errors.New("dstorm: rank is dead")
+
+// Cluster coordinates collective operations (segment creation, barriers)
+// between the dstorm nodes sharing one fabric. It plays the role of the
+// synchronous group-operation layer that GASPI provides in the paper's
+// implementation.
+type Cluster struct {
+	fab *fabric.Fabric
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nodes    []*Node
+	barriers map[string]*barrierState
+}
+
+type barrierState struct {
+	gen     uint64
+	arrived map[int]bool
+	// pruned records ranks whose pending arrival was removed because they
+	// died or left the partition group while the barrier was forming. A
+	// pruned rank must not mistake the group's subsequent release for its
+	// own: it re-enters the barrier (under its new group) instead.
+	pruned map[int]bool
+}
+
+// NewCluster creates the coordination layer over a fabric and one Node per
+// rank.
+func NewCluster(f *fabric.Fabric) *Cluster {
+	c := &Cluster{
+		fab:      f,
+		barriers: make(map[string]*barrierState),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.nodes = make([]*Node, f.Ranks())
+	for i := range c.nodes {
+		c.nodes[i] = &Node{cluster: c, rank: i}
+	}
+	// Liveness changes must wake barrier waiters so they can re-evaluate
+	// the set of ranks they are waiting for.
+	f.OnLivenessChange(func(rank int, alive bool) {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	return c
+}
+
+// Fabric returns the underlying fabric.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Node returns the dstorm endpoint for the given rank.
+func (c *Cluster) Node(rank int) *Node { return c.nodes[rank] }
+
+// barrier implements a generation-counted barrier over the live ranks
+// *reachable from the caller*. Barriers are scoped to the caller's
+// partition group: under a network partition each side's barrier releases
+// independently (each side believes the other dead, per §3.3), and after a
+// heal the groups merge back into one barrier. Ranks that die while the
+// barrier is forming are excluded on the fly (the liveness watcher
+// broadcasts, and waiters recount).
+func (c *Cluster) barrier(name string, rank int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if !c.fab.Alive(rank) {
+			return ErrDead
+		}
+		group := c.fab.GroupOf(rank)
+		key := fmt.Sprintf("%s@%d", name, group)
+		st := c.barriers[key]
+		if st == nil {
+			st = &barrierState{arrived: make(map[int]bool), pruned: make(map[int]bool)}
+			c.barriers[key] = st
+		}
+		delete(st.pruned, rank) // re-entering: any stale prune is consumed
+		st.arrived[rank] = true
+		gen := st.gen
+		if c.barrierComplete(st, group) {
+			st.gen++
+			st.arrived = make(map[int]bool)
+			c.cond.Broadcast()
+			return nil
+		}
+		c.cond.Wait()
+		if st.pruned[rank] {
+			// We were removed from this barrier (death pruning or group
+			// change) while waiting; a generation bump here was the OLD
+			// group releasing without us. Re-enter under the current
+			// topology.
+			delete(st.pruned, rank)
+			continue
+		}
+		if st.gen != gen {
+			// Our group's barrier released while we waited (our arrival
+			// was part of the completed set — otherwise we'd be pruned).
+			return nil
+		}
+		if c.fab.GroupOf(rank) != group {
+			// Topology changed under us before anyone pruned: migrate to
+			// the new group's barrier on the next loop iteration.
+			delete(st.arrived, rank)
+			c.cond.Broadcast()
+			continue
+		}
+		if !c.fab.Alive(rank) {
+			delete(st.arrived, rank)
+			c.cond.Broadcast()
+			return ErrDead
+		}
+	}
+}
+
+// barrierComplete reports whether every live rank of the given partition
+// group has arrived. Arrivals of ranks that died or left the group are
+// pruned — and remembered as pruned, so those ranks re-enter instead of
+// mistaking this group's release for their own.
+func (c *Cluster) barrierComplete(st *barrierState, group int) bool {
+	for r := range st.arrived {
+		if !c.fab.Alive(r) || c.fab.GroupOf(r) != group {
+			delete(st.arrived, r)
+			st.pruned[r] = true
+		}
+	}
+	waiting := 0
+	for _, r := range c.fab.AliveRanks() {
+		if c.fab.GroupOf(r) != group {
+			continue
+		}
+		waiting++
+		if !st.arrived[r] {
+			return false
+		}
+	}
+	return waiting > 0
+}
+
+// Barrier is a cluster-wide barrier independent of any segment (the paper's
+// g.barrier() maps to a segment barrier; this one serves the runtime).
+func (c *Cluster) Barrier(rank int) error {
+	return c.barrier("cluster", rank)
+}
+
+// creationBarrier synchronizes segment creation: all live ranks must create
+// the segment before any of them may scatter into it.
+func (c *Cluster) creationBarrier(segName string, rank int) error {
+	return c.barrier("create/"+segName, rank)
+}
+
+// SendMode selects synchronous or queued (asynchronous) scatters.
+type SendMode int
+
+const (
+	// SendSync performs fabric writes on the caller's goroutine.
+	SendSync SendMode = iota
+	// SendAsync enqueues writes to a per-node sender queue drained by a
+	// dedicated goroutine (the simulated NIC DMA engine). A full queue
+	// blocks the caller — the back-pressure behaviour of §3.1.
+	SendAsync
+)
+
+// Node is one rank's dstorm endpoint.
+type Node struct {
+	cluster *Cluster
+	rank    int
+
+	sendMu   sync.Mutex
+	mode     SendMode
+	sendq    chan sendReq
+	sendDone chan struct{}
+
+	failMu      sync.Mutex
+	asyncFailed map[int]int // peer → count of failed async writes
+}
+
+type sendReq struct {
+	to      int
+	key     string
+	payload []byte
+}
+
+// Rank returns this endpoint's rank.
+func (n *Node) Rank() int { return n.rank }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// EnableAsyncSend switches the node to queued sends with the given queue
+// depth. The sender-side queue lets training proceed while updates drain,
+// and exerts back-pressure when the network falls behind. Must be disabled
+// with DisableAsyncSend before the node is discarded.
+func (n *Node) EnableAsyncSend(depth int) {
+	if depth <= 0 {
+		depth = 64
+	}
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	if n.mode == SendAsync {
+		return
+	}
+	n.mode = SendAsync
+	n.sendq = make(chan sendReq, depth)
+	n.sendDone = make(chan struct{})
+	go n.drainSends(n.sendq, n.sendDone)
+}
+
+// DisableAsyncSend flushes the queue and returns to synchronous sends.
+func (n *Node) DisableAsyncSend() {
+	n.sendMu.Lock()
+	if n.mode != SendAsync {
+		n.sendMu.Unlock()
+		return
+	}
+	q, done := n.sendq, n.sendDone
+	n.mode = SendSync
+	n.sendq = nil
+	n.sendDone = nil
+	n.sendMu.Unlock()
+	close(q)
+	<-done
+}
+
+func (n *Node) drainSends(q chan sendReq, done chan struct{}) {
+	defer close(done)
+	for req := range q {
+		if err := n.cluster.fab.Write(n.rank, req.to, req.key, req.payload); err != nil {
+			n.failMu.Lock()
+			if n.asyncFailed == nil {
+				n.asyncFailed = make(map[int]int)
+			}
+			n.asyncFailed[req.to]++
+			n.failMu.Unlock()
+		}
+	}
+}
+
+// AsyncFailures returns and clears the peers whose asynchronous writes have
+// failed since the last call. The fault monitor polls this — "a fault
+// monitor on every node examines the return values of asynchronous writes
+// to sender-side queues" (§3.3).
+func (n *Node) AsyncFailures() []int {
+	n.failMu.Lock()
+	defer n.failMu.Unlock()
+	if len(n.asyncFailed) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(n.asyncFailed))
+	for p := range n.asyncFailed {
+		out = append(out, p)
+	}
+	n.asyncFailed = nil
+	return out
+}
+
+// write sends via the current mode. Async mode copies the payload (the
+// caller reuses its encode buffer) and reports failures via AsyncFailures.
+func (n *Node) write(to int, key string, payload []byte) error {
+	n.sendMu.Lock()
+	mode, q := n.mode, n.sendq
+	n.sendMu.Unlock()
+	if mode == SendSync {
+		return n.cluster.fab.Write(n.rank, to, key, payload)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	q <- sendReq{to: to, key: key, payload: cp}
+	return nil
+}
+
+// Ping probes a peer through the fabric.
+func (n *Node) Ping(to int) error { return n.cluster.fab.Ping(n.rank, to) }
+
+// Alive reports whether this node's rank is alive on the fabric.
+func (n *Node) Alive() bool { return n.cluster.fab.Alive(n.rank) }
+
+// String implements fmt.Stringer for debugging.
+func (n *Node) String() string { return fmt.Sprintf("dstorm.Node(rank=%d)", n.rank) }

@@ -1,0 +1,499 @@
+// Package fabric simulates the one-sided RDMA interconnect that MALT runs
+// on (the paper used GASPI over 56 Gbps Mellanox InfiniBand).
+//
+// The fabric connects N ranks. Each rank registers named, remotely writable
+// memory (in MALT, dstorm segments). A Write is one-sided: the copy into the
+// destination's registered memory executes on the *sender's* goroutine — no
+// receiver loop, channel, or scheduler hand-off is involved, mirroring how
+// an RDMA NIC deposits bytes into registered memory without interrupting
+// the remote host CPU.
+//
+// What the simulation preserves from real hardware:
+//
+//   - One-sided semantics: receivers discover new data only by reading
+//     their own memory (polling a version word), never by being notified.
+//   - Cost: every Write is charged base latency + size/bandwidth against a
+//     per-link modeled-time counter, and per-link byte/message counters
+//     feed the paper's network-traffic experiments (Fig 13). Optionally the
+//     sender can be made to actually stall for the modeled duration.
+//   - Failure behaviour: writes to a dead or partitioned rank fail with
+//     ErrUnreachable, exactly the signal MALT's fault monitors key off.
+//
+// What it does not preserve: absolute microsecond timings of a physical
+// NIC. All experiments report relative behaviour between configurations
+// that share this substrate.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Common fabric errors.
+var (
+	// ErrUnreachable is returned by Write and Ping when the destination is
+	// dead or separated by a network partition.
+	ErrUnreachable = errors.New("fabric: destination unreachable")
+	// ErrNotRegistered is returned when writing to a key the destination
+	// never registered.
+	ErrNotRegistered = errors.New("fabric: no such registered memory")
+	// ErrSenderDead is returned when a dead rank attempts an operation;
+	// fault injectors use it to make a "killed" replica inert.
+	ErrSenderDead = errors.New("fabric: sender is dead")
+)
+
+// WriteHandler receives a one-sided write into registered memory. It runs
+// on the sender's goroutine. Implementations (dstorm segments) must be safe
+// for concurrent invocation from many senders and must not block
+// indefinitely: an RDMA write always lands.
+type WriteHandler func(from int, payload []byte) error
+
+// DelayMode selects whether modeled network time is actually imposed on the
+// sender or only accounted.
+type DelayMode int
+
+const (
+	// DelayNone only accounts modeled time; Writes return immediately after
+	// the copy. Default: fastest, preserves relative byte/ops shapes.
+	DelayNone DelayMode = iota
+	// DelaySleep makes the sender sleep for the modeled duration. Suitable
+	// when modeled durations are ≫ the scheduler's sleep granularity.
+	DelaySleep
+	// DelaySpin makes the sender busy-wait for the modeled duration,
+	// burning sender CPU exactly as a polling RDMA driver would.
+	DelaySpin
+)
+
+// Config describes the simulated interconnect.
+type Config struct {
+	// Ranks is the number of endpoints (model replicas / processes).
+	Ranks int
+	// Latency is the one-way base cost of a write, before size costs.
+	// The paper's InfiniBand measured 1–3 µs; default 1.5 µs.
+	Latency time.Duration
+	// Bandwidth is the per-link throughput in bytes/second used by the
+	// cost model. Default 5 GB/s (≈40 Gbps achieved on the paper's 56 Gbps
+	// links after encoding overhead).
+	Bandwidth float64
+	// Delay selects whether modeled time is imposed or only accounted.
+	Delay DelayMode
+	// Transport selects in-process delivery (default) or loopback TCP.
+	Transport Transport
+}
+
+func (c *Config) setDefaults() {
+	if c.Latency == 0 {
+		c.Latency = 1500 * time.Nanosecond
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 5 << 30 // 5 GiB/s
+	}
+}
+
+// Fabric is the simulated interconnect. All methods are safe for concurrent
+// use by all ranks.
+type Fabric struct {
+	cfg   Config
+	stats *Stats
+
+	mu       sync.RWMutex
+	regs     []map[string]WriteHandler // per-rank registered memory
+	dead     []bool
+	group    []int // partition group id per rank; writes cross groups fail
+	liveness []func(rank int, alive bool)
+
+	tcp *tcpFabric // non-nil in TCP transport mode
+}
+
+// New creates a fabric connecting cfg.Ranks endpoints, all alive and in one
+// partition group.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("fabric: need at least one rank, got %d", cfg.Ranks)
+	}
+	cfg.setDefaults()
+	f := &Fabric{
+		cfg:   cfg,
+		stats: newStats(cfg.Ranks),
+		regs:  make([]map[string]WriteHandler, cfg.Ranks),
+		dead:  make([]bool, cfg.Ranks),
+		group: make([]int, cfg.Ranks),
+	}
+	for i := range f.regs {
+		f.regs[i] = make(map[string]WriteHandler)
+	}
+	if cfg.Transport == TCP {
+		tcp, err := newTCPFabric(f)
+		if err != nil {
+			return nil, err
+		}
+		f.tcp = tcp
+	}
+	return f, nil
+}
+
+// Close releases transport resources (TCP listeners and connections). The
+// in-process transport holds none; Close is then a no-op.
+func (f *Fabric) Close() error {
+	if f.tcp != nil {
+		f.tcp.close()
+	}
+	return nil
+}
+
+// Ranks returns the number of endpoints, including dead ones.
+func (f *Fabric) Ranks() int { return f.cfg.Ranks }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns the fabric's traffic counters.
+func (f *Fabric) Stats() *Stats { return f.stats }
+
+// Register installs remotely writable memory named key on rank. Re-registering
+// an existing key replaces the handler (MALT re-registers the RDMA interface
+// with old memory descriptors during failure recovery, invalidating writes
+// from zombies).
+func (f *Fabric) Register(rank int, key string, h WriteHandler) error {
+	if err := f.checkRank(rank); err != nil {
+		return err
+	}
+	if h == nil {
+		return fmt.Errorf("fabric: nil handler for %q on rank %d", key, rank)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.regs[rank][key] = h
+	return nil
+}
+
+// Unregister removes remotely writable memory named key from rank.
+func (f *Fabric) Unregister(rank int, key string) error {
+	if err := f.checkRank(rank); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.regs[rank], key)
+	return nil
+}
+
+// Write performs a one-sided write of payload into the memory registered as
+// key on rank to. It runs entirely on the caller's goroutine, charges the
+// cost model, and fails with ErrUnreachable if to is dead or partitioned
+// away from from.
+func (f *Fabric) Write(from, to int, key string, payload []byte) error {
+	if err := f.checkRank(from); err != nil {
+		return err
+	}
+	if err := f.checkRank(to); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	senderDead := f.dead[from]
+	reachable := !f.dead[to] && f.group[from] == f.group[to]
+	h := f.regs[to][key]
+	f.mu.RUnlock()
+
+	if senderDead {
+		return ErrSenderDead
+	}
+	if !reachable {
+		f.stats.addFailed(from, to)
+		return fmt.Errorf("%w: rank %d -> rank %d", ErrUnreachable, from, to)
+	}
+	if h == nil {
+		return fmt.Errorf("%w: %q on rank %d", ErrNotRegistered, key, to)
+	}
+
+	cost := f.modelCost(len(payload))
+	f.stats.addTransfer(from, to, len(payload), cost)
+	f.impose(cost)
+	if f.tcp != nil {
+		return f.tcp.write(from, to, key, payload)
+	}
+	return h(from, payload)
+}
+
+// Ping performs a synchronous health probe from one rank to another,
+// charging one round trip. Fault monitors use it for the cluster health
+// check after observing failed writes.
+func (f *Fabric) Ping(from, to int) error {
+	if err := f.checkRank(from); err != nil {
+		return err
+	}
+	if err := f.checkRank(to); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	senderDead := f.dead[from]
+	ok := !f.dead[to] && f.group[from] == f.group[to]
+	f.mu.RUnlock()
+	if senderDead {
+		return ErrSenderDead
+	}
+	cost := 2 * f.cfg.Latency
+	f.stats.addControl(from, to, cost)
+	f.impose(cost)
+	if !ok {
+		return fmt.Errorf("%w: ping rank %d -> rank %d", ErrUnreachable, from, to)
+	}
+	return nil
+}
+
+// Kill marks rank dead. Subsequent writes to it fail; writes from it return
+// ErrSenderDead. Liveness watchers are notified.
+func (f *Fabric) Kill(rank int) error {
+	return f.setDead(rank, true)
+}
+
+// Revive marks rank alive again (a machine rejoining after repair). MALT's
+// recovery protocol guards against such zombies by re-registering segments;
+// tests use Revive to exercise that path.
+func (f *Fabric) Revive(rank int) error {
+	return f.setDead(rank, false)
+}
+
+func (f *Fabric) setDead(rank int, dead bool) error {
+	if err := f.checkRank(rank); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	changed := f.dead[rank] != dead
+	f.dead[rank] = dead
+	watchers := append([]func(int, bool){}, f.liveness...)
+	f.mu.Unlock()
+	if changed {
+		for _, w := range watchers {
+			w(rank, !dead)
+		}
+	}
+	return nil
+}
+
+// Alive reports whether rank is alive.
+func (f *Fabric) Alive(rank int) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return rank >= 0 && rank < f.cfg.Ranks && !f.dead[rank]
+}
+
+// AliveRanks returns the sorted list of live ranks.
+func (f *Fabric) AliveRanks() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []int
+	for i, d := range f.dead {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OnLivenessChange registers a callback invoked whenever a rank dies or
+// revives. Callbacks run on the goroutine that called Kill/Revive and must
+// not call back into liveness mutation.
+func (f *Fabric) OnLivenessChange(fn func(rank int, alive bool)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.liveness = append(f.liveness, fn)
+}
+
+// Partition splits the fabric into isolated groups: groups[i] lists the
+// ranks in group i. Ranks not mentioned keep group 0. Writes and pings
+// across groups fail with ErrUnreachable. Liveness watchers are notified
+// (with each rank's current aliveness) so group operations blocked on the
+// old topology re-evaluate.
+func (f *Fabric) Partition(groups [][]int) error {
+	f.mu.Lock()
+	for i := range f.group {
+		f.group[i] = 0
+	}
+	for gid, ranks := range groups {
+		for _, r := range ranks {
+			if r < 0 || r >= f.cfg.Ranks {
+				f.mu.Unlock()
+				return fmt.Errorf("fabric: partition rank %d out of range", r)
+			}
+			f.group[r] = gid
+		}
+	}
+	watchers := append([]func(int, bool){}, f.liveness...)
+	f.mu.Unlock()
+	f.notifyTopology(watchers)
+	return nil
+}
+
+// Heal removes all partitions and notifies liveness watchers.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	for i := range f.group {
+		f.group[i] = 0
+	}
+	watchers := append([]func(int, bool){}, f.liveness...)
+	f.mu.Unlock()
+	f.notifyTopology(watchers)
+}
+
+// notifyTopology re-announces every rank's aliveness so watchers (barrier
+// waiters) reconsider who they are waiting for after a topology change.
+func (f *Fabric) notifyTopology(watchers []func(int, bool)) {
+	for _, w := range watchers {
+		for r := 0; r < f.cfg.Ranks; r++ {
+			w(r, f.Alive(r))
+		}
+	}
+}
+
+// GroupOf returns the partition group id of a rank (0 when unpartitioned).
+func (f *Fabric) GroupOf(rank int) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if rank < 0 || rank >= f.cfg.Ranks {
+		return 0
+	}
+	return f.group[rank]
+}
+
+// Reachable reports whether two live ranks can currently communicate.
+func (f *Fabric) Reachable(a, b int) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if a < 0 || a >= f.cfg.Ranks || b < 0 || b >= f.cfg.Ranks {
+		return false
+	}
+	return !f.dead[a] && !f.dead[b] && f.group[a] == f.group[b]
+}
+
+func (f *Fabric) checkRank(rank int) error {
+	if rank < 0 || rank >= f.cfg.Ranks {
+		return fmt.Errorf("fabric: rank %d out of range [0,%d)", rank, f.cfg.Ranks)
+	}
+	return nil
+}
+
+// modelCost returns the modeled wire time for a payload of n bytes.
+func (f *Fabric) modelCost(n int) time.Duration {
+	return f.cfg.Latency + time.Duration(float64(n)/f.cfg.Bandwidth*float64(time.Second))
+}
+
+func (f *Fabric) impose(d time.Duration) {
+	switch f.cfg.Delay {
+	case DelaySleep:
+		time.Sleep(d)
+	case DelaySpin:
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+		}
+	}
+}
+
+// Stats accumulates per-link traffic counters. All counters are atomic and
+// may be read while the fabric is in use.
+type Stats struct {
+	n        int
+	bytes    []atomic.Uint64 // [from*n+to]
+	messages []atomic.Uint64
+	failed   []atomic.Uint64
+	modelNs  []atomic.Uint64 // modeled network time, data + control
+}
+
+func newStats(n int) *Stats {
+	return &Stats{
+		n:        n,
+		bytes:    make([]atomic.Uint64, n*n),
+		messages: make([]atomic.Uint64, n*n),
+		failed:   make([]atomic.Uint64, n*n),
+		modelNs:  make([]atomic.Uint64, n*n),
+	}
+}
+
+func (s *Stats) addTransfer(from, to, bytes int, cost time.Duration) {
+	i := from*s.n + to
+	s.bytes[i].Add(uint64(bytes))
+	s.messages[i].Add(1)
+	s.modelNs[i].Add(uint64(cost))
+}
+
+func (s *Stats) addControl(from, to int, cost time.Duration) {
+	s.modelNs[from*s.n+to].Add(uint64(cost))
+}
+
+func (s *Stats) addFailed(from, to int) {
+	s.failed[from*s.n+to].Add(1)
+}
+
+// BytesSent returns the total payload bytes rank sent to all peers.
+func (s *Stats) BytesSent(rank int) uint64 {
+	var total uint64
+	for to := 0; to < s.n; to++ {
+		total += s.bytes[rank*s.n+to].Load()
+	}
+	return total
+}
+
+// BytesReceived returns the total payload bytes rank received.
+func (s *Stats) BytesReceived(rank int) uint64 {
+	var total uint64
+	for from := 0; from < s.n; from++ {
+		total += s.bytes[from*s.n+rank].Load()
+	}
+	return total
+}
+
+// TotalBytes returns payload bytes moved across the whole fabric.
+func (s *Stats) TotalBytes() uint64 {
+	var total uint64
+	for i := range s.bytes {
+		total += s.bytes[i].Load()
+	}
+	return total
+}
+
+// TotalMessages returns the number of successful writes across the fabric.
+func (s *Stats) TotalMessages() uint64 {
+	var total uint64
+	for i := range s.messages {
+		total += s.messages[i].Load()
+	}
+	return total
+}
+
+// FailedWrites returns the number of writes that failed with ErrUnreachable.
+func (s *Stats) FailedWrites() uint64 {
+	var total uint64
+	for i := range s.failed {
+		total += s.failed[i].Load()
+	}
+	return total
+}
+
+// ModeledNetworkTime returns the summed modeled wire time across all links.
+// On a real cluster links run in parallel, so this is an upper bound on
+// elapsed network time and a faithful measure of traffic volume in seconds.
+func (s *Stats) ModeledNetworkTime() time.Duration {
+	var total uint64
+	for i := range s.modelNs {
+		total += s.modelNs[i].Load()
+	}
+	return time.Duration(total)
+}
+
+// LinkBytes returns payload bytes sent from one rank to another.
+func (s *Stats) LinkBytes(from, to int) uint64 {
+	return s.bytes[from*s.n+to].Load()
+}
+
+// Reset zeroes all counters (used between benchmark phases).
+func (s *Stats) Reset() {
+	for i := range s.bytes {
+		s.bytes[i].Store(0)
+		s.messages[i].Store(0)
+		s.failed[i].Store(0)
+		s.modelNs[i].Store(0)
+	}
+}

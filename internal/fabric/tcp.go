@@ -1,0 +1,224 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Transport selects how one-sided writes move between ranks.
+type Transport int
+
+const (
+	// InProc delivers writes by direct memory copy on the sender's
+	// goroutine — the default, closest to real RDMA semantics.
+	InProc Transport = iota
+	// TCP delivers writes over loopback TCP sockets: every rank owns a
+	// listener, senders keep one persistent connection per peer, and each
+	// write is a framed message acknowledged by the receiver. The handler
+	// runs on the receiver's connection goroutine — the moral equivalent
+	// of the NIC's DMA engine, still never the training loop. Use it to
+	// exercise real serialization, syscall and kernel-networking costs.
+	TCP
+)
+
+// String returns the transport name.
+func (t Transport) String() string {
+	if t == TCP {
+		return "tcp"
+	}
+	return "inproc"
+}
+
+// frame layout: u32 payloadLen | u32 from | u16 keyLen | key | payload,
+// answered by a single status byte (0 ok, 1 error).
+const (
+	tcpStatusOK  = 0
+	tcpStatusErr = 1
+)
+
+// tcpFabric carries the TCP-mode state of a Fabric.
+type tcpFabric struct {
+	fab       *Fabric
+	listeners []net.Listener
+
+	mu    sync.Mutex
+	conns map[int]map[int]*tcpConn // from → to → connection
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// tcpConn serializes writes on one (from, to) link.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func newTCPFabric(f *Fabric) (*tcpFabric, error) {
+	t := &tcpFabric{
+		fab:       f,
+		listeners: make([]net.Listener, f.cfg.Ranks),
+		conns:     make(map[int]map[int]*tcpConn),
+		done:      make(chan struct{}),
+	}
+	for rank := 0; rank < f.cfg.Ranks; rank++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("fabric: tcp listen for rank %d: %w", rank, err)
+		}
+		t.listeners[rank] = ln
+		t.wg.Add(1)
+		go t.acceptLoop(rank, ln)
+	}
+	return t, nil
+}
+
+func (t *tcpFabric) acceptLoop(rank int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				// Listener failed unexpectedly; the rank becomes silently
+				// unreachable, which peers observe as failed writes.
+				return
+			}
+		}
+		t.wg.Add(1)
+		go t.serveConn(rank, conn)
+	}
+}
+
+// serveConn is the receiver-side "DMA engine": it deposits incoming writes
+// into registered memory and acknowledges each.
+func (t *tcpFabric) serveConn(rank int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [10]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		from := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		keyLen := int(binary.LittleEndian.Uint16(hdr[8:10]))
+		if payloadLen > 1<<30 || keyLen > 4096 {
+			return // corrupt frame; drop the link
+		}
+		buf := make([]byte, keyLen+int(payloadLen))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		key := string(buf[:keyLen])
+		payload := buf[keyLen:]
+
+		t.fab.mu.RLock()
+		h := t.fab.regs[rank][key]
+		t.fab.mu.RUnlock()
+
+		status := byte(tcpStatusOK)
+		if h == nil || h(from, payload) != nil {
+			status = tcpStatusErr
+		}
+		if _, err := conn.Write([]byte{status}); err != nil {
+			return
+		}
+	}
+}
+
+// write sends one framed write and waits for the ack.
+func (t *tcpFabric) write(from, to int, key string, payload []byte) error {
+	conn, err := t.conn(from, to)
+	if err != nil {
+		return fmt.Errorf("%w: rank %d -> rank %d: %v", ErrUnreachable, from, to, err)
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+
+	hdr := make([]byte, 10+len(key))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(from))
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(len(key)))
+	copy(hdr[10:], key)
+	if _, err := conn.c.Write(hdr); err != nil {
+		t.drop(from, to)
+		return fmt.Errorf("%w: rank %d -> rank %d: %v", ErrUnreachable, from, to, err)
+	}
+	if _, err := conn.c.Write(payload); err != nil {
+		t.drop(from, to)
+		return fmt.Errorf("%w: rank %d -> rank %d: %v", ErrUnreachable, from, to, err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn.c, status[:]); err != nil {
+		t.drop(from, to)
+		return fmt.Errorf("%w: rank %d -> rank %d: %v", ErrUnreachable, from, to, err)
+	}
+	if status[0] != tcpStatusOK {
+		return fmt.Errorf("%w: write rejected by rank %d", ErrNotRegistered, to)
+	}
+	return nil
+}
+
+func (t *tcpFabric) conn(from, to int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.conns[from]; m != nil {
+		if c := m[to]; c != nil {
+			return c, nil
+		}
+	}
+	ln := t.listeners[to]
+	if ln == nil {
+		return nil, errors.New("no listener")
+	}
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	if t.conns[from] == nil {
+		t.conns[from] = make(map[int]*tcpConn)
+	}
+	tc := &tcpConn{c: c}
+	t.conns[from][to] = tc
+	return tc, nil
+}
+
+func (t *tcpFabric) drop(from, to int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.conns[from]; m != nil {
+		if c := m[to]; c != nil {
+			c.c.Close()
+			delete(m, to)
+		}
+	}
+}
+
+func (t *tcpFabric) close() {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+	default:
+		close(t.done)
+	}
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, m := range t.conns {
+		for _, c := range m {
+			c.c.Close()
+		}
+	}
+	t.conns = make(map[int]map[int]*tcpConn)
+	t.mu.Unlock()
+	t.wg.Wait()
+}

@@ -1,0 +1,261 @@
+// Package fault implements MALT's fail-stop fault tolerance (paper §3.3).
+//
+// A Monitor runs on every rank. The training loop reports the peers whose
+// one-sided writes failed; the monitor then performs a synchronous health
+// check of the cluster together with the other monitors it can still
+// reach. A suspect is confirmed dead only when no reachable healthy
+// monitor can reach it either — a rank that others can still talk to is a
+// transient link problem, not a failure. On confirmation, the survivors
+// form a new group: registered callbacks rebuild send/receive lists and
+// redistribute the dead rank's training data, group operations (barriers)
+// skip the dead, and training resumes. Under a network partition each side
+// independently confirms the other side dead and resumes training — the
+// paper's documented behaviour.
+//
+// Monitors also trap local failures: Guard converts a panic in the
+// training loop (the moral equivalent of the paper's processor exceptions:
+// divide-by-zero, segfault) into a self-kill, and CheckModel detects
+// numeric corruption (NaN/Inf) before it is scattered to peers. Byzantine
+// failures — plausible-looking but wrong values — are explicitly out of
+// scope, as in the paper.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"malt/internal/fabric"
+	"malt/internal/ml/linalg"
+)
+
+// ErrCorruptModel is returned by CheckModel when the model contains
+// non-finite values.
+var ErrCorruptModel = errors.New("fault: model contains NaN or Inf")
+
+// ErrLocalFailure wraps a trapped panic from Guard.
+var ErrLocalFailure = errors.New("fault: local training failure")
+
+// Group couples the monitors of one cluster so they can run joint health
+// checks (in the paper the monitors talk over the network; here they share
+// the fabric, and cross-monitor probes are fabric pings so partitions and
+// death are respected).
+type Group struct {
+	fab      *fabric.Fabric
+	monitors []*Monitor
+}
+
+// NewGroup creates one Monitor per fabric rank.
+func NewGroup(fab *fabric.Fabric) *Group {
+	g := &Group{fab: fab}
+	g.monitors = make([]*Monitor, fab.Ranks())
+	for i := range g.monitors {
+		g.monitors[i] = &Monitor{group: g, rank: i, dead: make(map[int]bool)}
+	}
+	return g
+}
+
+// Monitor returns the fault monitor for a rank.
+func (g *Group) Monitor(rank int) *Monitor { return g.monitors[rank] }
+
+// Monitor is one rank's fault monitor.
+type Monitor struct {
+	group *Group
+	rank  int
+
+	mu      sync.Mutex
+	dead    map[int]bool // this monitor's confirmed-dead set
+	onDeath []func(rank int)
+}
+
+// Rank returns the monitor's rank.
+func (m *Monitor) Rank() int { return m.rank }
+
+// OnDeath registers a callback invoked (once per dead rank, on the
+// goroutine that confirmed the death) after a failure is confirmed and the
+// survivor group is formed. Callbacks rebuild send/receive lists and
+// redistribute data.
+func (m *Monitor) OnDeath(fn func(rank int)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onDeath = append(m.onDeath, fn)
+}
+
+// Alive reports this monitor's view of a rank (for consistency policies and
+// survivor lists). A rank is alive until a health check confirms otherwise.
+func (m *Monitor) Alive(rank int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.dead[rank]
+}
+
+// Survivors returns the sorted ranks this monitor believes are alive,
+// including itself.
+func (m *Monitor) Survivors() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for r := 0; r < m.group.fab.Ranks(); r++ {
+		if !m.dead[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConfirmedDead returns the sorted ranks this monitor has confirmed dead.
+func (m *Monitor) ConfirmedDead() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.dead))
+	for r := range m.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReportFailedWrites feeds the peers whose scatters failed into the
+// monitor. For each suspect, a cluster health check runs synchronously;
+// confirmed deaths fire the OnDeath callbacks. It returns the ranks newly
+// confirmed dead.
+func (m *Monitor) ReportFailedWrites(peers []int) []int {
+	var confirmed []int
+	for _, p := range peers {
+		if m.confirmDeath(p) {
+			confirmed = append(confirmed, p)
+		}
+	}
+	return confirmed
+}
+
+// confirmDeath runs the health check for one suspect and, if death is
+// confirmed, records it and fires callbacks. Returns true when the rank
+// transitioned to dead in this monitor's view.
+func (m *Monitor) confirmDeath(suspect int) bool {
+	m.mu.Lock()
+	if m.dead[suspect] || suspect == m.rank {
+		m.mu.Unlock()
+		return false
+	}
+	m.mu.Unlock()
+
+	if !m.healthCheck(suspect) {
+		return false // someone can still reach it: transient
+	}
+
+	m.mu.Lock()
+	if m.dead[suspect] {
+		m.mu.Unlock()
+		return false
+	}
+	m.dead[suspect] = true
+	callbacks := append([]func(int){}, m.onDeath...)
+	m.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(suspect)
+	}
+	return true
+}
+
+// healthCheck returns true when the suspect is unreachable from this rank
+// AND from every healthy monitor this rank can reach. The probes are
+// fabric pings, so they observe partitions exactly as data writes do.
+func (m *Monitor) healthCheck(suspect int) bool {
+	fab := m.group.fab
+	if err := fab.Ping(m.rank, suspect); err == nil {
+		return false
+	}
+	for r := 0; r < fab.Ranks(); r++ {
+		if r == m.rank || r == suspect {
+			continue
+		}
+		m.mu.Lock()
+		knownDead := m.dead[r]
+		m.mu.Unlock()
+		if knownDead {
+			continue
+		}
+		// Can we reach the helper monitor at all? If not it cannot vouch.
+		if err := fab.Ping(m.rank, r); err != nil {
+			continue
+		}
+		// Ask the helper to probe the suspect (its probe runs over the
+		// fabric from its own rank, so it sees its own partition view).
+		if err := fab.Ping(r, suspect); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Guard runs the training function, converting a panic (processor
+// exception) into an error and terminating the local replica: the rank is
+// killed on the fabric so peers detect it through failed writes, exactly
+// as if the process had crashed.
+func (m *Monitor) Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = m.group.fab.Kill(m.rank)
+			err = fmt.Errorf("%w: rank %d: %v", ErrLocalFailure, m.rank, r)
+		}
+	}()
+	return fn()
+}
+
+// CheckModel validates that a model or gradient is numerically sane. On
+// corruption the local replica is terminated (self-killed on the fabric)
+// and ErrCorruptModel returned: scalar corruption of values that remain
+// finite cannot be detected — the paper's stated limitation.
+func (m *Monitor) CheckModel(w []float64) error {
+	if linalg.AllFinite(w) {
+		return nil
+	}
+	_ = m.group.fab.Kill(m.rank)
+	return fmt.Errorf("%w: rank %d", ErrCorruptModel, m.rank)
+}
+
+// Watch starts a background watchdog that probes every peer each interval
+// and runs the confirmation protocol for unreachable ones, so failures are
+// detected even while the replica computes without communicating (the
+// paper's monitors run continuously, not only on failed writes). The
+// returned stop function terminates the watchdog and waits for it.
+func (m *Monitor) Watch(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			fab := m.group.fab
+			if !fab.Alive(m.rank) {
+				return // we are dead; nothing to watch
+			}
+			var suspects []int
+			for r := 0; r < fab.Ranks(); r++ {
+				if r == m.rank || !m.Alive(r) {
+					continue
+				}
+				if err := fab.Ping(m.rank, r); err != nil {
+					suspects = append(suspects, r)
+				}
+			}
+			if len(suspects) > 0 {
+				m.ReportFailedWrites(suspects)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

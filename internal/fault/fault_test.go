@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+func newGroup(t *testing.T, ranks int) (*fabric.Fabric, *Group) {
+	t.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewGroup(f)
+}
+
+func TestConfirmDeathOnKilledRank(t *testing.T) {
+	f, g := newGroup(t, 4)
+	if err := f.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	var deaths []int
+	m.OnDeath(func(r int) { deaths = append(deaths, r) })
+	confirmed := m.ReportFailedWrites([]int{3})
+	if len(confirmed) != 1 || confirmed[0] != 3 {
+		t.Fatalf("confirmed = %v", confirmed)
+	}
+	if len(deaths) != 1 || deaths[0] != 3 {
+		t.Fatalf("callbacks = %v", deaths)
+	}
+	if m.Alive(3) {
+		t.Fatal("rank 3 should be dead in monitor view")
+	}
+	surv := m.Survivors()
+	if len(surv) != 3 || surv[0] != 0 || surv[2] != 2 {
+		t.Fatalf("Survivors = %v", surv)
+	}
+	// Re-reporting is idempotent: no second confirmation or callback.
+	if again := m.ReportFailedWrites([]int{3}); again != nil {
+		t.Fatalf("re-report confirmed again: %v", again)
+	}
+	if len(deaths) != 1 {
+		t.Fatalf("callback fired twice: %v", deaths)
+	}
+}
+
+func TestTransientFailureNotConfirmed(t *testing.T) {
+	f, g := newGroup(t, 3)
+	// Rank 2 is alive; a spurious failed-write report must not kill it,
+	// because the health check can still reach it.
+	m := g.Monitor(0)
+	if confirmed := m.ReportFailedWrites([]int{2}); confirmed != nil {
+		t.Fatalf("live rank confirmed dead: %v", confirmed)
+	}
+	if !m.Alive(2) {
+		t.Fatal("live rank marked dead")
+	}
+	_ = f
+}
+
+func TestPartitionBothSidesProceed(t *testing.T) {
+	f, g := newGroup(t, 4)
+	if err := f.Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	m0 := g.Monitor(0)
+	m2 := g.Monitor(2)
+	// Side A confirms side B dead: nobody A can reach can reach rank 2.
+	if confirmed := m0.ReportFailedWrites([]int{2, 3}); len(confirmed) != 2 {
+		t.Fatalf("side A confirmed %v, want both of side B", confirmed)
+	}
+	if confirmed := m2.ReportFailedWrites([]int{0, 1}); len(confirmed) != 2 {
+		t.Fatalf("side B confirmed %v, want both of side A", confirmed)
+	}
+	if s := m0.Survivors(); len(s) != 2 || s[0] != 0 || s[1] != 1 {
+		t.Fatalf("side A survivors = %v", s)
+	}
+	if s := m2.Survivors(); len(s) != 2 || s[0] != 2 || s[1] != 3 {
+		t.Fatalf("side B survivors = %v", s)
+	}
+}
+
+func TestHealthCheckUsesPeersVouching(t *testing.T) {
+	f, g := newGroup(t, 3)
+	// Rank 0 is partitioned away from rank 2, but rank 1 bridges... no:
+	// partitions are transitive groups in our fabric, so emulate the
+	// "helper vouches" path with all alive and reachable: a report against
+	// a reachable rank is rejected immediately.
+	m := g.Monitor(0)
+	if m.healthCheck(2) {
+		t.Fatal("health check confirmed a reachable rank dead")
+	}
+	_ = f
+}
+
+func TestSelfReportIgnored(t *testing.T) {
+	_, g := newGroup(t, 2)
+	m := g.Monitor(0)
+	if confirmed := m.ReportFailedWrites([]int{0}); confirmed != nil {
+		t.Fatalf("self-report confirmed: %v", confirmed)
+	}
+}
+
+func TestGuardTrapsPanicsAndKillsSelf(t *testing.T) {
+	f, g := newGroup(t, 2)
+	m := g.Monitor(1)
+	err := m.Guard(func() error {
+		var x []int
+		_ = x[5] // index out of range: the "processor exception"
+		return nil
+	})
+	if !errors.Is(err, ErrLocalFailure) {
+		t.Fatalf("err = %v, want ErrLocalFailure", err)
+	}
+	if f.Alive(1) {
+		t.Fatal("rank should be dead on the fabric after a trapped panic")
+	}
+}
+
+func TestGuardPassesThroughNormalReturn(t *testing.T) {
+	f, g := newGroup(t, 2)
+	m := g.Monitor(0)
+	want := errors.New("training error")
+	if err := m.Guard(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	if !f.Alive(0) {
+		t.Fatal("normal return must not kill the rank")
+	}
+}
+
+func TestCheckModel(t *testing.T) {
+	f, g := newGroup(t, 2)
+	m := g.Monitor(0)
+	if err := m.CheckModel([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("finite model rejected: %v", err)
+	}
+	bad := []float64{1, 0, 0}
+	bad[1] = bad[1] / bad[2] // NaN via 0/0
+	if err := m.CheckModel(bad); !errors.Is(err, ErrCorruptModel) {
+		t.Fatalf("err = %v, want ErrCorruptModel", err)
+	}
+	if f.Alive(0) {
+		t.Fatal("corrupt rank should self-kill")
+	}
+}
+
+func TestConcurrentConfirmationsSingleCallback(t *testing.T) {
+	f, g := newGroup(t, 3)
+	if err := f.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	calls := make(chan int, 10)
+	m.OnDeath(func(r int) { calls <- r })
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			m.ReportFailedWrites([]int{2})
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	close(calls)
+	close(done)
+	n := 0
+	for range calls {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("OnDeath fired %d times, want 1", n)
+	}
+}
+
+func TestWatchdogDetectsDeathWithoutTraffic(t *testing.T) {
+	f, g := newGroup(t, 3)
+	m := g.Monitor(0)
+	detected := make(chan int, 1)
+	m.OnDeath(func(r int) { detected <- r })
+	stop := m.Watch(5 * time.Millisecond)
+	defer stop()
+	if err := f.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-detected:
+		if r != 2 {
+			t.Fatalf("detected rank %d, want 2", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never detected the death")
+	}
+	if m.Alive(2) {
+		t.Fatal("monitor still believes rank 2 alive")
+	}
+}
+
+func TestWatchdogStopTerminates(t *testing.T) {
+	_, g := newGroup(t, 2)
+	stop := g.Monitor(0).Watch(time.Millisecond)
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not terminate the watchdog")
+	}
+}
+
+func TestWatchdogExitsWhenSelfDies(t *testing.T) {
+	f, g := newGroup(t, 2)
+	m := g.Monitor(1)
+	stop := m.Watch(time.Millisecond)
+	defer stop()
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// The watchdog goroutine should exit on its own; stop() must still be
+	// safe to call (covered by the deferred stop).
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,146 @@
+// Package kmeans implements Lloyd's k-means — one of the gradient-descent-
+// family algorithms the paper lists as MALT targets (§2: "gradient descent
+// can be used for a wide-range of algorithms such as regression, k-means,
+// SVM, matrix factorization and neural networks").
+//
+// The distributed pattern differs instructively from SGD: each replica
+// computes *sufficient statistics* (per-cluster coordinate sums and
+// counts) over its shard, the statistics are exchanged with a Sum gather
+// (they are additive, unlike gradients which average), and every replica
+// recomputes identical centroids. One MALT vector holds sums‖counts so a
+// single scatter ships both.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"malt/internal/data"
+	"malt/internal/ml/linalg"
+)
+
+// Config parameterizes a clustering.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// Dim is the feature dimensionality.
+	Dim int
+}
+
+// Model holds the centroids. The distributed loops keep the sufficient
+// statistics in MALT vector storage; the model itself is replica-local.
+type Model struct {
+	cfg       Config
+	Centroids *linalg.Matrix // K×Dim
+}
+
+// New allocates a model with zeroed centroids; call Init or Seed.
+func New(cfg Config) (*Model, error) {
+	if cfg.K <= 0 || cfg.Dim <= 0 {
+		return nil, fmt.Errorf("kmeans: K and Dim must be positive, got %d/%d", cfg.K, cfg.Dim)
+	}
+	return &Model{cfg: cfg, Centroids: linalg.NewMatrix(cfg.K, cfg.Dim)}, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Init seeds the centroids from k distinct examples chosen deterministically
+// in seed (the "Forgy" initialization). All replicas must use the same seed
+// and the same dataset so they start identical.
+func (m *Model) Init(examples []data.Example, seed int64) error {
+	if len(examples) < m.cfg.K {
+		return fmt.Errorf("kmeans: %d examples for %d clusters", len(examples), m.cfg.K)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(examples))
+	for c := 0; c < m.cfg.K; c++ {
+		row := m.Centroids.Row(c)
+		linalg.Zero(row)
+		examples[perm[c]].Features.AxpyDense(1, row)
+	}
+	return nil
+}
+
+// Assign returns the nearest centroid to x by Euclidean distance, along
+// with the squared distance.
+func (m *Model) Assign(x *linalg.SparseVector) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	// ‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²; ‖x‖² is constant across c.
+	x2 := x.Norm2()
+	x2 *= x2
+	for c := 0; c < m.cfg.K; c++ {
+		row := m.Centroids.Row(c)
+		c2 := linalg.Dot(row, row)
+		d := x2 - 2*x.DotDense(row) + c2
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// StatsLen returns the length of the flat sufficient-statistics vector:
+// K×Dim coordinate sums followed by K counts.
+func (m *Model) StatsLen() int { return m.cfg.K*m.cfg.Dim + m.cfg.K }
+
+// Accumulate adds the sufficient statistics of the examples into stats
+// (layout per StatsLen). stats is not cleared first, so shards and peer
+// contributions merge by simple addition — the property that makes the
+// distributed exchange a Sum gather.
+func (m *Model) Accumulate(stats []float64, examples []data.Example) error {
+	if len(stats) != m.StatsLen() {
+		return fmt.Errorf("kmeans: stats length %d, want %d", len(stats), m.StatsLen())
+	}
+	sums := stats[:m.cfg.K*m.cfg.Dim]
+	counts := stats[m.cfg.K*m.cfg.Dim:]
+	for _, ex := range examples {
+		c, _ := m.Assign(ex.Features)
+		ex.Features.AxpyDense(1, sums[c*m.cfg.Dim:(c+1)*m.cfg.Dim])
+		counts[c]++
+	}
+	return nil
+}
+
+// Update recomputes the centroids from merged statistics. Empty clusters
+// keep their previous centroid (the standard Lloyd's fallback). The stats
+// buffer is zeroed for the next round.
+func (m *Model) Update(stats []float64) error {
+	if len(stats) != m.StatsLen() {
+		return fmt.Errorf("kmeans: stats length %d, want %d", len(stats), m.StatsLen())
+	}
+	sums := stats[:m.cfg.K*m.cfg.Dim]
+	counts := stats[m.cfg.K*m.cfg.Dim:]
+	for c := 0; c < m.cfg.K; c++ {
+		if counts[c] > 0 {
+			row := m.Centroids.Row(c)
+			inv := 1 / counts[c]
+			for j := 0; j < m.cfg.Dim; j++ {
+				row[j] = sums[c*m.cfg.Dim+j] * inv
+			}
+		}
+	}
+	linalg.Zero(stats)
+	return nil
+}
+
+// Inertia returns the k-means objective: the summed squared distance of
+// every example to its nearest centroid.
+func (m *Model) Inertia(examples []data.Example) float64 {
+	var total float64
+	for _, ex := range examples {
+		_, d := m.Assign(ex.Features)
+		total += d
+	}
+	return total
+}
+
+// Iterate runs one full serial Lloyd's round over the examples.
+func (m *Model) Iterate(examples []data.Example) error {
+	stats := make([]float64, m.StatsLen())
+	if err := m.Accumulate(stats, examples); err != nil {
+		return err
+	}
+	return m.Update(stats)
+}

@@ -1,0 +1,207 @@
+package kmeans
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"malt/internal/consistency"
+	"malt/internal/core"
+	"malt/internal/data"
+	"malt/internal/vol"
+)
+
+func genClusters(t *testing.T, k, dim, n int) (*data.Dataset, [][]float64) {
+	t.Helper()
+	ds, centers, err := data.GenerateClusters(data.ClusterSpec{
+		Name: "t", K: k, Dim: dim, Train: n, Spread: 0.1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, centers
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 0, Dim: 3}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := New(Config{K: 3, Dim: 0}); err == nil {
+		t.Fatal("Dim=0 should fail")
+	}
+	m, _ := New(Config{K: 2, Dim: 3})
+	if err := m.Init(make([]data.Example, 1), 1); err == nil {
+		t.Fatal("fewer examples than clusters should fail")
+	}
+}
+
+func TestSerialLloydConverges(t *testing.T) {
+	ds, centers := genClusters(t, 4, 8, 2000)
+	m, err := New(Config{K: 4, Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(ds.Train, 3); err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Inertia(ds.Train)
+	prev := initial
+	for i := 0; i < 15; i++ {
+		if err := m.Iterate(ds.Train); err != nil {
+			t.Fatal(err)
+		}
+		cur := m.Inertia(ds.Train)
+		if cur > prev+1e-9 {
+			t.Fatalf("inertia increased at round %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+	if prev >= initial {
+		t.Fatalf("inertia did not decrease: %v -> %v", initial, prev)
+	}
+	// Every recovered centroid should be close to some true center.
+	for c := 0; c < 4; c++ {
+		row := m.Centroids.Row(c)
+		best := math.Inf(1)
+		for _, tc := range centers {
+			var d float64
+			for j := range tc {
+				diff := row[j] - tc[j]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Fatalf("centroid %d far from any true center: d²=%v", c, best)
+		}
+	}
+}
+
+func TestStatsAdditivity(t *testing.T) {
+	// The whole distributed design rests on this: stats over a union equal
+	// the sum of stats over the parts.
+	ds, _ := genClusters(t, 3, 5, 600)
+	m, _ := New(Config{K: 3, Dim: 5})
+	if err := m.Init(ds.Train, 7); err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]float64, m.StatsLen())
+	if err := m.Accumulate(whole, ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]float64, m.StatsLen())
+	if err := m.Accumulate(parts, ds.Train[:200]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Accumulate(parts, ds.Train[200:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range whole {
+		if math.Abs(whole[i]-parts[i]) > 1e-9 {
+			t.Fatalf("stats not additive at %d: %v vs %v", i, whole[i], parts[i])
+		}
+	}
+}
+
+func TestUpdateSkipsEmptyClusters(t *testing.T) {
+	m, _ := New(Config{K: 2, Dim: 2})
+	m.Centroids.Set(1, 0, 42)
+	stats := make([]float64, m.StatsLen())
+	stats[0], stats[1] = 10, 20 // cluster 0 sums
+	stats[4] = 2                // cluster 0 count; cluster 1 empty
+	if err := m.Update(stats); err != nil {
+		t.Fatal(err)
+	}
+	if m.Centroids.At(0, 0) != 5 || m.Centroids.At(0, 1) != 10 {
+		t.Fatalf("cluster 0 = %v", m.Centroids.Row(0))
+	}
+	if m.Centroids.At(1, 0) != 42 {
+		t.Fatal("empty cluster centroid should be preserved")
+	}
+	for _, v := range stats {
+		if v != 0 {
+			t.Fatal("Update must zero the stats buffer")
+		}
+	}
+}
+
+// TestDistributedMatchesSerial is the headline equivalence: 4 MALT
+// replicas exchanging sufficient statistics with a Sum gather produce
+// bit-for-bit the same centroids as serial Lloyd's on the full data.
+func TestDistributedMatchesSerial(t *testing.T) {
+	ds, _ := genClusters(t, 4, 6, 1600)
+	const rounds = 8
+
+	serial, _ := New(Config{K: 4, Dim: 6})
+	if err := serial.Init(ds.Train, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := serial.Iterate(ds.Train); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cluster, err := core.NewCluster(core.Config{Ranks: 4, Sync: consistency.BSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	finals := make([]*Model, 4)
+	res := cluster.Run(func(ctx *core.Context) error {
+		m, err := New(Config{K: 4, Dim: 6})
+		if err != nil {
+			return err
+		}
+		if err := m.Init(ds.Train, 5); err != nil { // identical init everywhere
+			return err
+		}
+		stats, err := ctx.CreateVector("kmeans/stats", vol.Dense, m.StatsLen())
+		if err != nil {
+			return err
+		}
+		lo, hi, err := ctx.Shard(len(ds.Train))
+		if err != nil {
+			return err
+		}
+		shard := ds.Train[lo:hi]
+		for round := 0; round < rounds; round++ {
+			ctx.SetIteration(uint64(round + 1))
+			ctx.Compute(func() { _ = m.Accumulate(stats.Data(), shard) })
+			if err := ctx.Scatter(stats); err != nil {
+				return err
+			}
+			if err := ctx.Advance(stats); err != nil {
+				return err
+			}
+			// Sufficient statistics are additive: Sum, not Average.
+			if _, err := ctx.Gather(stats, vol.Sum); err != nil {
+				return err
+			}
+			if err := m.Update(stats.Data()); err != nil {
+				return err
+			}
+			if err := ctx.Commit(stats); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		finals[ctx.Rank()] = m
+		mu.Unlock()
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+
+	for r, m := range finals {
+		for i := range m.Centroids.Data {
+			got, want := m.Centroids.Data[i], serial.Centroids.Data[i]
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("rank %d centroid[%d] = %v, serial = %v", r, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !almostEq(got, 32) {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(empty) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if !almostEq(y[i], want[i]) {
+			t.Fatalf("Axpy y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAxpyZeroAlphaIsNoop(t *testing.T) {
+	y := []float64{1, 2}
+	Axpy(0, []float64{100, 100}, y)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("Axpy(0,...) modified y: %v", y)
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	x := []float64{2, -4}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != -2 {
+		t.Fatalf("Scale = %v", x)
+	}
+	Zero(x)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("Zero = %v", x)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	dst := make([]float64, 2)
+	Add(dst, []float64{1, 2}, []float64{3, 4})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("Sub = %v", dst)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if !almostEq(Norm2(x), 5) {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	if !almostEq(Norm1(x), 7) {
+		t.Fatalf("Norm1 = %v", Norm1(x))
+	}
+	if !almostEq(NormInf(x), 4) {
+		t.Fatalf("NormInf = %v", NormInf(x))
+	}
+	if NormInf(nil) != 0 || Norm2(nil) != 0 {
+		t.Fatal("norms of empty vector should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(empty) should be 0")
+	}
+}
+
+func TestAverageInto(t *testing.T) {
+	dst := make([]float64, 2)
+	AverageInto(dst, []float64{1, 2}, []float64{3, 4}, []float64{5, 6})
+	if !almostEq(dst[0], 3) || !almostEq(dst[1], 4) {
+		t.Fatalf("AverageInto = %v", dst)
+	}
+	AverageInto(dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("AverageInto() should zero dst, got %v", dst)
+	}
+}
+
+func TestClip(t *testing.T) {
+	x := []float64{-5, 0.5, 5}
+	Clip(x, 1)
+	if x[0] != -1 || x[1] != 0.5 || x[2] != 1 {
+		t.Fatalf("Clip = %v", x)
+	}
+	y := []float64{-5, 5}
+	Clip(y, 0) // non-positive limit is a no-op
+	if y[0] != -5 || y[1] != 5 {
+		t.Fatalf("Clip(0) modified: %v", y)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("+Inf not detected")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true // skip pathological inputs
+			}
+		}
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-6*(1+math.Abs(Dot(a, b))) {
+			return false
+		}
+		a2 := make([]float64, n)
+		copy(a2, a)
+		Scale(2, a2)
+		return math.Abs(Dot(a2, b)-2*Dot(a, b)) < 1e-6*(1+math.Abs(2*Dot(a, b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Norm2 satisfies the triangle inequality.
+func TestNorm2Triangle(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true
+			}
+		}
+		sum := make([]float64, n)
+		Add(sum, a, b)
+		return Norm2(sum) <= Norm2(a)+Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 7 // Row shares storage
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row does not share storage")
+	}
+}
+
+func TestWrapMatrix(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := WrapMatrix(2, 2, data)
+	m.Set(0, 1, 9)
+	if data[1] != 9 {
+		t.Fatal("WrapMatrix copied instead of wrapping")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WrapMatrix with wrong size did not panic")
+		}
+	}()
+	WrapMatrix(3, 3, data)
+}
+
+func TestMulVec(t *testing.T) {
+	m := WrapMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if !almostEq(dst[0], 6) || !almostEq(dst[1], 15) {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := WrapMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 3)
+	m.MulVecT(dst, []float64{1, 1})
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if !almostEq(dst[i], want[i]) {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, []float64{1, 3}, []float64{5, 7})
+	// M = 2 * [1;3]·[5,7] = [[10,14],[30,42]]
+	want := []float64{10, 14, 30, 42}
+	for i, w := range want {
+		if !almostEq(m.Data[i], w) {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMulVecSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(16)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		xd := make([]float64, cols)
+		for i := range xd {
+			if r.Float64() < 0.4 {
+				xd[i] = r.NormFloat64()
+			}
+		}
+		xs := FromDense(xd)
+		a := make([]float64, rows)
+		b := make([]float64, rows)
+		m.MulVec(a, xd)
+		m.MulVecSparse(b, xs)
+		for i := range a {
+			if !almostEq(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddOuterSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(10)
+		m1 := NewMatrix(rows, cols)
+		m2 := NewMatrix(rows, cols)
+		u := make([]float64, rows)
+		xd := make([]float64, cols)
+		for i := range u {
+			u[i] = r.NormFloat64()
+		}
+		for i := range xd {
+			if r.Float64() < 0.5 {
+				xd[i] = r.NormFloat64()
+			}
+		}
+		m1.AddOuter(1.5, u, xd)
+		m2.AddOuterSparse(1.5, u, FromDense(xd))
+		for i := range m1.Data {
+			if !almostEq(m1.Data[i], m2.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := WrapMatrix(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for name, fn := range map[string]func(){
+		"MulVec":   func() { m.MulVec(make([]float64, 2), make([]float64, 3)) },
+		"MulVecT":  func() { m.MulVecT(make([]float64, 3), make([]float64, 3)) },
+		"AddOuter": func() { m.AddOuter(1, make([]float64, 3), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with bad shape did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseVector is a coordinate-list sparse vector: parallel slices of
+// strictly increasing indices and their values. The zero value is an empty
+// vector. Training examples for high-dimensional workloads (RCV1, webspam)
+// are stored in this form; model updates may also be scattered sparsely.
+type SparseVector struct {
+	Idx []int32
+	Val []float64
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s *SparseVector) NNZ() int { return len(s.Idx) }
+
+// Append adds an entry. Entries must be appended in increasing index order;
+// Append panics otherwise so malformed data is caught at load time.
+func (s *SparseVector) Append(idx int32, val float64) {
+	if n := len(s.Idx); n > 0 && s.Idx[n-1] >= idx {
+		panic(fmt.Sprintf("linalg: SparseVector.Append out of order: %d after %d", idx, s.Idx[n-1]))
+	}
+	s.Idx = append(s.Idx, idx)
+	s.Val = append(s.Val, val)
+}
+
+// Reset truncates the vector to empty, keeping capacity.
+func (s *SparseVector) Reset() {
+	s.Idx = s.Idx[:0]
+	s.Val = s.Val[:0]
+}
+
+// Clone returns a deep copy.
+func (s *SparseVector) Clone() *SparseVector {
+	c := &SparseVector{
+		Idx: make([]int32, len(s.Idx)),
+		Val: make([]float64, len(s.Val)),
+	}
+	copy(c.Idx, s.Idx)
+	copy(c.Val, s.Val)
+	return c
+}
+
+// MaxIndex returns the largest stored index, or -1 if empty.
+func (s *SparseVector) MaxIndex() int32 {
+	if len(s.Idx) == 0 {
+		return -1
+	}
+	return s.Idx[len(s.Idx)-1]
+}
+
+// DotDense returns <s, w> for a dense w. Indices at or beyond len(w) are
+// ignored, which lets a model trained with a fixed dimension tolerate rare
+// overflow features in test data.
+func (s *SparseVector) DotDense(w []float64) float64 {
+	var sum float64
+	n := int32(len(w))
+	for i, idx := range s.Idx {
+		if idx < n {
+			sum += s.Val[i] * w[idx]
+		}
+	}
+	return sum
+}
+
+// AxpyDense computes w += alpha * s for dense w, ignoring out-of-range
+// indices (see DotDense).
+func (s *SparseVector) AxpyDense(alpha float64, w []float64) {
+	n := int32(len(w))
+	for i, idx := range s.Idx {
+		if idx < n {
+			w[idx] += alpha * s.Val[i]
+		}
+	}
+}
+
+// Norm2 returns the Euclidean norm of the sparse vector.
+func (s *SparseVector) Norm2() float64 {
+	return Norm2(s.Val)
+}
+
+// ScaleSparse multiplies every stored value by alpha.
+func (s *SparseVector) ScaleSparse(alpha float64) {
+	Scale(alpha, s.Val)
+}
+
+// ToDense expands the vector into a dense slice of length dim. Entries with
+// index ≥ dim are dropped.
+func (s *SparseVector) ToDense(dim int) []float64 {
+	d := make([]float64, dim)
+	for i, idx := range s.Idx {
+		if int(idx) < dim {
+			d[idx] = s.Val[i]
+		}
+	}
+	return d
+}
+
+// FromDense builds a sparse vector holding the non-zero entries of d.
+func FromDense(d []float64) *SparseVector {
+	s := &SparseVector{}
+	for i, v := range d {
+		if v != 0 {
+			s.Idx = append(s.Idx, int32(i))
+			s.Val = append(s.Val, v)
+		}
+	}
+	return s
+}
+
+// FromMap builds a sorted sparse vector from an index→value map, dropping
+// zero values.
+func FromMap(m map[int32]float64) *SparseVector {
+	s := &SparseVector{
+		Idx: make([]int32, 0, len(m)),
+		Val: make([]float64, 0, len(m)),
+	}
+	for idx, v := range m {
+		if v != 0 {
+			s.Idx = append(s.Idx, idx)
+		}
+	}
+	sort.Slice(s.Idx, func(i, j int) bool { return s.Idx[i] < s.Idx[j] })
+	for _, idx := range s.Idx {
+		s.Val = append(s.Val, m[idx])
+	}
+	return s
+}
+
+// AddSparse returns a + b as a new sparse vector (merge of sorted indices).
+func AddSparse(a, b *SparseVector) *SparseVector {
+	out := &SparseVector{
+		Idx: make([]int32, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float64, 0, len(a.Idx)+len(b.Idx)),
+	}
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i])
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.Val = append(out.Val, b.Val[j])
+			j++
+		default:
+			if v := a.Val[i] + b.Val[j]; v != 0 {
+				out.Idx = append(out.Idx, a.Idx[i])
+				out.Val = append(out.Val, v)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Idx); i++ {
+		out.Idx = append(out.Idx, a.Idx[i])
+		out.Val = append(out.Val, a.Val[i])
+	}
+	for ; j < len(b.Idx); j++ {
+		out.Idx = append(out.Idx, b.Idx[j])
+		out.Val = append(out.Val, b.Val[j])
+	}
+	return out
+}
+
+// DotSparse returns the inner product of two sorted sparse vectors.
+func DotSparse(a, b *SparseVector) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			sum += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseAppendAndAccessors(t *testing.T) {
+	var s SparseVector
+	s.Append(1, 2.0)
+	s.Append(5, -1.0)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	if s.MaxIndex() != 5 {
+		t.Fatalf("MaxIndex = %d", s.MaxIndex())
+	}
+	var empty SparseVector
+	if empty.MaxIndex() != -1 {
+		t.Fatal("empty MaxIndex should be -1")
+	}
+}
+
+func TestSparseAppendOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Append did not panic")
+		}
+	}()
+	var s SparseVector
+	s.Append(5, 1)
+	s.Append(3, 1)
+}
+
+func TestSparseDotDense(t *testing.T) {
+	var s SparseVector
+	s.Append(0, 2)
+	s.Append(3, 4)
+	w := []float64{1, 10, 10, 0.5}
+	if got := s.DotDense(w); !almostEq(got, 4) {
+		t.Fatalf("DotDense = %v, want 4", got)
+	}
+	// Out-of-range indices are ignored.
+	s.Append(100, 7)
+	if got := s.DotDense(w); !almostEq(got, 4) {
+		t.Fatalf("DotDense with overflow index = %v, want 4", got)
+	}
+}
+
+func TestSparseAxpyDense(t *testing.T) {
+	var s SparseVector
+	s.Append(1, 3)
+	w := []float64{0, 1}
+	s.AxpyDense(2, w)
+	if !almostEq(w[1], 7) {
+		t.Fatalf("AxpyDense = %v", w)
+	}
+}
+
+func TestSparseToFromDense(t *testing.T) {
+	d := []float64{0, 1.5, 0, -2}
+	s := FromDense(d)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	back := s.ToDense(4)
+	for i := range d {
+		if !almostEq(back[i], d[i]) {
+			t.Fatalf("round trip = %v, want %v", back, d)
+		}
+	}
+}
+
+func TestFromMapSorted(t *testing.T) {
+	s := FromMap(map[int32]float64{7: 1, 2: 3, 5: 0})
+	if s.NNZ() != 2 {
+		t.Fatalf("zero values should be dropped; NNZ = %d", s.NNZ())
+	}
+	if s.Idx[0] != 2 || s.Idx[1] != 7 {
+		t.Fatalf("indices not sorted: %v", s.Idx)
+	}
+}
+
+func TestAddSparse(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1, 2: 2})
+	b := FromMap(map[int32]float64{1: 5, 2: -2, 3: 1})
+	sum := AddSparse(a, b)
+	want := map[int32]float64{0: 1, 1: 5, 3: 1} // index 2 cancels to zero
+	if sum.NNZ() != len(want) {
+		t.Fatalf("AddSparse NNZ = %d, want %d (%v / %v)", sum.NNZ(), len(want), sum.Idx, sum.Val)
+	}
+	for i, idx := range sum.Idx {
+		if !almostEq(sum.Val[i], want[idx]) {
+			t.Fatalf("AddSparse[%d] = %v, want %v", idx, sum.Val[i], want[idx])
+		}
+	}
+}
+
+func TestDotSparse(t *testing.T) {
+	a := FromMap(map[int32]float64{0: 1, 2: 2, 4: 3})
+	b := FromMap(map[int32]float64{2: 5, 4: -1})
+	if got := DotSparse(a, b); !almostEq(got, 7) {
+		t.Fatalf("DotSparse = %v, want 7", got)
+	}
+}
+
+func TestSparseClone(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 2})
+	c := a.Clone()
+	c.Val[0] = 99
+	if a.Val[0] != 2 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSparseReset(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 2, 3: 4})
+	a.Reset()
+	if a.NNZ() != 0 {
+		t.Fatalf("Reset NNZ = %d", a.NNZ())
+	}
+	a.Append(0, 1) // must still be usable
+	if a.NNZ() != 1 {
+		t.Fatal("Append after Reset failed")
+	}
+}
+
+// Property: sparse·dense dot agrees with the dense computation.
+func TestSparseDotMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(64)
+		d := make([]float64, dim)
+		w := make([]float64, dim)
+		for i := range d {
+			if r.Float64() < 0.3 {
+				d[i] = r.NormFloat64()
+			}
+			w[i] = r.NormFloat64()
+		}
+		s := FromDense(d)
+		return math.Abs(s.DotDense(w)-Dot(d, w)) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddSparse agrees with dense addition.
+func TestAddSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(32)
+		da := make([]float64, dim)
+		db := make([]float64, dim)
+		for i := range da {
+			if r.Float64() < 0.4 {
+				da[i] = float64(r.Intn(9) - 4)
+			}
+			if r.Float64() < 0.4 {
+				db[i] = float64(r.Intn(9) - 4)
+			}
+		}
+		sum := AddSparse(FromDense(da), FromDense(db))
+		dense := sum.ToDense(dim)
+		for i := range da {
+			if !almostEq(dense[i], da[i]+db[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

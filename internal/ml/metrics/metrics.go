@@ -1,0 +1,111 @@
+// Package metrics evaluates trained models the way the paper's figures do:
+// regularized loss for the SVM convergence plots (Figs 4, 10–12), AUC for
+// the neural-network click-prediction plot (Fig 6), and RMSE for the
+// matrix-factorization plot (Fig 7).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"malt/internal/data"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/sgd"
+)
+
+// MeanLoss returns the average pointwise loss of the linear model w over
+// the examples, plus the L2 penalty (λ/2)‖w‖².
+func MeanLoss(w []float64, examples []data.Example, loss sgd.Loss, lambda float64) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ex := range examples {
+		sum += loss.Value(ex.Features.DotDense(w), ex.Label)
+	}
+	n2 := linalg.Norm2(w)
+	return sum/float64(len(examples)) + 0.5*lambda*n2*n2
+}
+
+// Accuracy returns the fraction of examples whose sign(w·x) matches the
+// label.
+func Accuracy(w []float64, examples []data.Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		p := ex.Features.DotDense(w)
+		if (p >= 0) == (ex.Label > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// AUC returns the area under the ROC curve for the given scores against ±1
+// labels, via the rank-sum (Mann–Whitney) formulation with midrank tie
+// handling. Returns 0.5 when either class is absent.
+func AUC(scores []float64, labels []float64) float64 {
+	if len(scores) != len(labels) {
+		panic("metrics: AUC scores/labels length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var nPos, nNeg int
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average 1-based rank for the tie group
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	var rankSumPos float64
+	for i := 0; i < n; i++ {
+		if labels[i] > 0 {
+			nPos++
+			rankSumPos += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// ModelAUC scores every example with score(x) and returns the AUC.
+func ModelAUC(examples []data.Example, score func(x *linalg.SparseVector) float64) float64 {
+	scores := make([]float64, len(examples))
+	labels := make([]float64, len(examples))
+	for i, ex := range examples {
+		scores[i] = score(ex.Features)
+		labels[i] = ex.Label
+	}
+	return AUC(scores, labels)
+}
+
+// RMSE returns the root-mean-square error of predictions over ratings.
+func RMSE(ratings []data.Rating, predict func(user, item int32) float64) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range ratings {
+		d := predict(r.User, r.Item) - r.Score
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(ratings)))
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"malt/internal/data"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/sgd"
+)
+
+func ex(label float64, idxVals map[int32]float64) data.Example {
+	return data.Example{Features: linalg.FromMap(idxVals), Label: label}
+}
+
+func TestMeanLoss(t *testing.T) {
+	w := []float64{1, 0}
+	examples := []data.Example{
+		ex(1, map[int32]float64{0: 2}),  // p=2, hinge 0
+		ex(-1, map[int32]float64{0: 1}), // p=1, hinge 2
+	}
+	got := MeanLoss(w, examples, sgd.Hinge{}, 0)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MeanLoss = %v, want 1", got)
+	}
+	// With lambda: + λ/2·‖w‖² = 0.05.
+	got = MeanLoss(w, examples, sgd.Hinge{}, 0.1)
+	if math.Abs(got-1.05) > 1e-12 {
+		t.Fatalf("MeanLoss = %v, want 1.05", got)
+	}
+	if MeanLoss(w, nil, sgd.Hinge{}, 0.1) != 0 {
+		t.Fatal("empty examples should give 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	w := []float64{1}
+	examples := []data.Example{
+		ex(1, map[int32]float64{0: 1}),
+		ex(-1, map[int32]float64{0: 2}),
+		ex(-1, map[int32]float64{0: -1}),
+	}
+	if got := Accuracy(w, examples); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(w, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float64{1, 1, -1, -1}
+	if got := AUC(scores, labels); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+	// Inverted scores → 0.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, labels); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if rng.Float64() < 0.3 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	got := AUC(scores, labels)
+	if got < 0.47 || got > 0.53 {
+		t.Fatalf("random AUC = %v, want ≈0.5", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via midranks.
+	scores := []float64{1, 1, 1, 1}
+	labels := []float64{1, -1, 1, -1}
+	if got := AUC(scores, labels); got != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []float64{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	AUC([]float64{1}, []float64{1, 2})
+}
+
+func TestModelAUC(t *testing.T) {
+	examples := []data.Example{
+		ex(1, map[int32]float64{0: 1}),
+		ex(-1, map[int32]float64{0: -1}),
+	}
+	w := []float64{1}
+	got := ModelAUC(examples, func(x *linalg.SparseVector) float64 { return x.DotDense(w) })
+	if got != 1 {
+		t.Fatalf("ModelAUC = %v", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	ratings := []data.Rating{
+		{User: 0, Item: 0, Score: 3},
+		{User: 1, Item: 1, Score: 5},
+	}
+	// Predict 4 for everything: errors 1 and 1 → RMSE 1.
+	got := RMSE(ratings, func(u, i int32) float64 { return 4 })
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}

@@ -1,0 +1,162 @@
+// Package mf implements matrix factorization trained with SGD — the
+// paper's collaborative-filtering workload (Netflix). A rating matrix R is
+// approximated as U·Vᵀ with U ∈ ℝ^{Users×Rank}, V ∈ ℝ^{Items×Rank}; each
+// observed rating drives a Hogwild-style update of one row of U and one
+// row of V.
+//
+// For distributed training the factor matrices live in flat float64
+// buffers so they can be registered directly as MALT vectors; the paper's
+// configuration scatters them asynchronously with a *replace* gather —
+// Hogwild extended from multicore to multi-node.
+package mf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"malt/internal/data"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/metrics"
+	"malt/internal/ml/sgd"
+)
+
+// Config parameterizes a factorization.
+type Config struct {
+	Users, Items int
+	// Rank is the latent dimensionality. Default 8.
+	Rank int
+	// Lambda is the L2 regularization strength. Default 0.05.
+	Lambda float64
+	// Eta0 is the (initial) learning rate. Default 0.01.
+	Eta0 float64
+	// Schedule defaults to Fixed{Eta0} — the paper evaluates both "fixed"
+	// and "byiter".
+	Schedule sgd.Schedule
+	// GlobalBias is subtracted from ratings before factorizing (the mean
+	// rating). Default 3 (the centre of 1–5 stars).
+	GlobalBias float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Users <= 0 || c.Items <= 0 {
+		return c, fmt.Errorf("mf: Users/Items must be positive, got %d/%d", c.Users, c.Items)
+	}
+	if c.Rank == 0 {
+		c.Rank = 8
+	}
+	if c.Rank < 0 {
+		return c, fmt.Errorf("mf: Rank must be positive, got %d", c.Rank)
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.05
+	}
+	if c.Eta0 == 0 {
+		c.Eta0 = 0.01
+	}
+	if c.Schedule == nil {
+		c.Schedule = sgd.Fixed{Eta: c.Eta0}
+	}
+	if c.GlobalBias == 0 {
+		c.GlobalBias = 3
+	}
+	return c, nil
+}
+
+// Model is one replica's factorization state. U and V wrap flat buffers
+// (possibly MALT vector storage).
+type Model struct {
+	cfg  Config
+	U, V *linalg.Matrix
+	t    uint64
+}
+
+// New allocates a model with its own storage, initialized with small
+// deterministic noise (seed).
+func New(cfg Config, seed int64) (*Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg: cfg,
+		U:   linalg.NewMatrix(cfg.Users, cfg.Rank),
+		V:   linalg.NewMatrix(cfg.Items, cfg.Rank),
+	}
+	m.Init(seed)
+	return m, nil
+}
+
+// NewOver builds a model over caller-provided flat buffers: uBuf must have
+// Users×Rank elements and vBuf Items×Rank. Distributed replicas pass MALT
+// vector storage here so scatters ship the factors without copies.
+// Buffers are not re-initialized; call Init.
+func NewOver(cfg Config, uBuf, vBuf []float64) (*Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(uBuf) != cfg.Users*cfg.Rank {
+		return nil, fmt.Errorf("mf: U buffer is %d elements, want %d", len(uBuf), cfg.Users*cfg.Rank)
+	}
+	if len(vBuf) != cfg.Items*cfg.Rank {
+		return nil, fmt.Errorf("mf: V buffer is %d elements, want %d", len(vBuf), cfg.Items*cfg.Rank)
+	}
+	return &Model{
+		cfg: cfg,
+		U:   linalg.WrapMatrix(cfg.Users, cfg.Rank, uBuf),
+		V:   linalg.WrapMatrix(cfg.Items, cfg.Rank, vBuf),
+	}, nil
+}
+
+// Init fills the factors with small deterministic noise.
+func (m *Model) Init(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	scale := 0.1
+	for i := range m.U.Data {
+		m.U.Data[i] = rng.NormFloat64() * scale
+	}
+	for i := range m.V.Data {
+		m.V.Data[i] = rng.NormFloat64() * scale
+	}
+}
+
+// Config returns the (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Steps returns the number of SGD steps taken.
+func (m *Model) Steps() uint64 { return m.t }
+
+// Predict returns the predicted score for (user, item).
+func (m *Model) Predict(user, item int32) float64 {
+	return m.cfg.GlobalBias + linalg.Dot(m.U.Row(int(user)), m.V.Row(int(item)))
+}
+
+// Step performs one SGD update for a single rating:
+//
+//	e = r − bias − u·v
+//	u += η(e·v − λ·u);  v += η(e·u − λ·v)
+func (m *Model) Step(r data.Rating) {
+	eta := m.cfg.Schedule.Rate(m.t)
+	m.t++
+	u := m.U.Row(int(r.User))
+	v := m.V.Row(int(r.Item))
+	e := r.Score - m.cfg.GlobalBias - linalg.Dot(u, v)
+	lam := m.cfg.Lambda
+	for k := range u {
+		uk, vk := u[k], v[k]
+		u[k] += eta * (e*vk - lam*uk)
+		v[k] += eta * (e*uk - lam*vk)
+	}
+}
+
+// TrainEpoch runs Step over every rating once, in order.
+func (m *Model) TrainEpoch(ratings []data.Rating) {
+	for _, r := range ratings {
+		m.Step(r)
+	}
+}
+
+// RMSE evaluates the model over ratings.
+func (m *Model) RMSE(ratings []data.Rating) float64 {
+	return metrics.RMSE(ratings, m.Predict)
+}

@@ -1,0 +1,111 @@
+package mf
+
+import (
+	"testing"
+
+	"malt/internal/data"
+)
+
+func genRatings(t *testing.T, n int) *data.RatingsDataset {
+	t.Helper()
+	spec := data.NetflixSpec(1)
+	spec.Users, spec.Items = 200, 80
+	spec.Train, spec.Test = n, n/10
+	ds, err := data.GenerateRatings(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m, err := New(Config{Users: 10, Items: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.Rank == 0 || cfg.Lambda == 0 || cfg.Eta0 == 0 || cfg.Schedule == nil || cfg.GlobalBias == 0 {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+	if _, err := New(Config{Users: 0, Items: 5}, 1); err == nil {
+		t.Fatal("Users=0 should fail")
+	}
+	if _, err := New(Config{Users: 1, Items: 1, Rank: -1}, 1); err == nil {
+		t.Fatal("negative rank should fail")
+	}
+}
+
+func TestSGDReducesRMSE(t *testing.T) {
+	ds := genRatings(t, 20000)
+	m, err := New(Config{Users: ds.Users, Items: ds.Items, Rank: ds.Rank, Eta0: 0.02}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.RMSE(ds.Test)
+	for epoch := 0; epoch < 10; epoch++ {
+		m.TrainEpoch(ds.Train)
+	}
+	final := m.RMSE(ds.Test)
+	if final >= initial {
+		t.Fatalf("RMSE did not decrease: %v -> %v", initial, final)
+	}
+	// The generator's noise floor is 0.3; getting within 3x of it means
+	// the factorization actually fits the low-rank structure.
+	if final > 0.9 {
+		t.Fatalf("final RMSE %v too high (initial %v)", final, initial)
+	}
+	if m.Steps() != 10*uint64(len(ds.Train)) {
+		t.Fatalf("Steps = %d", m.Steps())
+	}
+}
+
+func TestStepReducesPointError(t *testing.T) {
+	m, _ := New(Config{Users: 4, Items: 4, Rank: 2, Eta0: 0.1}, 3)
+	r := data.Rating{User: 1, Item: 2, Score: 5}
+	before := m.Predict(1, 2) - 5
+	for i := 0; i < 50; i++ {
+		m.Step(r)
+	}
+	after := m.Predict(1, 2) - 5
+	if abs(after) >= abs(before) {
+		t.Fatalf("pointwise error did not shrink: %v -> %v", before, after)
+	}
+}
+
+func TestNewOverSharesBuffers(t *testing.T) {
+	cfg := Config{Users: 3, Items: 2, Rank: 2}
+	u := make([]float64, 3*2)
+	v := make([]float64, 2*2)
+	m, err := NewOver(cfg, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Init(1)
+	if u[0] == 0 && u[1] == 0 && v[0] == 0 {
+		t.Fatal("Init did not write through to buffers")
+	}
+	u[0] = 42
+	if m.U.At(0, 0) != 42 {
+		t.Fatal("model does not share buffer storage")
+	}
+	if _, err := NewOver(cfg, make([]float64, 5), v); err == nil {
+		t.Fatal("wrong buffer size should fail")
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	a, _ := New(Config{Users: 5, Items: 5}, 9)
+	b, _ := New(Config{Users: 5, Items: 5}, 9)
+	for i := range a.U.Data {
+		if a.U.Data[i] != b.U.Data[i] {
+			t.Fatal("Init not deterministic")
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+// Package sgd provides the stochastic-gradient-descent substrate shared by
+// the MALT applications: loss functions with subgradients, learning-rate
+// schedules (the paper's "fixed" and "byiter" strategies), and L2
+// regularization. The distributed training loops in svm, mf and nn are
+// thin compositions of these pieces with MALT scatter/gather calls.
+package sgd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss is a pointwise loss over (prediction, label) with a (sub)gradient
+// with respect to the prediction.
+type Loss interface {
+	// Value returns the loss at prediction p for label y.
+	Value(p, y float64) float64
+	// Deriv returns d loss / d p at prediction p for label y.
+	Deriv(p, y float64) float64
+	// Name returns the loss's flag name.
+	Name() string
+}
+
+// Hinge is the SVM hinge loss max(0, 1 − y·p). Labels must be ±1.
+type Hinge struct{}
+
+// Value implements Loss.
+func (Hinge) Value(p, y float64) float64 { return math.Max(0, 1-y*p) }
+
+// Deriv implements Loss (a subgradient at the kink).
+func (Hinge) Deriv(p, y float64) float64 {
+	if 1-y*p > 0 {
+		return -y
+	}
+	return 0
+}
+
+// Name implements Loss.
+func (Hinge) Name() string { return "hinge" }
+
+// Logistic is the log loss log(1 + exp(−y·p)). Labels must be ±1.
+type Logistic struct{}
+
+// Value implements Loss.
+func (Logistic) Value(p, y float64) float64 {
+	z := -y * p
+	// Numerically stable log1p(exp(z)).
+	if z > 30 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// Deriv implements Loss.
+func (Logistic) Deriv(p, y float64) float64 {
+	z := -y * p
+	if z > 30 {
+		return -y
+	}
+	e := math.Exp(z)
+	return -y * e / (1 + e)
+}
+
+// Name implements Loss.
+func (Logistic) Name() string { return "logistic" }
+
+// Squared is the squared error ½(p − y)².
+type Squared struct{}
+
+// Value implements Loss.
+func (Squared) Value(p, y float64) float64 { d := p - y; return 0.5 * d * d }
+
+// Deriv implements Loss.
+func (Squared) Deriv(p, y float64) float64 { return p - y }
+
+// Name implements Loss.
+func (Squared) Name() string { return "squared" }
+
+// ParseLoss converts a flag string to a Loss.
+func ParseLoss(s string) (Loss, error) {
+	switch s {
+	case "hinge":
+		return Hinge{}, nil
+	case "logistic", "log":
+		return Logistic{}, nil
+	case "squared":
+		return Squared{}, nil
+	default:
+		return nil, fmt.Errorf("sgd: unknown loss %q", s)
+	}
+}
+
+// Schedule maps an iteration count to a learning rate.
+type Schedule interface {
+	// Rate returns the learning rate at step t (0-based).
+	Rate(t uint64) float64
+	// Name returns the schedule's flag name.
+	Name() string
+}
+
+// Fixed keeps a constant learning rate — the paper's "fixed" strategy for
+// matrix factorization.
+type Fixed struct {
+	// Eta is the constant rate.
+	Eta float64
+}
+
+// Rate implements Schedule.
+func (f Fixed) Rate(uint64) float64 { return f.Eta }
+
+// Name implements Schedule.
+func (Fixed) Name() string { return "fixed" }
+
+// InvScaling is Bottou's SVM-SGD schedule η_t = η₀ / (1 + η₀·λ·t), which
+// decays like 1/t and is the standard choice for λ-regularized hinge loss.
+type InvScaling struct {
+	// Eta0 is the initial rate.
+	Eta0 float64
+	// Lambda is the regularization strength coupled into the decay.
+	Lambda float64
+}
+
+// Rate implements Schedule.
+func (s InvScaling) Rate(t uint64) float64 {
+	return s.Eta0 / (1 + s.Eta0*s.Lambda*float64(t))
+}
+
+// Name implements Schedule.
+func (InvScaling) Name() string { return "invscaling" }
+
+// ByIter halves the rate every Every steps starting from Eta0 — the
+// paper's "byiter" strategy ("start with a learning rate and decrease
+// every certain number of iterations").
+type ByIter struct {
+	// Eta0 is the initial rate.
+	Eta0 float64
+	// Every is the decay period in steps.
+	Every uint64
+	// Factor is the multiplicative decay per period (default 0.5).
+	Factor float64
+}
+
+// Rate implements Schedule.
+func (s ByIter) Rate(t uint64) float64 {
+	every := s.Every
+	if every == 0 {
+		every = 1
+	}
+	factor := s.Factor
+	if factor == 0 {
+		factor = 0.5
+	}
+	return s.Eta0 * math.Pow(factor, float64(t/every))
+}
+
+// Name implements Schedule.
+func (ByIter) Name() string { return "byiter" }

@@ -1,0 +1,152 @@
+package sgd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHinge(t *testing.T) {
+	h := Hinge{}
+	if h.Value(2, 1) != 0 {
+		t.Fatal("correct confident prediction should have zero loss")
+	}
+	if h.Value(0, 1) != 1 {
+		t.Fatalf("Value(0,1) = %v", h.Value(0, 1))
+	}
+	if h.Value(-1, 1) != 2 {
+		t.Fatalf("Value(-1,1) = %v", h.Value(-1, 1))
+	}
+	if h.Deriv(0, 1) != -1 || h.Deriv(2, 1) != 0 {
+		t.Fatal("hinge subgradient wrong")
+	}
+	if h.Deriv(0, -1) != 1 {
+		t.Fatal("hinge subgradient for negative label wrong")
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	l := Logistic{}
+	if got := l.Value(0, 1); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("Value(0,1) = %v, want ln 2", got)
+	}
+	if got := l.Deriv(0, 1); math.Abs(got+0.5) > 1e-12 {
+		t.Fatalf("Deriv(0,1) = %v, want -0.5", got)
+	}
+	// Stability at extreme margins: finite values, correct saturation.
+	if v := l.Value(-100, 1); math.IsInf(v, 0) || math.IsNaN(v) || v < 99 {
+		t.Fatalf("Value(-100,1) = %v", v)
+	}
+	if d := l.Deriv(-1000, 1); math.Abs(d+1) > 1e-9 {
+		t.Fatalf("Deriv(-1000,1) = %v, want -1", d)
+	}
+	if d := l.Deriv(1000, 1); math.Abs(d) > 1e-9 {
+		t.Fatalf("Deriv(1000,1) = %v, want ~0", d)
+	}
+}
+
+func TestSquared(t *testing.T) {
+	s := Squared{}
+	if s.Value(3, 1) != 2 {
+		t.Fatalf("Value = %v", s.Value(3, 1))
+	}
+	if s.Deriv(3, 1) != 2 {
+		t.Fatalf("Deriv = %v", s.Deriv(3, 1))
+	}
+}
+
+// Property: numeric derivative matches Deriv for all losses away from the
+// hinge kink.
+func TestDerivMatchesNumeric(t *testing.T) {
+	losses := []Loss{Hinge{}, Logistic{}, Squared{}}
+	f := func(pRaw, yRaw int8) bool {
+		p := float64(pRaw) / 16
+		y := 1.0
+		if yRaw%2 == 0 {
+			y = -1.0
+		}
+		const h = 1e-6
+		for _, l := range losses {
+			if _, isHinge := l.(Hinge); isHinge && math.Abs(1-y*p) < 1e-3 {
+				continue // kink
+			}
+			numeric := (l.Value(p+h, y) - l.Value(p-h, y)) / (2 * h)
+			if math.Abs(numeric-l.Deriv(p, y)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLoss(t *testing.T) {
+	for _, name := range []string{"hinge", "logistic", "squared"} {
+		l, err := ParseLoss(name)
+		if err != nil || l.Name() != name {
+			t.Fatalf("ParseLoss(%q) = %v, %v", name, l, err)
+		}
+	}
+	if l, err := ParseLoss("log"); err != nil || l.Name() != "logistic" {
+		t.Fatal("alias 'log' should parse")
+	}
+	if _, err := ParseLoss("bogus"); err == nil {
+		t.Fatal("bogus loss should fail")
+	}
+}
+
+func TestFixedSchedule(t *testing.T) {
+	s := Fixed{Eta: 0.1}
+	if s.Rate(0) != 0.1 || s.Rate(1e6) != 0.1 {
+		t.Fatal("fixed rate changed")
+	}
+}
+
+func TestInvScaling(t *testing.T) {
+	s := InvScaling{Eta0: 1, Lambda: 0.1}
+	if s.Rate(0) != 1 {
+		t.Fatalf("Rate(0) = %v", s.Rate(0))
+	}
+	if got := s.Rate(10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Rate(10) = %v, want 0.5", got)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for _, tt := range []uint64{0, 1, 10, 100, 10000} {
+		r := s.Rate(tt)
+		if r > prev {
+			t.Fatal("InvScaling not monotone")
+		}
+		prev = r
+	}
+}
+
+func TestByIter(t *testing.T) {
+	s := ByIter{Eta0: 1, Every: 10}
+	if s.Rate(9) != 1 {
+		t.Fatalf("Rate(9) = %v", s.Rate(9))
+	}
+	if s.Rate(10) != 0.5 {
+		t.Fatalf("Rate(10) = %v", s.Rate(10))
+	}
+	if s.Rate(25) != 0.25 {
+		t.Fatalf("Rate(25) = %v", s.Rate(25))
+	}
+	// Defaults survive a zero Every.
+	z := ByIter{Eta0: 1}
+	if z.Rate(5) <= 0 {
+		t.Fatal("zero Every should not produce nonpositive rate")
+	}
+	c := ByIter{Eta0: 1, Every: 1, Factor: 0.9}
+	if math.Abs(c.Rate(2)-0.81) > 1e-12 {
+		t.Fatalf("custom factor: %v", c.Rate(2))
+	}
+}
+
+func TestScheduleNames(t *testing.T) {
+	if (Fixed{}).Name() != "fixed" || (InvScaling{}).Name() != "invscaling" || (ByIter{}).Name() != "byiter" {
+		t.Fatal("schedule names wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"malt/internal/data"
+	"malt/internal/ml/linalg"
+	"malt/internal/ml/sgd"
+)
+
+func genData(t *testing.T, dim, n int, noise float64) *data.Dataset {
+	t.Helper()
+	ds, err := data.GenerateClassification(data.ClassificationSpec{
+		Name: "test", Dim: dim, Train: n, Test: n / 4, NNZ: dim / 10,
+		Noise: noise, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr, err := New(Config{Dim: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tr.Config()
+	if cfg.Lambda == 0 || cfg.Eta0 == 0 || cfg.Loss == nil || cfg.Schedule == nil {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("Dim=0 should fail")
+	}
+}
+
+func TestSerialSGDConverges(t *testing.T) {
+	ds := genData(t, 100, 2000, 0.02)
+	tr, err := New(Config{Dim: ds.Dim, Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, ds.Dim)
+	initial := tr.Loss(w, ds.Test)
+	for epoch := 0; epoch < 5; epoch++ {
+		tr.TrainEpoch(w, ds.Train)
+	}
+	final := tr.Loss(w, ds.Test)
+	if final >= initial {
+		t.Fatalf("loss did not decrease: %v -> %v", initial, final)
+	}
+	if acc := tr.Accuracy(w, ds.Test); acc < 0.85 {
+		t.Fatalf("test accuracy %v too low", acc)
+	}
+	if tr.Steps() != 5*uint64(len(ds.Train)) {
+		t.Fatalf("Steps = %d", tr.Steps())
+	}
+}
+
+func TestStepMovesTowardLabel(t *testing.T) {
+	tr, _ := New(Config{Dim: 4, Lambda: 0})
+	w := make([]float64, 4)
+	ex := data.Example{Features: linalg.FromMap(map[int32]float64{1: 1}), Label: 1}
+	tr.Step(w, ex)
+	if w[1] <= 0 {
+		t.Fatalf("w[1] = %v, want positive after positive example", w[1])
+	}
+	if w[0] != 0 {
+		t.Fatal("untouched coordinates must stay zero when lambda=0")
+	}
+}
+
+func TestStepRegularizationShrinks(t *testing.T) {
+	tr, _ := New(Config{Dim: 2, Lambda: 0.1, Eta0: 0.5, Schedule: sgd.Fixed{Eta: 0.5}})
+	w := []float64{10, 10}
+	// Confident correct prediction: only the shrink applies.
+	ex := data.Example{Features: linalg.FromMap(map[int32]float64{0: 1}), Label: 1}
+	tr.Step(w, ex)
+	if w[1] >= 10 {
+		t.Fatalf("w[1] = %v, expected shrink", w[1])
+	}
+	want := 10 * (1 - 0.5*0.1)
+	if math.Abs(w[1]-want) > 1e-12 {
+		t.Fatalf("w[1] = %v, want %v", w[1], want)
+	}
+}
+
+func TestBatchGradientMatchesManual(t *testing.T) {
+	tr, _ := New(Config{Dim: 3, Lambda: 0.1})
+	w := []float64{0.5, 0, 0}
+	batch := []data.Example{
+		{Features: linalg.FromMap(map[int32]float64{0: 1}), Label: 1},  // p=0.5, margin violated: grad -x
+		{Features: linalg.FromMap(map[int32]float64{1: 1}), Label: -1}, // p=0, violated: grad +x
+	}
+	grad := make([]float64, 3)
+	tr.BatchGradient(grad, w, batch)
+	// avg of (-1,0,0) and (0,1,0) = (-0.5, 0.5, 0), plus λw = (0.05,0,0).
+	want := []float64{-0.45, 0.5, 0}
+	for i := range want {
+		if math.Abs(grad[i]-want[i]) > 1e-12 {
+			t.Fatalf("grad = %v, want %v", grad, want)
+		}
+	}
+	// w unchanged by BatchGradient.
+	if w[0] != 0.5 || w[1] != 0 {
+		t.Fatal("BatchGradient modified w")
+	}
+}
+
+func TestBatchGradientEmptyBatch(t *testing.T) {
+	tr, _ := New(Config{Dim: 2})
+	grad := []float64{9, 9}
+	tr.BatchGradient(grad, []float64{1, 1}, nil)
+	if grad[0] != 0 || grad[1] != 0 {
+		t.Fatalf("empty batch grad = %v, want zeros", grad)
+	}
+}
+
+func TestBatchGradientPanicsOnWrongDim(t *testing.T) {
+	tr, _ := New(Config{Dim: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong grad length should panic")
+		}
+	}()
+	tr.BatchGradient(make([]float64, 2), make([]float64, 3), nil)
+}
+
+func TestApplyGradientAdvancesSchedule(t *testing.T) {
+	tr, _ := New(Config{Dim: 2, Schedule: sgd.Fixed{Eta: 0.1}})
+	w := []float64{1, 1}
+	tr.ApplyGradient(w, []float64{1, 0}, 500)
+	if math.Abs(w[0]-0.9) > 1e-12 {
+		t.Fatalf("w[0] = %v", w[0])
+	}
+	if tr.Steps() != 500 {
+		t.Fatalf("Steps = %d, want 500", tr.Steps())
+	}
+}
+
+func TestBatchTrainingConverges(t *testing.T) {
+	// Mini-batch gradient descent (the distributed inner loop run
+	// serially) must also converge.
+	ds := genData(t, 100, 2000, 0.02)
+	tr, _ := New(Config{Dim: ds.Dim, Lambda: 1e-4})
+	w := make([]float64, ds.Dim)
+	grad := make([]float64, ds.Dim)
+	const cb = 50
+	for epoch := 0; epoch < 8; epoch++ {
+		for lo := 0; lo+cb <= len(ds.Train); lo += cb {
+			tr.BatchGradient(grad, w, ds.Train[lo:lo+cb])
+			tr.ApplyGradient(w, grad, cb)
+		}
+	}
+	if acc := tr.Accuracy(w, ds.Test); acc < 0.8 {
+		t.Fatalf("batch training accuracy %v too low", acc)
+	}
+}
+
+func TestSetSteps(t *testing.T) {
+	tr, _ := New(Config{Dim: 2})
+	tr.SetSteps(100)
+	if tr.Steps() != 100 {
+		t.Fatal("SetSteps did not apply")
+	}
+}
+
+func TestNegativeLambdaDisablesRegularization(t *testing.T) {
+	tr, err := New(Config{Dim: 4, Lambda: -1, Schedule: sgd.Fixed{Eta: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config().Lambda != 0 {
+		t.Fatalf("Lambda = %v, want 0", tr.Config().Lambda)
+	}
+	// With no regularization, a confident correct prediction leaves w
+	// untouched — no shrink — so per-batch deltas stay sparse.
+	w := []float64{10, 10, 10, 10}
+	ex := data.Example{Features: linalg.FromMap(map[int32]float64{0: 1}), Label: 1}
+	tr.Step(w, ex)
+	if w[1] != 10 || w[3] != 10 {
+		t.Fatalf("unregularized step shrank untouched coordinates: %v", w)
+	}
+	// Default schedule still decays when built from a negative lambda.
+	tr2, _ := New(Config{Dim: 2, Lambda: -1})
+	if r0, r1 := tr2.Config().Schedule.Rate(0), tr2.Config().Schedule.Rate(100000); r1 >= r0 {
+		t.Fatalf("schedule does not decay: %v -> %v", r0, r1)
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace accumulates per-phase wall-clock time for one training
+// replica. The paper's Fig 8 breaks a rank's time into gradient
+// computation, scatter, gather and barrier; Fig 9 contrasts compute time
+// with wait time across MALT and parameter-server configurations. A Timer
+// is owned by one goroutine and is deliberately free of synchronization on
+// the hot path; Snapshot copies may be taken from other goroutines only
+// after the replica has stopped.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase labels one accounted activity.
+type Phase int
+
+const (
+	// Compute is gradient / model-update computation.
+	Compute Phase = iota
+	// Scatter is time spent pushing updates to peers.
+	Scatter
+	// Gather is time spent folding received updates.
+	Gather
+	// Barrier is time blocked in BSP barriers.
+	Barrier
+	// Wait is time blocked for other reasons: SSP stalls, parameter-server
+	// model pulls.
+	Wait
+	numPhases
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case Compute:
+		return "compute"
+	case Scatter:
+		return "scatter"
+	case Gather:
+		return "gather"
+	case Barrier:
+		return "barrier"
+	case Wait:
+		return "wait"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists all phases in display order.
+func Phases() []Phase {
+	return []Phase{Compute, Scatter, Gather, Barrier, Wait}
+}
+
+// Timer accumulates time per phase.
+type Timer struct {
+	total [numPhases]time.Duration
+}
+
+// Time runs fn and charges its duration to phase.
+func (t *Timer) Time(p Phase, fn func()) {
+	start := time.Now()
+	fn()
+	t.total[p] += time.Since(start)
+}
+
+// TimeErr runs fn and charges its duration to phase, forwarding fn's error.
+func (t *Timer) TimeErr(p Phase, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	t.total[p] += time.Since(start)
+	return err
+}
+
+// Add charges d to phase directly (used when the duration was measured
+// elsewhere, e.g. the barrier wait returned by a consistency controller).
+func (t *Timer) Add(p Phase, d time.Duration) {
+	t.total[p] += d
+}
+
+// Get returns the accumulated time for a phase.
+func (t *Timer) Get(p Phase) time.Duration { return t.total[p] }
+
+// Total returns the sum over all phases.
+func (t *Timer) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.total {
+		sum += d
+	}
+	return sum
+}
+
+// Snapshot returns a copy of the per-phase totals.
+func (t *Timer) Snapshot() map[Phase]time.Duration {
+	out := make(map[Phase]time.Duration, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		out[p] = t.total[p]
+	}
+	return out
+}
+
+// Merge adds another timer's totals into t (aggregating ranks).
+func (t *Timer) Merge(other *Timer) {
+	for p := Phase(0); p < numPhases; p++ {
+		t.total[p] += other.total[p]
+	}
+}
+
+// String formats the totals compactly for logs.
+func (t *Timer) String() string {
+	var b strings.Builder
+	for i, p := range Phases() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", p, t.total[p].Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Time(Compute, func() { time.Sleep(5 * time.Millisecond) })
+	tm.Time(Compute, func() { time.Sleep(5 * time.Millisecond) })
+	if got := tm.Get(Compute); got < 9*time.Millisecond {
+		t.Fatalf("Compute = %v, want >= ~10ms", got)
+	}
+	if tm.Get(Scatter) != 0 {
+		t.Fatal("untouched phase should be zero")
+	}
+}
+
+func TestTimeErrForwardsError(t *testing.T) {
+	var tm Timer
+	want := errors.New("boom")
+	if err := tm.TimeErr(Gather, func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tm.TimeErr(Gather, func() error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var tm Timer
+	tm.Add(Barrier, 3*time.Second)
+	tm.Add(Wait, 2*time.Second)
+	if tm.Total() != 5*time.Second {
+		t.Fatalf("Total = %v", tm.Total())
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	var a, b Timer
+	a.Add(Compute, time.Second)
+	b.Add(Compute, 2*time.Second)
+	b.Add(Scatter, time.Second)
+	a.Merge(&b)
+	if a.Get(Compute) != 3*time.Second || a.Get(Scatter) != time.Second {
+		t.Fatalf("merge wrong: %v", a.Snapshot())
+	}
+	snap := a.Snapshot()
+	if snap[Compute] != 3*time.Second {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if len(snap) != len(Phases()) {
+		t.Fatalf("snapshot has %d phases, want %d", len(snap), len(Phases()))
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"compute", "scatter", "gather", "barrier", "wait"}
+	for i, p := range Phases() {
+		if p.String() != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var tm Timer
+	tm.Add(Compute, time.Millisecond)
+	s := tm.String()
+	if !strings.Contains(s, "compute=1ms") {
+		t.Fatalf("String = %q", s)
+	}
+	for _, p := range Phases() {
+		if !strings.Contains(s, p.String()+"=") {
+			t.Fatalf("String missing phase %v: %q", p, s)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package vol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"malt/internal/ml/linalg"
+)
+
+// Wire formats.
+//
+// Dense:  dim float64s, little-endian, 8*dim bytes.
+// Sparse: uint32 count, count int32 indices, count float64 values.
+//
+// Both formats are fixed-layout so a torn read (mixed old/new bytes) decodes
+// to *numbers* — garbage values, not parser crashes — matching the paper's
+// observation that stochastic training tolerates occasional corrupt updates.
+// The one exception is a torn sparse count, which is bounds-checked.
+
+func (v *Vector) encode(data []float64) ([]byte, error) {
+	switch v.typ {
+	case Dense:
+		return encodeDense(v.encBuf, data), nil
+	case Sparse:
+		sv := linalg.FromDense(data)
+		return encodeSparse(v.encBuf, sv)
+	default:
+		return nil, fmt.Errorf("vol: unknown type %d", v.typ)
+	}
+}
+
+func encodeDense(buf []byte, data []float64) []byte {
+	out := buf[:8*len(data)]
+	for i, f := range data {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func (v *Vector) decodeDense(payload []byte) ([]float64, error) {
+	if len(payload) != 8*v.dim {
+		return nil, fmt.Errorf("vol: dense payload %d bytes, want %d", len(payload), 8*v.dim)
+	}
+	// Each update needs its own storage because the UDF receives all of a
+	// gather's updates together.
+	out := make([]float64, v.dim)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out, nil
+}
+
+func encodeSparse(buf []byte, sv *linalg.SparseVector) ([]byte, error) {
+	need := 4 + 12*sv.NNZ()
+	if need > len(buf) {
+		return nil, fmt.Errorf("vol: sparse update with %d entries exceeds MaxNNZ capacity (%d bytes > %d)",
+			sv.NNZ(), need, len(buf))
+	}
+	out := buf[:need]
+	binary.LittleEndian.PutUint32(out[0:4], uint32(sv.NNZ()))
+	off := 4
+	for _, idx := range sv.Idx {
+		binary.LittleEndian.PutUint32(out[off:], uint32(idx))
+		off += 4
+	}
+	for _, val := range sv.Val {
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(val))
+		off += 8
+	}
+	return out, nil
+}
+
+func decodeSparse(payload []byte) (*linalg.SparseVector, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("vol: sparse payload too short (%d bytes)", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if count < 0 || 4+12*count > len(payload) {
+		return nil, fmt.Errorf("vol: sparse payload count %d exceeds payload of %d bytes", count, len(payload))
+	}
+	sv := &linalg.SparseVector{
+		Idx: make([]int32, count),
+		Val: make([]float64, count),
+	}
+	off := 4
+	for i := 0; i < count; i++ {
+		sv.Idx[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	for i := 0; i < count; i++ {
+		sv.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	return sv, nil
+}

@@ -1,0 +1,56 @@
+package vol
+
+import (
+	"math"
+	"sort"
+
+	"malt/internal/ml/linalg"
+)
+
+// TopK returns a sparse update holding the k largest-magnitude entries of
+// data — the gradient-compression filter the paper lists among the network
+// optimizations that further reduce traffic (§6.2, citing the parameter
+// server's filters). Scattering TopK(delta, k) instead of the full delta
+// trades convergence accuracy for a fixed wire budget; the dropped mass
+// should be carried forward by the caller (see TopKResidual).
+func TopK(data []float64, k int) *linalg.SparseVector {
+	if k <= 0 {
+		return &linalg.SparseVector{}
+	}
+	if k >= len(data) {
+		return linalg.FromDense(data)
+	}
+	idx := make([]int32, 0, len(data))
+	for i, v := range data {
+		if v != 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	if len(idx) > k {
+		sort.Slice(idx, func(a, b int) bool {
+			return math.Abs(data[idx[a]]) > math.Abs(data[idx[b]])
+		})
+		idx = idx[:k]
+		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	}
+	out := &linalg.SparseVector{
+		Idx: idx,
+		Val: make([]float64, len(idx)),
+	}
+	for i, ix := range idx {
+		out.Val[i] = data[ix]
+	}
+	return out
+}
+
+// TopKResidual splits data into the top-k sparse update and leaves the
+// residual (the dropped entries) in data, zeroing what was selected. The
+// standard error-feedback pattern: the caller accumulates the residual
+// into the next batch's delta so compression drops nothing permanently.
+func TopKResidual(data []float64, k int) *linalg.SparseVector {
+	sv := TopK(data, k)
+	for _, ix := range sv.Idx {
+		data[ix] = 0
+	}
+	return sv
+}

@@ -1,0 +1,129 @@
+package vol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKSelectsLargestMagnitude(t *testing.T) {
+	data := []float64{0.1, -5, 0, 2, -0.5, 3}
+	sv := TopK(data, 2)
+	if sv.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", sv.NNZ())
+	}
+	// Largest magnitudes are -5 (idx 1) and 3 (idx 5), indices sorted.
+	if sv.Idx[0] != 1 || sv.Val[0] != -5 || sv.Idx[1] != 5 || sv.Val[1] != 3 {
+		t.Fatalf("TopK = %v / %v", sv.Idx, sv.Val)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if TopK([]float64{1, 2}, 0).NNZ() != 0 {
+		t.Fatal("k=0 should be empty")
+	}
+	if TopK([]float64{1, 0, 2}, 10).NNZ() != 2 {
+		t.Fatal("k>len should return all non-zeros")
+	}
+	if TopK(nil, 3).NNZ() != 0 {
+		t.Fatal("empty data should be empty")
+	}
+}
+
+func TestTopKResidualErrorFeedback(t *testing.T) {
+	data := []float64{4, 1, -3, 0.5}
+	sv := TopKResidual(data, 2)
+	if sv.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", sv.NNZ())
+	}
+	// Selected entries zeroed; residual keeps the rest.
+	if data[0] != 0 || data[2] != 0 {
+		t.Fatalf("selected entries not zeroed: %v", data)
+	}
+	if data[1] != 1 || data[3] != 0.5 {
+		t.Fatalf("residual corrupted: %v", data)
+	}
+	// Shipped + residual reconstructs the original exactly.
+	recon := sv.ToDense(4)
+	for i, v := range data {
+		recon[i] += v
+	}
+	want := []float64{4, 1, -3, 0.5}
+	for i := range want {
+		if recon[i] != want[i] {
+			t.Fatalf("recon = %v", recon)
+		}
+	}
+}
+
+// Property: the selected set's total magnitude dominates any other k-subset
+// (we check against the complement's max) and shipped+residual is lossless.
+func TestTopKProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		k := rng.Intn(n + 1)
+		data := make([]float64, n)
+		for i := range data {
+			if rng.Float64() < 0.7 {
+				data[i] = rng.NormFloat64()
+			}
+		}
+		orig := append([]float64(nil), data...)
+		sv := TopKResidual(data, k)
+		if sv.NNZ() > k && k < n {
+			return false
+		}
+		// Losslessness.
+		recon := sv.ToDense(n)
+		for i := range recon {
+			recon[i] += data[i]
+			if recon[i] != orig[i] {
+				return false
+			}
+		}
+		// Dominance: min selected magnitude ≥ max residual magnitude.
+		minSel := math.Inf(1)
+		for _, v := range sv.Val {
+			if math.Abs(v) < minSel {
+				minSel = math.Abs(v)
+			}
+		}
+		for _, v := range data {
+			if math.Abs(v) > minSel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKCompressedTrainingRoundTrip: a compressed scatter still delivers
+// the heavy coordinates to peers.
+func TestTopKCompressedScatter(t *testing.T) {
+	vecs := newVectors(t, 2, 100, Sparse, Options{MaxNNZ: 10})
+	d := vecs[0].Data()
+	for i := range d {
+		d[i] = 0.01
+	}
+	d[7] = 5
+	d[42] = -3
+	up := TopK(d, 2)
+	if _, err := vecs[0].ScatterSparse(up, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vecs[1].Gather(Sum); err != nil {
+		t.Fatal(err)
+	}
+	got := vecs[1].Data()
+	if got[7] != 5 || got[42] != -3 {
+		t.Fatalf("heavy coordinates lost: %v %v", got[7], got[42])
+	}
+	if got[0] != 0 {
+		t.Fatal("light coordinate should have been dropped")
+	}
+}

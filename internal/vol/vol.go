@@ -1,0 +1,423 @@
+// Package vol is MALT's Vector Object Library (paper §3.2): it raises the
+// raw shared-memory segments of dstorm to typed model-parameter/gradient
+// vectors with representation optimizations (dense or sparse wire formats)
+// and gather-side user-defined functions (average, sum, replace, …).
+//
+// Creating a Vector collectively creates a dstorm segment sized for the
+// chosen representation; Scatter serializes the local value (or a sparse
+// delta) and pushes it one-sidedly to the dataflow peers; Gather decodes
+// whatever updates have arrived locally and folds them into the local value
+// with the UDF. A Vector is owned by one rank's training goroutine; it is
+// not safe for concurrent use by multiple goroutines of the same rank.
+package vol
+
+import (
+	"errors"
+	"fmt"
+
+	"malt/internal/dataflow"
+	"malt/internal/dstorm"
+	"malt/internal/ml/linalg"
+)
+
+// Type selects the wire representation of scattered updates.
+type Type int
+
+const (
+	// Dense sends the full float64 vector every scatter.
+	Dense Type = iota
+	// Sparse sends only non-zero entries as (index, value) pairs. The
+	// segment is still sized for the worst case (MaxNNZ).
+	Sparse
+)
+
+// String returns "dense" or "sparse".
+func (t Type) String() string {
+	if t == Sparse {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// Options tunes a Vector beyond its type and dimension.
+type Options struct {
+	// QueueLen is the per-sender receive-queue depth (dstorm default if 0).
+	QueueLen int
+	// ChunkSize forwards to dstorm.SegmentOptions.ChunkSize.
+	ChunkSize int
+	// MaxNNZ caps the entries of a sparse update; 0 means dim (worst case).
+	MaxNNZ int
+}
+
+// GatherStats summarizes one gather call.
+type GatherStats struct {
+	// Updates is the number of peer updates folded.
+	Updates int
+	// MinIter and MaxIter are the smallest and largest iteration stamps
+	// among the folded updates (both 0 when Updates is 0).
+	MinIter, MaxIter uint64
+	// Torn counts updates observed mid-write (weak gathers only).
+	Torn int
+}
+
+// Update is one decoded peer update handed to a UDF. Data aliases gather
+// buffers valid only for the duration of the UDF call.
+type Update struct {
+	// From is the sender's rank.
+	From int
+	// Iter is the sender's iteration stamp.
+	Iter uint64
+	// Data is the decoded (densified) payload.
+	Data []float64
+	// Sparse is the raw sparse payload for Sparse-typed vectors (nil for
+	// Dense). UDFs that must distinguish "sent as zero" from "not sent" —
+	// coordinate-wise Hogwild replacement, for example — read it instead
+	// of Data.
+	Sparse *linalg.SparseVector
+}
+
+// Fold is the input to a gather UDF: the folding rank's identity and local
+// value plus the incoming updates, ordered by sender rank then sequence.
+type Fold struct {
+	// Self is the rank performing the gather.
+	Self int
+	// Local is the rank's current value, mutated in place by the UDF.
+	Local []float64
+	// Updates are the incoming peer updates.
+	Updates []Update
+}
+
+// UDF folds incoming peer updates into the local vector. Implementations
+// must not retain f.Updates' Data slices — they alias gather buffers.
+type UDF func(f Fold)
+
+// Average replaces local with the mean of {local} ∪ updates — the paper's
+// default gradient-averaging gather. The summation folds in ascending rank
+// order (treating the local value as rank Self's contribution), so that
+// when every rank sees the same multiset of updates — as in synchronous
+// all-to-all training — every rank computes the bit-identical result
+// regardless of which contribution is its own.
+func Average(f Fold) {
+	if len(f.Updates) == 0 {
+		return
+	}
+	scale := 1.0 / float64(len(f.Updates)+1)
+	acc := make([]float64, len(f.Local))
+	localAdded := false
+	addLocal := func() {
+		for i, v := range f.Local {
+			acc[i] += scale * v
+		}
+		localAdded = true
+	}
+	for _, u := range f.Updates {
+		if !localAdded && f.Self < u.From {
+			addLocal()
+		}
+		linalg.Axpy(scale, u.Data, acc)
+	}
+	if !localAdded {
+		addLocal()
+	}
+	copy(f.Local, acc)
+}
+
+// AverageIncoming replaces local with the mean of the incoming updates
+// only, leaving local untouched when nothing arrived. Model-averaging
+// configurations ("modelavg") use it: the local parameters are mixed into
+// the scatter itself, not the fold.
+func AverageIncoming(f Fold) {
+	if len(f.Updates) == 0 {
+		return
+	}
+	linalg.Zero(f.Local)
+	scale := 1.0 / float64(len(f.Updates))
+	for _, u := range f.Updates {
+		linalg.Axpy(scale, u.Data, f.Local)
+	}
+}
+
+// Sum adds every incoming update into local.
+func Sum(f Fold) {
+	for _, u := range f.Updates {
+		linalg.Axpy(1, u.Data, f.Local)
+	}
+}
+
+// ReplaceCoords overwrites, for every incoming sparse update in arrival
+// order, exactly the coordinates the sender shipped, leaving all others
+// untouched. This is the distributed Hogwild gather for models where each
+// update touches a few rows (matrix factorization: the changed rows and
+// columns of the factor matrices). Dense updates fall back to whole-vector
+// replacement.
+func ReplaceCoords(f Fold) {
+	for _, u := range f.Updates {
+		if u.Sparse == nil {
+			copy(f.Local, u.Data)
+			continue
+		}
+		n := int32(len(f.Local))
+		for i, idx := range u.Sparse.Idx {
+			if idx < n {
+				f.Local[idx] = u.Sparse.Val[i]
+			}
+		}
+	}
+}
+
+// Replace overwrites local with the freshest incoming update (highest
+// iteration stamp, ties broken by arrival order) — the distributed Hogwild
+// gather used by the matrix-factorization workload.
+func Replace(f Fold) {
+	if len(f.Updates) == 0 {
+		return
+	}
+	best := 0
+	for i, u := range f.Updates {
+		if u.Iter >= f.Updates[best].Iter {
+			best = i
+		}
+	}
+	copy(f.Local, f.Updates[best].Data)
+}
+
+// Vector is a shared model-parameter or gradient vector.
+type Vector struct {
+	name string
+	typ  Type
+	dim  int
+	rank int
+	seg  *dstorm.Segment
+	data []float64
+
+	encBuf    []byte
+	updateBuf []Update                         // per-gather decoded views
+	accept    func(from int, iter uint64) bool // transient GatherIf filter
+}
+
+// Create collectively creates a Vector named name over the node's cluster.
+// Like dstorm segment creation, every rank in the graph must call Create
+// with identical parameters; the call blocks until all have.
+func Create(node *dstorm.Node, name string, typ Type, dim int, graph *dataflow.Graph, opts Options) (*Vector, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vol: dimension must be positive, got %d", dim)
+	}
+	maxNNZ := opts.MaxNNZ
+	if maxNNZ <= 0 || maxNNZ > dim {
+		maxNNZ = dim
+	}
+	var objSize int
+	switch typ {
+	case Dense:
+		objSize = 8 * dim
+	case Sparse:
+		objSize = 4 + 12*maxNNZ // count + (int32 idx, float64 val) pairs
+	default:
+		return nil, fmt.Errorf("vol: unknown vector type %d", typ)
+	}
+	seg, err := node.CreateSegment("vol/"+name, dstorm.SegmentOptions{
+		ObjectSize: objSize,
+		QueueLen:   opts.QueueLen,
+		Graph:      graph,
+		ChunkSize:  opts.ChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{
+		name:   name,
+		typ:    typ,
+		dim:    dim,
+		rank:   node.Rank(),
+		seg:    seg,
+		data:   make([]float64, dim),
+		encBuf: make([]byte, objSize),
+	}, nil
+}
+
+// Name returns the vector's name.
+func (v *Vector) Name() string { return v.name }
+
+// Type returns the wire representation.
+func (v *Vector) Type() Type { return v.typ }
+
+// Dim returns the vector length.
+func (v *Vector) Dim() int { return v.dim }
+
+// Data returns the local value. The slice is the vector's backing store:
+// the training loop reads and writes it directly (this is the "shared
+// memory" programming model — no copies between the model and the
+// communication layer).
+func (v *Vector) Data() []float64 { return v.data }
+
+// AsMatrix views the local value as a rows×cols matrix sharing storage.
+// rows*cols must equal Dim. Neural-network layers and MF factor matrices
+// use this to train directly inside the scatter buffer.
+func (v *Vector) AsMatrix(rows, cols int) *linalg.Matrix {
+	return linalg.WrapMatrix(rows, cols, v.data)
+}
+
+// Segment exposes the underlying dstorm segment for advanced control
+// (staleness peeks, peer removal on failure).
+func (v *Vector) Segment() *dstorm.Segment { return v.seg }
+
+// SetIteration stamps subsequent scatters with the given iteration count.
+func (v *Vector) SetIteration(iter uint64) { v.seg.SetIteration(iter) }
+
+// Scatter serializes the local value and pushes it to all dataflow peers,
+// returning the peers whose writes failed.
+func (v *Vector) Scatter(iter uint64) ([]int, error) {
+	payload, err := v.encode(v.data)
+	if err != nil {
+		return nil, err
+	}
+	return v.seg.Scatter(payload, iter)
+}
+
+// ScatterTo pushes the local value to a subset of the dataflow peers,
+// giving per-call dataflow control (paper Table 1: scatter takes an
+// optional dataflow argument).
+func (v *Vector) ScatterTo(peers []int, iter uint64) ([]int, error) {
+	payload, err := v.encode(v.data)
+	if err != nil {
+		return nil, err
+	}
+	return v.seg.ScatterTo(peers, payload, iter)
+}
+
+// ScatterSparse pushes an explicit sparse update (for example, only the
+// coordinates touched by the last mini-batch) instead of the full local
+// value. The vector must have been created with the Sparse type.
+func (v *Vector) ScatterSparse(update *linalg.SparseVector, iter uint64) ([]int, error) {
+	if v.typ != Sparse {
+		return nil, errors.New("vol: ScatterSparse requires a Sparse vector")
+	}
+	payload, err := encodeSparse(v.encBuf, update)
+	if err != nil {
+		return nil, err
+	}
+	return v.seg.Scatter(payload, iter)
+}
+
+// Gather folds all newly arrived peer updates into the local value with the
+// given UDF (atomic snapshots; never torn).
+func (v *Vector) Gather(udf UDF) (GatherStats, error) {
+	return v.gather(udf, dstorm.GatherAllNew, false)
+}
+
+// GatherIf folds only the updates for which accept returns true; rejected
+// updates are consumed and dropped. Staleness policies (the paper's ASP
+// configuration skips merging updates from stragglers) pass an iteration
+// filter here. GatherStats.Updates counts only accepted updates.
+func (v *Vector) GatherIf(udf UDF, accept func(from int, iter uint64) bool) (GatherStats, error) {
+	v.accept = accept
+	defer func() { v.accept = nil }()
+	return v.gather(udf, dstorm.GatherAllNew, false)
+}
+
+// GatherLatest folds only the freshest update per peer.
+func (v *Vector) GatherLatest(udf UDF) (GatherStats, error) {
+	return v.gather(udf, dstorm.GatherLatest, false)
+}
+
+// GatherWeak folds updates without torn-read protection; GatherStats.Torn
+// counts how many folded payloads were observed mid-write. Exists to
+// quantify the consistency trade-off of §3.2.
+func (v *Vector) GatherWeak(udf UDF) (GatherStats, error) {
+	return v.gather(udf, dstorm.GatherAllNew, true)
+}
+
+func (v *Vector) gather(udf UDF, mode dstorm.GatherMode, weak bool) (GatherStats, error) {
+	var (
+		ups []dstorm.Update
+		err error
+	)
+	if weak {
+		ups, err = v.seg.GatherWeak(mode)
+	} else {
+		ups, err = v.seg.Gather(mode)
+	}
+	if err != nil {
+		return GatherStats{}, err
+	}
+	stats := GatherStats{}
+	v.updateBuf = v.updateBuf[:0]
+	switch v.typ {
+	case Dense:
+		for _, u := range ups {
+			if v.accept != nil && !v.accept(u.From, u.Iter) {
+				continue
+			}
+			dec, derr := v.decodeDense(u.Data)
+			if derr != nil {
+				if weak && u.Torn {
+					stats.Torn++
+					continue // torn payloads may be undecodable; drop
+				}
+				return stats, derr
+			}
+			v.noteUpdate(&stats, u)
+			v.updateBuf = append(v.updateBuf, Update{From: u.From, Iter: u.Iter, Data: dec})
+		}
+	case Sparse:
+		// Sparse updates are densified so every UDF sees a uniform dense
+		// view.
+		for _, u := range ups {
+			if v.accept != nil && !v.accept(u.From, u.Iter) {
+				continue
+			}
+			sv, derr := decodeSparse(u.Data)
+			if derr != nil {
+				if weak && u.Torn {
+					stats.Torn++
+					continue
+				}
+				return stats, derr
+			}
+			v.noteUpdate(&stats, u)
+			dense := make([]float64, v.dim)
+			sv.AxpyDense(1, dense)
+			v.updateBuf = append(v.updateBuf, Update{From: u.From, Iter: u.Iter, Data: dense, Sparse: sv})
+		}
+	}
+	if udf != nil {
+		udf(Fold{Self: v.rank, Local: v.data, Updates: v.updateBuf})
+	}
+	if weak {
+		for _, u := range ups {
+			if u.Torn {
+				stats.Torn++
+			}
+		}
+	}
+	return stats, nil
+}
+
+func (v *Vector) noteUpdate(stats *GatherStats, u dstorm.Update) {
+	if stats.Updates == 0 || u.Iter < stats.MinIter {
+		stats.MinIter = u.Iter
+	}
+	if u.Iter > stats.MaxIter {
+		stats.MaxIter = u.Iter
+	}
+	stats.Updates++
+}
+
+// PeerIters reports the latest iteration stamp seen from each inbound peer
+// without consuming updates (staleness policies poll this).
+func (v *Vector) PeerIters() map[int]uint64 { return v.seg.PeerIters() }
+
+// Barrier blocks until all live ranks reach the vector's barrier — the
+// paper's g.barrier() for bulk-synchronous training.
+func (v *Vector) Barrier() error { return v.seg.Barrier() }
+
+// RemovePeer drops a failed rank from the vector's send/receive lists.
+func (v *Vector) RemovePeer(rank int) { v.seg.RemovePeer(rank) }
+
+// Close releases the underlying segment.
+func (v *Vector) Close() error { return v.seg.Close() }
+
+// SegStats returns the receive-side counters of the underlying segment:
+// how many updates gathers consumed and how many were lost to ring
+// overwrites before consumption.
+func (v *Vector) SegStats() dstorm.Stats { return v.seg.Stats() }

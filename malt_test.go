@@ -1,0 +1,246 @@
+package malt_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"malt"
+)
+
+// TestRunQuickstart drives the public API end to end: parallel replicas
+// train a toy shared vector with scatter/gather under BSP.
+func TestRunQuickstart(t *testing.T) {
+	const ranks, dim = 4, 8
+	finals := make([][]float64, ranks)
+	var mu sync.Mutex
+	res, err := malt.Run(malt.Config{Ranks: ranks, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			v, err := ctx.CreateVector("w", malt.Dense, dim)
+			if err != nil {
+				return err
+			}
+			for it := uint64(1); it <= 10; it++ {
+				// Each rank pulls the shared value toward its rank number;
+				// averaging keeps all replicas in lock step.
+				v.Data()[0] += float64(ctx.Rank())
+				ctx.SetIteration(it)
+				if err := ctx.Scatter(v); err != nil {
+					return err
+				}
+				if err := ctx.Advance(v); err != nil {
+					return err
+				}
+				if _, err := ctx.Gather(v, malt.Average); err != nil {
+					return err
+				}
+				if err := ctx.Commit(v); err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			finals[ctx.Rank()] = append([]float64(nil), v.Data()...)
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < ranks; r++ {
+		if finals[r][0] != finals[0][0] {
+			t.Fatalf("BSP all-to-all replicas diverged: %v vs %v", finals[r][0], finals[0][0])
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := malt.Run(malt.Config{Ranks: 0}, func(*malt.Context) error { return nil }); err == nil {
+		t.Fatal("Ranks=0 should fail")
+	}
+}
+
+func TestSparseVectorThroughPublicAPI(t *testing.T) {
+	res, err := malt.Run(malt.Config{Ranks: 2, Dataflow: malt.All, Sync: malt.ASP},
+		func(ctx *malt.Context) error {
+			v, err := ctx.CreateVector("g", malt.Sparse, 1000)
+			if err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				v.Data()[7] = 3.5
+				ctx.SetIteration(1)
+				if err := ctx.Scatter(v); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Barrier(v); err != nil {
+				return err
+			}
+			if ctx.Rank() == 1 {
+				if _, err := ctx.Gather(v, malt.Sum); err != nil {
+					return err
+				}
+				if v.Data()[7] != 3.5 {
+					t.Errorf("sparse update not delivered: %v", v.Data()[7])
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadLibSVM(t *testing.T) {
+	ds, err := malt.LoadLibSVM(strings.NewReader("1 1:0.5 2:1\n-1 3:2\n"), "toy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 2 || ds.Dim != 3 {
+		t.Fatalf("parsed %d examples, dim %d", len(ds.Train), ds.Dim)
+	}
+}
+
+func TestNewClusterExposesFabric(t *testing.T) {
+	c, err := malt.NewCluster(malt.Config{Ranks: 3, Dataflow: malt.Halton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fabric().Ranks() != 3 {
+		t.Fatal("fabric rank count wrong")
+	}
+	if c.Graph().Kind() != malt.Halton {
+		t.Fatal("dataflow kind not applied")
+	}
+}
+
+// TestAddVectorThroughPublicAPI exercises the fetch-and-add extension:
+// gradient averaging performed at deposit time.
+func TestAddVectorThroughPublicAPI(t *testing.T) {
+	res, err := malt.Run(malt.Config{Ranks: 3, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			acc, err := ctx.CreateAddVector("grad", 2)
+			if err != nil {
+				return err
+			}
+			grad := []float64{float64(ctx.Rank() + 1), 0}
+			if err := acc.AddLocal(grad); err != nil {
+				return err
+			}
+			if _, err := acc.Scatter(grad, 1); err != nil {
+				return err
+			}
+			if err := acc.Barrier(); err != nil {
+				return err
+			}
+			avg := make([]float64, 2)
+			n, err := acc.Drain(avg)
+			if err != nil {
+				return err
+			}
+			if n != 3 || avg[0] != 2 { // mean(1,2,3)
+				t.Errorf("rank %d drained %d contributions, avg %v", ctx.Rank(), n, avg)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelParallelShards demonstrates the paper's §4 remark that model
+// parallelism is expressible by sharding parameters over multiple MALT
+// vectors: two vectors hold disjoint halves of a model, each with its own
+// synchronization.
+func TestModelParallelShards(t *testing.T) {
+	const half = 8
+	res, err := malt.Run(malt.Config{Ranks: 2, Dataflow: malt.All, Sync: malt.BSP},
+		func(ctx *malt.Context) error {
+			low, err := ctx.CreateVector("w/low", malt.Dense, half)
+			if err != nil {
+				return err
+			}
+			high, err := ctx.CreateVector("w/high", malt.Dense, half)
+			if err != nil {
+				return err
+			}
+			low.Data()[0] = float64(ctx.Rank() + 1)
+			high.Data()[0] = 10 * float64(ctx.Rank()+1)
+			ctx.SetIteration(1)
+			for _, v := range []*malt.Vector{low, high} {
+				if err := ctx.Scatter(v); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Advance(low); err != nil {
+				return err
+			}
+			for _, v := range []*malt.Vector{low, high} {
+				if _, err := ctx.Gather(v, malt.Average); err != nil {
+					return err
+				}
+			}
+			if low.Data()[0] != 1.5 || high.Data()[0] != 15 {
+				t.Errorf("rank %d: shards = %v / %v", ctx.Rank(), low.Data()[0], high.Data()[0])
+			}
+			return ctx.Commit(low)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustomDataflowThroughPublicAPI drives a user-supplied communication
+// graph (Table 1: scatter takes an arbitrary dataflow).
+func TestCustomDataflowThroughPublicAPI(t *testing.T) {
+	g, err := malt.CustomDataflow([][]int{{1}, {2}, {0}}) // 3-cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := malt.Run(malt.Config{Ranks: 3, Graph: g, Sync: malt.ASP},
+		func(ctx *malt.Context) error {
+			v, err := ctx.CreateVector("w", malt.Dense, 1)
+			if err != nil {
+				return err
+			}
+			v.Data()[0] = float64(ctx.Rank() + 1)
+			ctx.SetIteration(1)
+			if err := ctx.Scatter(v); err != nil {
+				return err
+			}
+			if err := ctx.Barrier(v); err != nil {
+				return err
+			}
+			st, err := ctx.Gather(v, malt.Replace)
+			if err != nil {
+				return err
+			}
+			if st.Updates != 1 {
+				t.Errorf("rank %d folded %d updates, want 1 (cycle)", ctx.Rank(), st.Updates)
+			}
+			// Predecessor in the cycle: rank (r+2)%3 sends to r.
+			want := float64((ctx.Rank()+2)%3 + 1)
+			if v.Data()[0] != want {
+				t.Errorf("rank %d got %v, want %v", ctx.Rank(), v.Data()[0], want)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
