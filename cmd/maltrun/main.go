@@ -4,6 +4,10 @@
 //
 //	maltrun -workload rcv1 -ranks 10 -cb 50 -dataflow halton -sync asp -epochs 10
 //	maltrun -data train.libsvm -ranks 4 -cb 100
+//
+// A chaos scenario subjects the run to a scripted hostile network:
+//
+//	maltrun -ranks 4 -sync asp -chaos "flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms"
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"malt/internal/bench"
+	"malt/internal/chaos"
 	"malt/internal/consistency"
 	"malt/internal/data"
 	"malt/internal/dataflow"
@@ -22,20 +27,22 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "svm", "application: svm|mf|nn|kmeans")
-		workload = flag.String("workload", "rcv1", "synthetic workload shape for svm: rcv1|alpha|dna|webspam|splice")
-		dataFile = flag.String("data", "", "libsvm training file (overrides -workload)")
-		scale    = flag.Int("scale", 1, "dataset scale multiplier")
-		ranks    = flag.Int("ranks", 4, "model replicas")
-		cb       = flag.Int("cb", 50, "communication batch size (examples)")
-		epochs   = flag.Int("epochs", 10, "training epochs")
-		flowStr  = flag.String("dataflow", "all", "dataflow: all|halton|ring")
-		syncStr  = flag.String("sync", "bsp", "consistency: bsp|asp|ssp")
-		modeStr  = flag.String("mode", "gradavg", "update exchanged: gradavg|modelavg")
-		goal     = flag.Float64("goal", 0, "stop at this training loss (0 = run all epochs)")
-		lambda   = flag.Float64("lambda", 1e-5, "L2 regularization")
-		eta      = flag.Float64("eta", 1, "initial learning rate")
-		sparse   = flag.Bool("sparse", true, "sparse wire format")
+		app       = flag.String("app", "svm", "application: svm|mf|nn|kmeans")
+		workload  = flag.String("workload", "rcv1", "synthetic workload shape for svm: rcv1|alpha|dna|webspam|splice")
+		dataFile  = flag.String("data", "", "libsvm training file (overrides -workload)")
+		scale     = flag.Int("scale", 1, "dataset scale multiplier")
+		ranks     = flag.Int("ranks", 4, "model replicas")
+		cb        = flag.Int("cb", 50, "communication batch size (examples)")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		flowStr   = flag.String("dataflow", "all", "dataflow: all|halton|ring")
+		syncStr   = flag.String("sync", "bsp", "consistency: bsp|asp|ssp")
+		modeStr   = flag.String("mode", "gradavg", "update exchanged: gradavg|modelavg")
+		goal      = flag.Float64("goal", 0, "stop at this training loss (0 = run all epochs)")
+		lambda    = flag.Float64("lambda", 1e-5, "L2 regularization")
+		eta       = flag.Float64("eta", 1, "initial learning rate")
+		sparse    = flag.Bool("sparse", true, "sparse wire format")
+		chaosStr  = flag.String("chaos", "", `chaos scenario, e.g. "flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms" (svm only)`)
+		chaosSeed = flag.Int64("chaosSeed", 1, "seed for the chaos scenario's injection streams")
 	)
 	flag.Parse()
 
@@ -87,12 +94,22 @@ func main() {
 		ds.Name, len(ds.Train), len(ds.Test), ds.Dim)
 	fmt.Printf("cluster: %d ranks, %v dataflow, %v, %s, cb=%d\n", *ranks, flow, sync, mode, *cb)
 
+	var script *chaos.Script
+	if *chaosStr != "" {
+		script, err = chaos.Parse(*chaosStr, *chaosSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chaos: %q (seed %d, %d timed events)\n", *chaosStr, *chaosSeed, len(script.Events()))
+	}
+
 	res, err := bench.RunSVM(bench.SVMOpts{
 		DS: ds, Ranks: *ranks, CB: *cb,
 		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
 		Mode: mode, Epochs: *epochs, Goal: *goal,
 		SVM:    svm.Config{Dim: ds.Dim, Lambda: *lambda, Eta0: *eta},
 		Sparse: *sparse, EvalEvery: 4,
+		Chaos: script,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -121,6 +138,26 @@ func main() {
 	fmt.Printf("\nnetwork: %.1f MB total, %d messages, modeled wire time %v\n",
 		float64(res.Stats.TotalBytes())/(1<<20), res.Stats.TotalMessages(),
 		res.Stats.ModeledNetworkTime().Round(1e6))
+
+	if script != nil {
+		fmt.Printf("\nchaos: %d transient drops injected, %v straggler wire time\n",
+			res.Stats.InjectedDrops(), res.Stats.InjectedJitterTime().Round(1e6))
+		fmt.Printf("retries: %d attempts, %d retried, %d recovered, %d exhausted\n",
+			res.Retry.Attempts, res.Retry.Retries, res.Retry.Recovered, res.Retry.Exhausted)
+		for _, ev := range res.ChaosLog {
+			status := "ok"
+			if ev.Err != nil {
+				status = ev.Err.Error()
+			}
+			fmt.Printf("  %8v %-28s %s\n", ev.At, ev.Desc, status)
+		}
+		for _, r := range res.Cluster.Fabric().AliveRanks() {
+			m := res.Cluster.Context(r).Monitor()
+			st := m.SuspicionStats()
+			fmt.Printf("  rank %d: survivors %v; %d reports, %d health checks, %d refuted, %d confirmed\n",
+				r, m.Survivors(), st.Reports, st.HealthChecks, st.Refuted, st.Confirmed)
+		}
+	}
 }
 
 func loadDataset(file, workload string, scale int) (*data.Dataset, error) {

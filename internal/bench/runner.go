@@ -7,11 +7,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"malt/internal/chaos"
 	"malt/internal/consistency"
 	"malt/internal/core"
 	"malt/internal/data"
 	"malt/internal/dataflow"
+	"malt/internal/dstorm"
 	"malt/internal/fabric"
+	"malt/internal/fault"
 	"malt/internal/ml/svm"
 	"malt/internal/trace"
 	"malt/internal/vol"
@@ -69,6 +72,15 @@ type SVMOpts struct {
 	// reaches the given batch count (0 disables).
 	KillRank   int
 	KillAtIter uint64
+	// Chaos, when non-nil, drives the fabric through the scripted fault
+	// scenario for the duration of the run (transient drops, blackouts,
+	// stragglers, timed kills and partitions). Pending events are cancelled
+	// when training finishes first.
+	Chaos *chaos.Script
+	// Retry bounds per-write transient-fault retrying (zero = defaults).
+	Retry dstorm.RetryPolicy
+	// Suspicion tunes the K-strikes failure detector (zero = defaults).
+	Suspicion fault.SuspicionConfig
 	// Jitter models per-machine compute-speed variance. The single-core
 	// host schedules goroutines fairly, which hides the stragglers that
 	// BSP suffers from on a real cluster; a per-batch sleep (which
@@ -153,6 +165,10 @@ type RunStats struct {
 	ItersToGoal float64
 	// FinalW is rank 0's final model.
 	FinalW []float64
+	// FinalWTail is rank 0's tail-averaged model (the mean iterate over the
+	// second half of training) — a lower-variance convergence estimate than
+	// the raw final iterate, which under ASP carries one batch's noise.
+	FinalWTail []float64
 	// Timers are the per-rank phase breakdowns.
 	Timers []*trace.Timer
 	// Stats is the fabric traffic accounting.
@@ -161,6 +177,13 @@ type RunStats struct {
 	Elapsed time.Duration
 	// Batches is the number of communication batches rank 0 executed.
 	Batches uint64
+	// Cluster is the (finished) cluster, exposed so callers can inspect the
+	// per-rank fault monitors and retry counters after a chaos run.
+	Cluster *core.Cluster
+	// Retry aggregates the transient-fault write counters over all ranks.
+	Retry dstorm.RetryStats
+	// ChaosLog is the list of scenario events that fired (nil without Chaos).
+	ChaosLog []chaos.LogEntry
 }
 
 // RunSVM executes one distributed SVM training run and collects its
@@ -178,9 +201,16 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		ASPCutoff:      opts.Cutoff,
 		QueueLen:       opts.QueueLen,
 		Fabric:         opts.Fabric,
+		Retry:          opts.Retry,
+		Suspicion:      opts.Suspicion,
 	})
 	if err != nil {
 		return nil, err
+	}
+	var chaosRunner *chaos.Runner
+	if opts.Chaos != nil {
+		chaosRunner = opts.Chaos.Run(cluster.Fabric())
+		defer chaosRunner.Stop()
 	}
 
 	vtype := vol.Dense
@@ -188,11 +218,12 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		vtype = vol.Sparse
 	}
 	var (
-		stop   atomic.Bool
-		mu     sync.Mutex
-		curve  Series
-		start  time.Time
-		finalW []float64
+		stop       atomic.Bool
+		mu         sync.Mutex
+		curve      Series
+		start      time.Time
+		finalW     []float64
+		finalWTail []float64
 	)
 	udf := vol.Average
 	res := cluster.Run(func(ctx *core.Context) error {
@@ -209,6 +240,8 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 			w = v.Data() // the model itself is the shared vector
 		}
 		before := make([]float64, opts.SVM.Dim) // pre-batch model for delta exchange
+		tailSum := make([]float64, opts.SVM.Dim)
+		tailN := 0
 		jrng := rand.New(rand.NewSource(int64(1000 + ctx.Rank())))
 		if err := ctx.Barrier(v); err != nil {
 			return err
@@ -243,6 +276,12 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 						return err
 					}
 					return fmt.Errorf("bench: injected crash on rank %d at iter %d", ctx.Rank(), iter)
+				}
+				// A chaos script may have killed this rank out of band: a
+				// dead replica must stop computing (its error is filtered by
+				// LiveErrors below) instead of striking its live peers.
+				if !cluster.Fabric().Alive(ctx.Rank()) {
+					return fmt.Errorf("bench: rank %d killed externally at iter %d", ctx.Rank(), iter)
 				}
 				ctx.SetIteration(iter)
 				if opts.Jitter.enabled() {
@@ -326,6 +365,12 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 						stop.Store(true)
 					}
 				}
+				if ctx.Rank() == 0 && epoch >= opts.Epochs/2 {
+					for i := range tailSum {
+						tailSum[i] += w[i]
+					}
+					tailN++
+				}
 				if err := ctx.Commit(v); err != nil {
 					return err
 				}
@@ -334,21 +379,42 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		if ctx.Rank() == 0 {
 			mu.Lock()
 			finalW = append([]float64(nil), w...)
+			if tailN > 0 {
+				finalWTail = make([]float64, len(tailSum))
+				for i := range finalWTail {
+					finalWTail[i] = tailSum[i] / float64(tailN)
+				}
+			}
 			curve.Label = fmt.Sprintf("%s/%s/%s/cb=%d/ranks=%d",
 				opts.DS.Name, opts.Sync, opts.Mode, opts.CB, opts.Ranks)
 			mu.Unlock()
 		}
 		return nil
 	})
+	if chaosRunner != nil {
+		chaosRunner.Stop()
+	}
 	if errs := res.LiveErrors(cluster.Fabric().Alive); len(errs) > 0 {
 		return nil, errs[0]
 	}
 
 	out := &RunStats{
-		Curve:  curve,
-		FinalW: finalW,
-		Timers: make([]*trace.Timer, opts.Ranks),
-		Stats:  cluster.Fabric().Stats(),
+		Curve:      curve,
+		FinalW:     finalW,
+		FinalWTail: finalWTail,
+		Timers:     make([]*trace.Timer, opts.Ranks),
+		Stats:      cluster.Fabric().Stats(),
+		Cluster:    cluster,
+	}
+	for r := 0; r < opts.Ranks; r++ {
+		st := cluster.Context(r).RetryStats()
+		out.Retry.Attempts += st.Attempts
+		out.Retry.Retries += st.Retries
+		out.Retry.Recovered += st.Recovered
+		out.Retry.Exhausted += st.Exhausted
+	}
+	if chaosRunner != nil {
+		out.ChaosLog = chaosRunner.Log()
 	}
 	mu.Lock()
 	if !start.IsZero() {

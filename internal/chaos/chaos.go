@@ -1,0 +1,254 @@
+// Package chaos drives a simulated fabric through scripted, seeded fault
+// scenarios while a training run is in flight: baseline link flakiness,
+// blackout windows, stragglers, permanent kills, partitions and heals, all
+// scheduled on a wall-clock timeline. A Script is the declarative scenario;
+// Run applies its baseline fault model to the fabric and starts a Runner
+// goroutine that fires the timed events in order. Because every random
+// draw inside the fabric's chaos layer comes from seeded per-link streams
+// (see internal/fabric), a scenario is reproducible: the same seed and
+// script yield the same injection schedule against the same workload.
+//
+// Scenarios can be built programmatically (New + the fluent builders) or
+// parsed from the compact spec strings the maltrun CLI accepts (Parse),
+// e.g. "flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms".
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// Event is one timed scenario action.
+type Event struct {
+	// At is the event's offset from Run.
+	At time.Duration
+	// Desc is a human-readable label ("kill rank 3").
+	Desc string
+
+	apply func(f *fabric.Fabric) error
+}
+
+// LogEntry records one applied event.
+type LogEntry struct {
+	// At is the scheduled offset; Applied the actual wall-clock time.
+	At      time.Duration
+	Applied time.Time
+	Desc    string
+	// Err is the fabric's response (nil on success; e.g. killing an
+	// already-dead rank errors and is recorded, not fatal).
+	Err error
+}
+
+// Script is a declarative chaos scenario: a baseline transient-fault model
+// installed at start plus a timeline of events. The zero value is unusable;
+// construct with New. Builder methods return the script for chaining and
+// must not be called after Run.
+type Script struct {
+	cfg    fabric.ChaosConfig
+	events []Event
+}
+
+// New creates an empty scenario whose injection streams derive from seed.
+func New(seed int64) *Script {
+	return &Script{cfg: fabric.ChaosConfig{
+		Seed:  seed,
+		Links: make(map[[2]int]fabric.LinkFault),
+	}}
+}
+
+// Seed returns the scenario seed.
+func (s *Script) Seed() int64 { return s.cfg.Seed }
+
+// Events returns the scheduled timeline (sorted by At, stable).
+func (s *Script) Events() []Event {
+	out := append([]Event(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// FlakyAll gives every link a per-operation drop probability — the
+// always-on packet loss floor of a congested network.
+func (s *Script) FlakyAll(dropProb float64) *Script {
+	s.cfg.Default.DropProb = dropProb
+	return s
+}
+
+// FlakyLink overrides one directed link's drop probability.
+func (s *Script) FlakyLink(from, to int, dropProb float64) *Script {
+	lf := s.linkFault(from, to)
+	lf.DropProb = dropProb
+	s.cfg.Links[[2]int{from, to}] = lf
+	return s
+}
+
+// JitterAll gives every link a straggler model: with probability prob one
+// operation's wire cost is multiplied by mult.
+func (s *Script) JitterAll(prob, mult float64) *Script {
+	s.cfg.Default.JitterProb = prob
+	s.cfg.Default.JitterMult = mult
+	return s
+}
+
+// linkFault returns the link's override, seeded from the default.
+func (s *Script) linkFault(from, to int) fabric.LinkFault {
+	if lf, ok := s.cfg.Links[[2]int{from, to}]; ok {
+		return lf
+	}
+	return s.cfg.Default
+}
+
+func (s *Script) add(at time.Duration, desc string, apply func(*fabric.Fabric) error) *Script {
+	s.events = append(s.events, Event{At: at, Desc: desc, apply: apply})
+	return s
+}
+
+// KillAt permanently kills a rank at the given offset (fail-stop crash).
+func (s *Script) KillAt(at time.Duration, rank int) *Script {
+	return s.add(at, fmt.Sprintf("kill rank %d", rank),
+		func(f *fabric.Fabric) error { return f.Kill(rank) })
+}
+
+// PartitionAt splits the fabric into the given groups at the offset.
+func (s *Script) PartitionAt(at time.Duration, groups [][]int) *Script {
+	cp := make([][]int, len(groups))
+	for i, g := range groups {
+		cp[i] = append([]int(nil), g...)
+	}
+	return s.add(at, fmt.Sprintf("partition %v", cp),
+		func(f *fabric.Fabric) error { f.Heal(); return f.Partition(cp) })
+}
+
+// HealAt removes all partitions at the offset.
+func (s *Script) HealAt(at time.Duration) *Script {
+	return s.add(at, "heal",
+		func(f *fabric.Fabric) error { f.Heal(); return nil })
+}
+
+// BlackoutAt makes every link touching rank fail transiently for the
+// window [at, at+dur) — the machine goes dark without dying (NIC reset,
+// link renegotiation). Two events are scheduled: on and off.
+func (s *Script) BlackoutAt(at, dur time.Duration, rank int) *Script {
+	s.add(at, fmt.Sprintf("blackout rank %d on", rank),
+		func(f *fabric.Fabric) error { return f.SetRankBlackout(rank, true) })
+	return s.add(at+dur, fmt.Sprintf("blackout rank %d off", rank),
+		func(f *fabric.Fabric) error { return f.SetRankBlackout(rank, false) })
+}
+
+// StragglerAt multiplies the wire cost of every link touching rank by mult
+// for the window [at, at+dur) — a transiently slow machine (page-fault
+// storm, background daemon) rather than a dead one.
+func (s *Script) StragglerAt(at, dur time.Duration, rank int, mult float64) *Script {
+	s.add(at, fmt.Sprintf("straggler rank %d x%g on", rank, mult),
+		func(f *fabric.Fabric) error { return setRankStraggler(f, rank, 1, mult) })
+	return s.add(at+dur, fmt.Sprintf("straggler rank %d off", rank),
+		func(f *fabric.Fabric) error { return setRankStraggler(f, rank, 0, 0) })
+}
+
+// setRankStraggler rewrites the jitter fields of every link touching rank,
+// preserving the links' drop/blackout state.
+func setRankStraggler(f *fabric.Fabric, rank int, prob, mult float64) error {
+	for other := 0; other < f.Ranks(); other++ {
+		if other == rank {
+			continue
+		}
+		for _, link := range [][2]int{{rank, other}, {other, rank}} {
+			lf := f.LinkFaultOf(link[0], link[1])
+			lf.JitterProb = prob
+			lf.JitterMult = mult
+			if err := f.SetLinkFault(link[0], link[1], lf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run installs the script's baseline fault model on the fabric and starts
+// a Runner firing the timeline. Stop the runner before tearing the fabric
+// down; events that have not fired yet are cancelled by Stop.
+func (s *Script) Run(f *fabric.Fabric) *Runner {
+	f.EnableChaos(s.cfg)
+	r := &Runner{
+		fab:    f,
+		events: s.Events(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+// Runner executes a script's timeline against one fabric.
+type Runner struct {
+	fab    *fabric.Fabric
+	events []Event
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu      sync.Mutex
+	stopped bool
+	log     []LogEntry
+	started time.Time
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	start := time.Now()
+	r.mu.Lock()
+	r.started = start
+	r.mu.Unlock()
+	for _, ev := range r.events {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(wait):
+			}
+		} else {
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+		}
+		err := ev.apply(r.fab)
+		r.mu.Lock()
+		r.log = append(r.log, LogEntry{At: ev.At, Applied: time.Now(), Desc: ev.Desc, Err: err})
+		r.mu.Unlock()
+	}
+}
+
+// Wait blocks until every event has fired (or the runner was stopped).
+func (r *Runner) Wait() { <-r.done }
+
+// Stop cancels pending events and waits for the runner goroutine. The
+// baseline fault model stays installed (call Fabric.DisableChaos to lift
+// it). Safe to call more than once.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+	}
+	r.mu.Unlock()
+	<-r.done
+}
+
+// Log returns the events applied so far, in firing order.
+func (r *Runner) Log() []LogEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]LogEntry(nil), r.log...)
+}
+
+// String summarizes the applied events ("3/5 events fired").
+func (r *Runner) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("chaos.Runner(%d/%d events fired)", len(r.log), len(r.events))
+}

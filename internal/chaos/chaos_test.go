@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+func newFab(t *testing.T, ranks int) *fabric.Fabric {
+	t.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestScriptBaselineInstalledAtRun(t *testing.T) {
+	f := newFab(t, 3)
+	s := New(7).FlakyAll(0.25).FlakyLink(0, 1, 0.9)
+	r := s.Run(f)
+	defer r.Stop()
+	if !f.ChaosEnabled() {
+		t.Fatal("Run did not enable chaos")
+	}
+	if lf := f.LinkFaultOf(0, 1); lf.DropProb != 0.9 {
+		t.Fatalf("link 0->1 = %+v", lf)
+	}
+	if lf := f.LinkFaultOf(1, 2); lf.DropProb != 0.25 {
+		t.Fatalf("default link = %+v", lf)
+	}
+}
+
+func TestRunnerFiresKillOnSchedule(t *testing.T) {
+	f := newFab(t, 3)
+	r := New(1).KillAt(5*time.Millisecond, 2).Run(f)
+	defer r.Stop()
+	r.Wait()
+	if f.Alive(2) {
+		t.Fatal("rank 2 should be dead after the script ran")
+	}
+	log := r.Log()
+	if len(log) != 1 || log[0].Err != nil || log[0].Desc != "kill rank 2" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestRunnerBlackoutWindowOpensAndCloses(t *testing.T) {
+	f := newFab(t, 2)
+	r := New(1).BlackoutAt(2*time.Millisecond, 10*time.Millisecond, 1).Run(f)
+	defer r.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.LinkFaultOf(0, 1).Blackout {
+		if time.Now().After(deadline) {
+			t.Fatal("blackout never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Wait()
+	if f.LinkFaultOf(0, 1).Blackout || f.LinkFaultOf(1, 0).Blackout {
+		t.Fatal("blackout never closed")
+	}
+}
+
+func TestRunnerStragglerRestoresLinkState(t *testing.T) {
+	f := newFab(t, 2)
+	s := New(1).FlakyAll(0.1).StragglerAt(0, 5*time.Millisecond, 1, 8)
+	r := s.Run(f)
+	defer r.Stop()
+	r.Wait()
+	lf := f.LinkFaultOf(0, 1)
+	if lf.JitterMult != 0 || lf.JitterProb != 0 {
+		t.Fatalf("straggler window not closed: %+v", lf)
+	}
+	if lf.DropProb != 0.1 {
+		t.Fatalf("straggler toggling clobbered drop prob: %+v", lf)
+	}
+}
+
+func TestRunnerStopCancelsPendingEvents(t *testing.T) {
+	f := newFab(t, 2)
+	r := New(1).KillAt(10*time.Second, 1).Run(f)
+	r.Stop()
+	r.Stop() // idempotent
+	if !f.Alive(1) {
+		t.Fatal("cancelled kill still fired")
+	}
+	if len(r.Log()) != 0 {
+		t.Fatalf("log = %+v", r.Log())
+	}
+}
+
+func TestRunnerPartitionAndHeal(t *testing.T) {
+	f := newFab(t, 4)
+	r := New(1).
+		PartitionAt(1*time.Millisecond, [][]int{{0, 1}, {2, 3}}).
+		HealAt(6 * time.Millisecond).
+		Run(f)
+	defer r.Stop()
+	r.Wait()
+	if err := f.Ping(0, 2); err != nil {
+		t.Fatalf("post-heal ping failed: %v", err)
+	}
+	log := r.Log()
+	if len(log) != 2 {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestRunnerLogsEventErrors(t *testing.T) {
+	f := newFab(t, 2)
+	// Rank 99 does not exist: the partition event fails and the error is
+	// recorded in the log rather than crashing the runner.
+	r := New(1).KillAt(0, 1).PartitionAt(time.Millisecond, [][]int{{0}, {99}}).Run(f)
+	defer r.Stop()
+	r.Wait()
+	log := r.Log()
+	if len(log) != 2 || log[0].Err != nil || log[1].Err == nil {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse("flaky=0.05; flaky=0-1:0.5; jitter=0.1:4; kill=3@300ms; "+
+		"blackout=1@100ms+80ms; straggler=2:6@50ms+25ms; partition=0,1|2,3@200ms; heal@400ms", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed() != 42 {
+		t.Fatalf("seed = %d", s.Seed())
+	}
+	evs := s.Events()
+	// kill + blackout(2) + straggler(2) + partition + heal = 7 events.
+	if len(evs) != 7 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not sorted: %+v", evs)
+		}
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",
+		"flaky=1.5",         // probability out of range
+		"kill=3",            // missing @T
+		"kill=x@1s",         // bad rank
+		"blackout=1@100ms",  // missing +D
+		"straggler=2@1s+1s", // missing :M
+		"partition=0,1|2,3", // missing @T
+		"heal@notaduration", // bad duration
+		"jitter=0.1",        // missing :M
+		"flaky=0-x:0.5",     // bad link
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestParseEmptySpecIsCleanScript(t *testing.T) {
+	s, err := Parse("", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events()) != 0 {
+		t.Fatalf("events = %+v", s.Events())
+	}
+	f := newFab(t, 2)
+	r := s.Run(f)
+	defer r.Stop()
+	r.Wait()
+	if err := f.Write(0, 1, "", nil); err != nil && !errors.Is(err, fabric.ErrNotRegistered) {
+		t.Fatalf("clean script injected faults: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Script from a compact spec string — the format the
+// maltrun CLI's --chaos flag accepts. Clauses are ';'-separated:
+//
+//	flaky=P              every link drops each op with probability P
+//	flaky=F-T:P          directed link F→T drops with probability P
+//	jitter=P:M           every op straggles (cost ×M) with probability P
+//	kill=R@T             rank R dies permanently at offset T
+//	blackout=R@T+D       rank R's links fail transiently for [T, T+D)
+//	straggler=R:M@T+D    rank R's links cost ×M for [T, T+D)
+//	partition=A,B|C,D@T  split into groups {A,B} and {C,D} at offset T
+//	heal@T               remove all partitions at offset T
+//
+// Offsets and durations use Go syntax ("300ms", "2s"). Example:
+//
+//	flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms
+func Parse(spec string, seed int64) (*Script, error) {
+	s := New(seed)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := parseClause(s, clause); err != nil {
+			return nil, fmt.Errorf("chaos: clause %q: %w", clause, err)
+		}
+	}
+	return s, nil
+}
+
+func parseClause(s *Script, clause string) error {
+	// heal@T has no '=' payload.
+	if rest, ok := strings.CutPrefix(clause, "heal@"); ok {
+		at, err := time.ParseDuration(rest)
+		if err != nil {
+			return err
+		}
+		s.HealAt(at)
+		return nil
+	}
+	key, val, ok := strings.Cut(clause, "=")
+	if !ok {
+		return fmt.Errorf("expected key=value or heal@T")
+	}
+	switch key {
+	case "flaky":
+		if link, prob, ok := strings.Cut(val, ":"); ok {
+			from, to, err := parseLink(link)
+			if err != nil {
+				return err
+			}
+			p, err := parseProb(prob)
+			if err != nil {
+				return err
+			}
+			s.FlakyLink(from, to, p)
+			return nil
+		}
+		p, err := parseProb(val)
+		if err != nil {
+			return err
+		}
+		s.FlakyAll(p)
+		return nil
+	case "jitter":
+		probStr, multStr, ok := strings.Cut(val, ":")
+		if !ok {
+			return fmt.Errorf("jitter wants P:M")
+		}
+		p, err := parseProb(probStr)
+		if err != nil {
+			return err
+		}
+		m, err := strconv.ParseFloat(multStr, 64)
+		if err != nil {
+			return err
+		}
+		s.JitterAll(p, m)
+		return nil
+	case "kill":
+		rankStr, atStr, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("kill wants R@T")
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return err
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return err
+		}
+		s.KillAt(at, rank)
+		return nil
+	case "blackout":
+		rankStr, window, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("blackout wants R@T+D")
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return err
+		}
+		at, dur, err := parseWindow(window)
+		if err != nil {
+			return err
+		}
+		s.BlackoutAt(at, dur, rank)
+		return nil
+	case "straggler":
+		head, window, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("straggler wants R:M@T+D")
+		}
+		rankStr, multStr, ok := strings.Cut(head, ":")
+		if !ok {
+			return fmt.Errorf("straggler wants R:M@T+D")
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return err
+		}
+		mult, err := strconv.ParseFloat(multStr, 64)
+		if err != nil {
+			return err
+		}
+		at, dur, err := parseWindow(window)
+		if err != nil {
+			return err
+		}
+		s.StragglerAt(at, dur, rank, mult)
+		return nil
+	case "partition":
+		groupsStr, atStr, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("partition wants A,B|C,D@T")
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return err
+		}
+		var groups [][]int
+		for _, gs := range strings.Split(groupsStr, "|") {
+			var g []int
+			for _, rs := range strings.Split(gs, ",") {
+				r, err := strconv.Atoi(strings.TrimSpace(rs))
+				if err != nil {
+					return err
+				}
+				g = append(g, r)
+			}
+			groups = append(groups, g)
+		}
+		s.PartitionAt(at, groups)
+		return nil
+	default:
+		return fmt.Errorf("unknown clause kind %q", key)
+	}
+}
+
+func parseLink(s string) (from, to int, err error) {
+	fromStr, toStr, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("link wants F-T")
+	}
+	if from, err = strconv.Atoi(fromStr); err != nil {
+		return 0, 0, err
+	}
+	if to, err = strconv.Atoi(toStr); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// parseWindow parses "T+D" into offset and duration.
+func parseWindow(s string) (at, dur time.Duration, err error) {
+	atStr, durStr, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("window wants T+D")
+	}
+	if at, err = time.ParseDuration(atStr); err != nil {
+		return 0, 0, err
+	}
+	if dur, err = time.ParseDuration(durStr); err != nil {
+		return 0, 0, err
+	}
+	return at, dur, nil
+}

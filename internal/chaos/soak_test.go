@@ -1,0 +1,172 @@
+// Soak test: SVM training under a hostile scripted network — a 5% per-link
+// drop floor, a machine-wide blackout window, and one permanent mid-training
+// kill — must converge to within 2% of the fault-free run's accuracy, with
+// zero false death confirmations of live ranks and identical survivor views
+// on every live rank afterwards.
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"malt/internal/bench"
+	"malt/internal/chaos"
+	"malt/internal/consistency"
+	"malt/internal/data"
+	"malt/internal/fabric"
+	"malt/internal/fault"
+	"malt/internal/ml/svm"
+)
+
+func soakDS(t *testing.T) *data.Dataset {
+	t.Helper()
+	ds, err := data.GenerateClassification(data.ClassificationSpec{
+		// The 2,000-example test set keeps the accuracy estimate's noise well
+		// under the 2% convergence criterion (binomial std ≈ 0.8% at p≈0.85).
+		Name: "soak", Dim: 50, Train: 1200, Test: 2000, NNZ: 6, Noise: 0.05, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func soakOpts(ds *data.Dataset) bench.SVMOpts {
+	return bench.SVMOpts{
+		DS: ds, Ranks: 4, CB: 50,
+		Sync: consistency.ASP, Mode: bench.GradAvg,
+		Epochs: 40, EvalEvery: 5,
+		SVM: svm.Config{Dim: ds.Dim, Lambda: 1e-4, Eta0: 1},
+		// A per-batch delay that dominates the (tiny) compute time pins the
+		// scenario timeline to a stable fraction of the run even when the
+		// race detector slows execution several-fold: 240 batches x 2 ms
+		// ≈ 480 ms wall-clock minimum, so the blackout (~60 ms) and the
+		// kill (~150 ms) land in the first third of training.
+		Jitter: bench.JitterSpec{Base: 2 * time.Millisecond},
+	}
+}
+
+// quiesce drives explicit probe/report rounds on every live rank until the
+// strike counters settle: confirmations the training tail did not reach are
+// reached here, as a long-running job's watchdog would.
+func quiesce(f *fabric.Fabric, monitor func(rank int) *fault.Monitor) {
+	for i := 0; i < fault.DefaultStrikes+1; i++ {
+		for _, r := range f.AliveRanks() {
+			m := monitor(r)
+			var failed, healthy []int
+			for p := 0; p < f.Ranks(); p++ {
+				if p == r || !m.Alive(p) {
+					continue
+				}
+				if f.Ping(r, p) != nil {
+					failed = append(failed, p)
+				} else {
+					healthy = append(healthy, p)
+				}
+			}
+			m.ReportReachable(healthy)
+			m.ReportFailedWrites(failed)
+		}
+	}
+}
+
+func TestSoakSVMUnderHostileNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	ds := soakDS(t)
+
+	// Fault-free reference run.
+	clean, err := bench.RunSVM(soakOpts(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hostile run: 5% drop on every link the whole time, rank 1 dark for
+	// [60 ms, 100 ms), rank 3 permanently dead at 150 ms.
+	opts := soakOpts(ds)
+	opts.Chaos = chaos.New(99).
+		FlakyAll(0.05).
+		BlackoutAt(60*time.Millisecond, 40*time.Millisecond, 1).
+		KillAt(150*time.Millisecond, 3)
+	res, err := bench.RunSVM(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scripted events actually fired during training.
+	if len(res.ChaosLog) != 3 {
+		t.Fatalf("chaos log = %+v, want blackout on/off + kill", res.ChaosLog)
+	}
+	fab := res.Cluster.Fabric()
+	if fab.Alive(3) {
+		t.Fatal("scripted kill did not land")
+	}
+	if fab.Stats().InjectedDrops() == 0 {
+		t.Fatal("no transient drops injected — scenario did not bite")
+	}
+	if res.Retry.Recovered == 0 {
+		t.Fatalf("retries absorbed nothing: %+v", res.Retry)
+	}
+
+	// Convergence within 2% of the fault-free run, measured on the
+	// tail-averaged models: the raw final iterate carries one batch's ASP
+	// noise, which is jitter rather than a convergence difference.
+	tr, err := svm.New(svm.Config{Dim: ds.Dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAcc := tr.Accuracy(clean.FinalWTail, ds.Test)
+	chaosAcc := tr.Accuracy(res.FinalWTail, ds.Test)
+	t.Logf("fault-free accuracy %.4f, chaos accuracy %.4f; retry stats %+v; %d injected drops",
+		cleanAcc, chaosAcc, res.Retry, fab.Stats().InjectedDrops())
+	if chaosAcc < cleanAcc-0.02 {
+		t.Fatalf("chaos run accuracy %.4f more than 2%% below fault-free %.4f",
+			chaosAcc, cleanAcc)
+	}
+
+	// Survivor views: quiesce, then every live rank agrees with the fabric.
+	quiesce(fab, func(r int) *fault.Monitor { return res.Cluster.Context(r).Monitor() })
+	truth := fab.AliveRanks()
+	for _, r := range truth {
+		m := res.Cluster.Context(r).Monitor()
+		surv := m.Survivors()
+		if len(surv) != len(truth) {
+			t.Fatalf("rank %d survivor view %v != fabric truth %v", r, surv, truth)
+		}
+		for i := range surv {
+			if surv[i] != truth[i] {
+				t.Fatalf("rank %d survivor view %v != fabric truth %v", r, surv, truth)
+			}
+		}
+		// Zero false confirmations: every confirmed-dead rank really died.
+		for _, d := range m.ConfirmedDead() {
+			if fab.Alive(d) {
+				t.Fatalf("rank %d falsely confirmed live rank %d dead", r, d)
+			}
+		}
+	}
+}
+
+// The same scenario seed against the same script yields the same event
+// timeline (the workload interleaving may differ, but the scenario is
+// reproducible by construction).
+func TestSoakScenarioReproducible(t *testing.T) {
+	s1, err := chaos.Parse("flaky=0.05;blackout=1@15ms+30ms;kill=3@50ms", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := chaos.Parse("flaky=0.05;blackout=1@15ms+30ms;kill=3@50ms", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := s1.Events(), s2.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].At != e2[i].At || e1[i].Desc != e2[i].Desc {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}

@@ -44,6 +44,12 @@ type Config struct {
 	AsyncSend int
 	// Fabric tunes the simulated interconnect (zero value = defaults).
 	Fabric fabric.Config
+	// Retry bounds per-write retrying of transient fabric faults (zero
+	// value = dstorm defaults: 4 attempts, exponential backoff).
+	Retry dstorm.RetryPolicy
+	// Suspicion tunes the K-strikes failure detector (zero value = fault
+	// defaults: 3 strikes, 10 s decay).
+	Suspicion fault.SuspicionConfig
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -89,11 +95,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg:    cfg,
 		fab:    fab,
 		dsc:    dstorm.NewCluster(fab),
-		faults: fault.NewGroup(fab),
+		faults: fault.NewGroupWith(fab, cfg.Suspicion),
 		graph:  graph,
 	}
 	c.contexts = make([]*Context, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
+		c.dsc.Node(r).SetRetryPolicy(cfg.Retry)
 		c.contexts[r] = c.newContext(r)
 	}
 	return c, nil
@@ -242,6 +249,10 @@ func (ctx *Context) Timer() *trace.Timer { return ctx.timer }
 // Monitor returns the rank's fault monitor (for explicit health checks and
 // model validation).
 func (ctx *Context) Monitor() *fault.Monitor { return ctx.monitor }
+
+// RetryStats returns this rank's cumulative transient-fault write counters
+// (attempts, retries, recoveries, exhaustions).
+func (ctx *Context) RetryStats() dstorm.RetryStats { return ctx.node.RetryStats() }
 
 // SetIteration records the replica's logical iteration count; scatters are
 // stamped with it and staleness policies compare against it.

@@ -9,6 +9,7 @@ import (
 	"malt/internal/consistency"
 	"malt/internal/data"
 	"malt/internal/dataflow"
+	"malt/internal/fault"
 	"malt/internal/ml/linalg"
 	"malt/internal/ml/svm"
 	"malt/internal/trace"
@@ -236,7 +237,9 @@ func TestFailureRecoveryMidTraining(t *testing.T) {
 }
 
 func TestCreateVectorAfterFailureDropsDeadPeers(t *testing.T) {
-	c, _ := NewCluster(Config{Ranks: 3})
+	// Strikes: 1 — this test is about rebuild-after-confirmation, not the
+	// suspicion threshold, so one report must confirm immediately.
+	c, _ := NewCluster(Config{Ranks: 3, Suspicion: fault.SuspicionConfig{Strikes: 1}})
 	if err := c.Fabric().Kill(2); err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +415,10 @@ func TestZombieWritesBounceAfterRecovery(t *testing.T) {
 	// machine comes back (revive) and scatters: its writes must bounce off
 	// the survivors' rebuilt receive lists instead of corrupting state —
 	// the paper's re-registration guard against zombies.
-	c, _ := NewCluster(Config{Ranks: 3, Sync: consistency.ASP})
+	c, _ := NewCluster(Config{
+		Ranks: 3, Sync: consistency.ASP,
+		Suspicion: fault.SuspicionConfig{Strikes: 1},
+	})
 	vecs := make([]*vol.Vector, 3)
 	var wg sync.WaitGroup
 	for r := 0; r < 3; r++ {

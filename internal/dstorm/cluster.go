@@ -180,6 +180,10 @@ type Node struct {
 	sendq    chan sendReq
 	sendDone chan struct{}
 
+	retryMu sync.Mutex
+	retry   RetryPolicy // write-retry policy for transient fabric faults
+	rstats  retryCounters
+
 	failMu      sync.Mutex
 	asyncFailed map[int]int // peer → count of failed async writes
 }
@@ -234,7 +238,7 @@ func (n *Node) DisableAsyncSend() {
 func (n *Node) drainSends(q chan sendReq, done chan struct{}) {
 	defer close(done)
 	for req := range q {
-		if err := n.cluster.fab.Write(n.rank, req.to, req.key, req.payload); err != nil {
+		if err := n.writeWithRetry(req.to, req.key, req.payload); err != nil {
 			n.failMu.Lock()
 			if n.asyncFailed == nil {
 				n.asyncFailed = make(map[int]int)
@@ -263,14 +267,15 @@ func (n *Node) AsyncFailures() []int {
 	return out
 }
 
-// write sends via the current mode. Async mode copies the payload (the
-// caller reuses its encode buffer) and reports failures via AsyncFailures.
+// write sends via the current mode, absorbing transient fabric faults with
+// the node's retry policy. Async mode copies the payload (the caller reuses
+// its encode buffer) and reports failures via AsyncFailures.
 func (n *Node) write(to int, key string, payload []byte) error {
 	n.sendMu.Lock()
 	mode, q := n.mode, n.sendq
 	n.sendMu.Unlock()
 	if mode == SendSync {
-		return n.cluster.fab.Write(n.rank, to, key, payload)
+		return n.writeWithRetry(to, key, payload)
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)

@@ -372,9 +372,13 @@ func (sl *slot) peek() (seq, iter uint64) {
 }
 
 // Scatter sends payload to every peer in the current send list, stamping it
-// with the given iteration count. It returns the list of peers whose writes
-// failed (dead or partitioned), which the caller's fault monitor feeds into
-// the recovery protocol. Scatter itself never fails on peer death — that is
+// with the given iteration count. Transient fabric faults (dropped writes,
+// blackout windows) are absorbed by the node's bounded retry policy with
+// exponential backoff and a per-write deadline; only peers whose writes
+// failed permanently (dead, partitioned, re-registered) or kept failing
+// transiently until retries were exhausted appear in the returned failed
+// list, which the caller's fault monitor feeds into the recovery protocol
+// as suspicion evidence. Scatter itself never fails on peer death — that is
 // the point of one-sided, peer-to-peer training.
 func (s *Segment) Scatter(payload []byte, iter uint64) (failed []int, err error) {
 	s.mu.Lock()

@@ -1,0 +1,130 @@
+package dstorm
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// RetryPolicy bounds how hard a node tries to land one one-sided write when
+// the fabric injects transient faults (fabric.ErrTransient). Permanent
+// failures — ErrUnreachable, ErrSenderDead, an unregistered key — are never
+// retried: they carry real evidence and must reach the fault monitor
+// immediately. The zero value selects the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of delivery attempts per write,
+	// including the first. Default 4; 1 disables retrying.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry. Default 50 µs.
+	Backoff time.Duration
+	// BackoffMult multiplies the backoff after each retry (exponential
+	// backoff). Default 2.
+	BackoffMult float64
+	// Deadline is the per-write wall-clock budget across all attempts; once
+	// exceeded, the write fails even if attempts remain. Default 20 ms.
+	Deadline time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Microsecond
+	}
+	if p.BackoffMult < 1 {
+		p.BackoffMult = 2
+	}
+	if p.Deadline <= 0 {
+		p.Deadline = 20 * time.Millisecond
+	}
+	return p
+}
+
+// RetryStats counts a node's transient-fault handling. All fields are
+// cumulative since node creation.
+type RetryStats struct {
+	// Attempts is the number of fabric writes attempted, retries included.
+	Attempts uint64
+	// Retries is the number of re-attempts after a transient failure.
+	Retries uint64
+	// Recovered is the number of writes that succeeded after at least one
+	// retry — transient faults absorbed without bothering the fault layer.
+	Recovered uint64
+	// Exhausted is the number of writes that kept failing transiently until
+	// attempts or deadline ran out; these surface to the fault monitor.
+	Exhausted uint64
+}
+
+// retryCounters is the atomic backing store for RetryStats.
+type retryCounters struct {
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	recovered atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+func (c *retryCounters) snapshot() RetryStats {
+	return RetryStats{
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		Recovered: c.recovered.Load(),
+		Exhausted: c.exhausted.Load(),
+	}
+}
+
+// SetRetryPolicy replaces the node's write-retry policy (normalized with
+// defaults). Safe to call while the node is sending.
+func (n *Node) SetRetryPolicy(p RetryPolicy) {
+	norm := p.withDefaults()
+	n.retryMu.Lock()
+	n.retry = norm
+	n.retryMu.Unlock()
+}
+
+// Retry returns the node's current (defaulted) retry policy.
+func (n *Node) Retry() RetryPolicy {
+	n.retryMu.Lock()
+	defer n.retryMu.Unlock()
+	return n.retry.withDefaults()
+}
+
+// RetryStats returns the node's cumulative transient-fault counters.
+func (n *Node) RetryStats() RetryStats { return n.rstats.snapshot() }
+
+// writeWithRetry performs one fabric write, absorbing transient faults with
+// bounded exponential backoff under the node's retry policy. It returns nil
+// on delivery, the last transient error when retries are exhausted, and any
+// permanent error immediately.
+func (n *Node) writeWithRetry(to int, key string, payload []byte) error {
+	p := n.Retry()
+	var deadline time.Time
+	if p.Deadline > 0 {
+		deadline = time.Now().Add(p.Deadline)
+	}
+	backoff := p.Backoff
+	for attempt := 1; ; attempt++ {
+		n.rstats.attempts.Add(1)
+		err := n.cluster.fab.Write(n.rank, to, key, payload)
+		if err == nil {
+			if attempt > 1 {
+				n.rstats.recovered.Add(1)
+			}
+			return nil
+		}
+		if !errors.Is(err, fabric.ErrTransient) {
+			return err // permanent: unreachable, dead sender, bad key
+		}
+		if attempt >= p.MaxAttempts || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+			n.rstats.exhausted.Add(1)
+			return err
+		}
+		n.rstats.retries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff = time.Duration(float64(backoff) * p.BackoffMult)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Chaos: deterministic transient-fault injection for the simulated fabric.
+//
+// Real interconnects flap, drop and straggle without any machine dying. The
+// fail-stop model of the base fabric (ErrUnreachable on death/partition)
+// cannot express that, so every fault it reports is treated as permanent by
+// the layers above. The chaos model adds a second failure class: a write or
+// ping may fail with ErrTransient — the packet is gone but the link is not —
+// or be charged a straggler-multiplied wire cost. All injection decisions
+// come from seeded per-link PRNG streams, so the same seed and configuration
+// reproduce byte-identical fault schedules, which is what makes soak tests
+// against a hostile network debuggable.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTransient is returned by Write and Ping when the chaos layer drops the
+// operation or the link is inside a blackout window. Unlike ErrUnreachable
+// it carries no evidence about the destination's health: retrying is the
+// correct response, reporting the peer to the fault monitor is not (until
+// retries are exhausted).
+var ErrTransient = errors.New("fabric: transient fault injected")
+
+// LinkFault is the transient-fault model of one directed link.
+type LinkFault struct {
+	// DropProb is the probability that one operation (write or ping) on the
+	// link is dropped with ErrTransient.
+	DropProb float64
+	// Blackout, while set, makes every operation on the link fail with
+	// ErrTransient — a flapping switch port or a routing convergence window.
+	// Scenario runners toggle it to model bounded outages.
+	Blackout bool
+	// JitterProb is the probability that one operation's modeled wire cost
+	// is multiplied by JitterMult (a transient straggler: congestion, an
+	// overloaded NIC queue).
+	JitterProb float64
+	// JitterMult is the straggler multiplier; values <= 1 disable jitter.
+	JitterMult float64
+}
+
+func (lf LinkFault) active() bool {
+	return lf.DropProb > 0 || lf.Blackout || (lf.JitterProb > 0 && lf.JitterMult > 1)
+}
+
+// ChaosConfig seeds the fault model for a whole fabric.
+type ChaosConfig struct {
+	// Seed derives every per-link PRNG stream. The same seed plus the same
+	// per-link operation sequence reproduces the same injection schedule.
+	Seed int64
+	// Default applies to every link unless overridden in Links.
+	Default LinkFault
+	// Links holds per-link overrides keyed by [2]int{from, to}.
+	Links map[[2]int]LinkFault
+}
+
+// chaosState is the installed fault model. Each link owns an independent
+// seeded PRNG stream so the injection schedule on one link is a pure
+// function of that link's operation count, regardless of how operations on
+// different links interleave across goroutines.
+type chaosState struct {
+	mu     sync.Mutex
+	n      int
+	faults []LinkFault  // [from*n+to]
+	rngs   []*rand.Rand // [from*n+to]
+}
+
+func newChaosState(n int, cfg ChaosConfig) *chaosState {
+	cs := &chaosState{
+		n:      n,
+		faults: make([]LinkFault, n*n),
+		rngs:   make([]*rand.Rand, n*n),
+	}
+	for i := range cs.faults {
+		cs.faults[i] = cfg.Default
+	}
+	for link, lf := range cfg.Links {
+		from, to := link[0], link[1]
+		if from >= 0 && from < n && to >= 0 && to < n {
+			cs.faults[from*n+to] = lf
+		}
+	}
+	for i := range cs.rngs {
+		// Distinct deterministic stream per link, decorrelated by a
+		// splitmix-style odd multiplier.
+		cs.rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x5851F42D4C957F2D))
+	}
+	return cs
+}
+
+// inject decides the fate of one operation on the link from→to: dropped
+// (ErrTransient) or cost-multiplied. The drop draw always precedes the
+// jitter draw so each link's PRNG stream advances identically across runs.
+func (cs *chaosState) inject(from, to int) (drop bool, jitterMult float64) {
+	i := from*cs.n + to
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	lf := cs.faults[i]
+	if !lf.active() {
+		return false, 0
+	}
+	if lf.Blackout {
+		return true, 0
+	}
+	rng := cs.rngs[i]
+	if lf.DropProb > 0 && rng.Float64() < lf.DropProb {
+		return true, 0
+	}
+	if lf.JitterProb > 0 && lf.JitterMult > 1 && rng.Float64() < lf.JitterProb {
+		return false, lf.JitterMult
+	}
+	return false, 0
+}
+
+// EnableChaos installs (or replaces) the fabric's transient-fault model.
+func (f *Fabric) EnableChaos(cfg ChaosConfig) {
+	f.mu.Lock()
+	f.chaos = newChaosState(f.cfg.Ranks, cfg)
+	f.mu.Unlock()
+}
+
+// DisableChaos removes the fault model; the fabric reverts to fail-stop.
+func (f *Fabric) DisableChaos() {
+	f.mu.Lock()
+	f.chaos = nil
+	f.mu.Unlock()
+}
+
+// ChaosEnabled reports whether a fault model is installed.
+func (f *Fabric) ChaosEnabled() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.chaos != nil
+}
+
+// SetLinkFault replaces the fault model of one directed link. Enables chaos
+// (with an otherwise fault-free default) if it was not already on.
+func (f *Fabric) SetLinkFault(from, to int, lf LinkFault) error {
+	if err := f.checkRank(from); err != nil {
+		return err
+	}
+	if err := f.checkRank(to); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.chaos == nil {
+		f.chaos = newChaosState(f.cfg.Ranks, ChaosConfig{})
+	}
+	cs := f.chaos
+	f.mu.Unlock()
+	cs.mu.Lock()
+	cs.faults[from*cs.n+to] = lf
+	cs.mu.Unlock()
+	return nil
+}
+
+// LinkFaultOf returns the current fault model of a directed link (zero value
+// when chaos is off or the link is clean).
+func (f *Fabric) LinkFaultOf(from, to int) LinkFault {
+	f.mu.RLock()
+	cs := f.chaos
+	f.mu.RUnlock()
+	if cs == nil || from < 0 || to < 0 || from >= cs.n || to >= cs.n {
+		return LinkFault{}
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.faults[from*cs.n+to]
+}
+
+// SetRankBlackout toggles a blackout on every link touching rank, in both
+// directions — the whole machine goes dark transiently (NIC reset, link
+// renegotiation) without dying. Other fault fields on those links are kept.
+func (f *Fabric) SetRankBlackout(rank int, on bool) error {
+	if err := f.checkRank(rank); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.chaos == nil {
+		f.chaos = newChaosState(f.cfg.Ranks, ChaosConfig{})
+	}
+	cs := f.chaos
+	f.mu.Unlock()
+	cs.mu.Lock()
+	for other := 0; other < cs.n; other++ {
+		if other == rank {
+			continue
+		}
+		cs.faults[rank*cs.n+other].Blackout = on
+		cs.faults[other*cs.n+rank].Blackout = on
+	}
+	cs.mu.Unlock()
+	return nil
+}
+
+// chaosWriteFault consults the fault model for one data write. It returns a
+// non-nil ErrTransient error when the write is dropped, and otherwise the
+// cost multiplier to apply (0 when unjittered).
+func (f *Fabric) chaosFault(from, to int, kind string) (error, float64) {
+	f.mu.RLock()
+	cs := f.chaos
+	f.mu.RUnlock()
+	if cs == nil {
+		return nil, 0
+	}
+	drop, mult := cs.inject(from, to)
+	if drop {
+		f.stats.addInjectedDrop(from, to)
+		return fmt.Errorf("%w: %s rank %d -> rank %d", ErrTransient, kind, from, to), 0
+	}
+	return nil, mult
+}
+
+// jitterCost applies a straggler multiplier to a modeled cost and accounts
+// the injected extra wire time.
+func (f *Fabric) jitterCost(from, to int, cost time.Duration, mult float64) time.Duration {
+	if mult <= 1 {
+		return cost
+	}
+	extra := time.Duration(float64(cost) * (mult - 1))
+	f.stats.addInjectedJitter(from, to, extra)
+	return cost + extra
+}

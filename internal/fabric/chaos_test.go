@@ -1,0 +1,196 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newChaosFabric(t *testing.T, ranks int, cfg ChaosConfig) *Fabric {
+	t.Helper()
+	f, err := New(Config{Ranks: ranks, Chaos: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		if err := f.Register(r, "sink", func(from int, payload []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestChaosDropInjectsErrTransient(t *testing.T) {
+	f := newChaosFabric(t, 2, ChaosConfig{Seed: 7, Default: LinkFault{DropProb: 1}})
+	err := f.Write(0, 1, "sink", []byte("x"))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want ErrTransient, got %v", err)
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Fatal("transient drop must not look like unreachability")
+	}
+	if got := f.Stats().InjectedDrops(); got != 1 {
+		t.Fatalf("InjectedDrops = %d, want 1", got)
+	}
+	if got := f.Stats().TotalMessages(); got != 0 {
+		t.Fatalf("dropped write counted as delivered: %d messages", got)
+	}
+}
+
+func TestChaosBlackoutWindow(t *testing.T) {
+	f := newChaosFabric(t, 3, ChaosConfig{Seed: 1})
+	if err := f.Write(0, 1, "sink", []byte("x")); err != nil {
+		t.Fatalf("clean link dropped: %v", err)
+	}
+	if err := f.SetRankBlackout(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 1, "sink", []byte("x")); !errors.Is(err, ErrTransient) {
+		t.Fatalf("blackout write: want ErrTransient, got %v", err)
+	}
+	if err := f.Ping(2, 1); !errors.Is(err, ErrTransient) {
+		t.Fatalf("blackout ping: want ErrTransient, got %v", err)
+	}
+	// Links not touching rank 1 are unaffected.
+	if err := f.Write(0, 2, "sink", []byte("x")); err != nil {
+		t.Fatalf("bystander link dropped: %v", err)
+	}
+	if err := f.SetRankBlackout(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 1, "sink", []byte("x")); err != nil {
+		t.Fatalf("healed link dropped: %v", err)
+	}
+}
+
+func TestChaosJitterAccountsExtraTime(t *testing.T) {
+	f := newChaosFabric(t, 2, ChaosConfig{Seed: 3,
+		Default: LinkFault{JitterProb: 1, JitterMult: 5}})
+	if err := f.Write(0, 1, "sink", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().InjectedJitterTime(); got <= 0 {
+		t.Fatalf("InjectedJitterTime = %v, want > 0", got)
+	}
+	// Jittered wire time is part of the modeled total.
+	if f.Stats().ModeledNetworkTime() <= f.Stats().InjectedJitterTime() {
+		t.Fatal("modeled time must include base cost plus jitter")
+	}
+}
+
+func TestChaosDoesNotMaskFailStop(t *testing.T) {
+	f := newChaosFabric(t, 2, ChaosConfig{Seed: 5, Default: LinkFault{DropProb: 1}})
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 1, "sink", []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead rank: want ErrUnreachable, got %v", err)
+	}
+	if err := f.Ping(0, 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead ping: want ErrUnreachable, got %v", err)
+	}
+}
+
+// TestChaosDeterministicSchedule is the determinism contract: the same seed
+// and config produce byte-identical injection schedules and stats across
+// two runs of the same operation sequence.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:    42,
+		Default: LinkFault{DropProb: 0.3, JitterProb: 0.25, JitterMult: 4},
+		Links: map[[2]int]LinkFault{
+			{0, 1}: {DropProb: 0.9},
+			{2, 0}: {}, // clean link
+		},
+	}
+	run := func() (schedule []string, snap []uint64) {
+		f := newChaosFabric(t, 3, cfg)
+		defer f.Close()
+		payload := make([]byte, 256)
+		for i := 0; i < 200; i++ {
+			for from := 0; from < 3; from++ {
+				for to := 0; to < 3; to++ {
+					if from == to {
+						continue
+					}
+					err := f.Write(from, to, "sink", payload)
+					schedule = append(schedule, fmt.Sprintf("%d->%d:%v", from, to, err))
+					perr := f.Ping(from, to)
+					schedule = append(schedule, fmt.Sprintf("p%d->%d:%v", from, to, perr))
+				}
+			}
+		}
+		return schedule, f.Stats().Snapshot()
+	}
+	sched1, snap1 := run()
+	sched2, snap2 := run()
+	if len(sched1) != len(sched2) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(sched1), len(sched2))
+	}
+	for i := range sched1 {
+		if sched1[i] != sched2[i] {
+			t.Fatalf("schedules diverge at op %d: %q vs %q", i, sched1[i], sched2[i])
+		}
+	}
+	if len(snap1) != len(snap2) {
+		t.Fatalf("snapshot lengths differ")
+	}
+	for i := range snap1 {
+		if snap1[i] != snap2[i] {
+			t.Fatalf("stats diverge at counter %d: %d vs %d", i, snap1[i], snap2[i])
+		}
+	}
+	// Sanity: the hostile config actually injected faults.
+	var drops uint64
+	for i := 4; i < len(snap1); i += 6 {
+		drops += snap1[i]
+	}
+	if drops == 0 {
+		t.Fatal("no drops injected by a 30% drop config")
+	}
+}
+
+// Different links must draw from independent streams: a per-link override
+// must not shift its neighbours' schedules.
+func TestChaosPerLinkStreamsIndependent(t *testing.T) {
+	base := ChaosConfig{Seed: 9, Default: LinkFault{DropProb: 0.5}}
+	withOverride := ChaosConfig{Seed: 9, Default: LinkFault{DropProb: 0.5},
+		Links: map[[2]int]LinkFault{{0, 1}: {DropProb: 1}}}
+	run := func(cfg ChaosConfig) []string {
+		f := newChaosFabric(t, 3, cfg)
+		defer f.Close()
+		var out []string
+		for i := 0; i < 50; i++ {
+			err := f.Write(1, 2, "sink", []byte("x")) // untouched link
+			out = append(out, fmt.Sprint(err))
+		}
+		return out
+	}
+	a, b := run(base), run(withOverride)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("override on 0->1 perturbed link 1->2 at op %d", i)
+		}
+	}
+}
+
+func TestChaosEnableDisable(t *testing.T) {
+	f := newChaosFabric(t, 2, ChaosConfig{Seed: 1, Default: LinkFault{DropProb: 1}})
+	if !f.ChaosEnabled() {
+		t.Fatal("chaos should be on")
+	}
+	f.DisableChaos()
+	if f.ChaosEnabled() {
+		t.Fatal("chaos should be off")
+	}
+	if err := f.Write(0, 1, "sink", []byte("x")); err != nil {
+		t.Fatalf("write after DisableChaos: %v", err)
+	}
+	f.EnableChaos(ChaosConfig{Seed: 2, Default: LinkFault{DropProb: 1}})
+	if err := f.Write(0, 1, "sink", []byte("x")); !errors.Is(err, ErrTransient) {
+		t.Fatalf("write after EnableChaos: %v", err)
+	}
+	if lf := f.LinkFaultOf(0, 1); lf.DropProb != 1 {
+		t.Fatalf("LinkFaultOf = %+v", lf)
+	}
+}

@@ -18,6 +18,9 @@
 //     sender can be made to actually stall for the modeled duration.
 //   - Failure behaviour: writes to a dead or partitioned rank fail with
 //     ErrUnreachable, exactly the signal MALT's fault monitors key off.
+//     With chaos enabled (see chaos.go), live links can additionally drop
+//     operations with ErrTransient or straggle — faults that retrying, not
+//     the recovery protocol, must absorb.
 //
 // What it does not preserve: absolute microsecond timings of a physical
 // NIC. All experiments report relative behaviour between configurations
@@ -82,6 +85,9 @@ type Config struct {
 	Delay DelayMode
 	// Transport selects in-process delivery (default) or loopback TCP.
 	Transport Transport
+	// Chaos, when non-nil, installs the transient-fault model at creation
+	// (EnableChaos can also install or replace it later).
+	Chaos *ChaosConfig
 }
 
 func (c *Config) setDefaults() {
@@ -104,6 +110,7 @@ type Fabric struct {
 	dead     []bool
 	group    []int // partition group id per rank; writes cross groups fail
 	liveness []func(rank int, alive bool)
+	chaos    *chaosState // non-nil while transient-fault injection is on
 
 	tcp *tcpFabric // non-nil in TCP transport mode
 }
@@ -124,6 +131,9 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	for i := range f.regs {
 		f.regs[i] = make(map[string]WriteHandler)
+	}
+	if cfg.Chaos != nil {
+		f.chaos = newChaosState(cfg.Ranks, *cfg.Chaos)
 	}
 	if cfg.Transport == TCP {
 		tcp, err := newTCPFabric(f)
@@ -208,8 +218,12 @@ func (f *Fabric) Write(from, to int, key string, payload []byte) error {
 	if h == nil {
 		return fmt.Errorf("%w: %q on rank %d", ErrNotRegistered, key, to)
 	}
+	ferr, jitter := f.chaosFault(from, to, "write")
+	if ferr != nil {
+		return ferr
+	}
 
-	cost := f.modelCost(len(payload))
+	cost := f.jitterCost(from, to, f.modelCost(len(payload)), jitter)
 	f.stats.addTransfer(from, to, len(payload), cost)
 	f.impose(cost)
 	if f.tcp != nil {
@@ -236,6 +250,17 @@ func (f *Fabric) Ping(from, to int) error {
 		return ErrSenderDead
 	}
 	cost := 2 * f.cfg.Latency
+	if ok {
+		// Chaos only touches links that could have delivered: death and
+		// partition keep their fail-stop signal.
+		ferr, jitter := f.chaosFault(from, to, "ping")
+		if ferr != nil {
+			f.stats.addControl(from, to, cost)
+			f.impose(cost)
+			return ferr
+		}
+		cost = f.jitterCost(from, to, cost, jitter)
+	}
 	f.stats.addControl(from, to, cost)
 	f.impose(cost)
 	if !ok {
@@ -400,6 +425,8 @@ type Stats struct {
 	messages []atomic.Uint64
 	failed   []atomic.Uint64
 	modelNs  []atomic.Uint64 // modeled network time, data + control
+	injDrops []atomic.Uint64 // chaos-injected transient drops
+	injJitNs []atomic.Uint64 // chaos-injected extra wire time
 }
 
 func newStats(n int) *Stats {
@@ -409,6 +436,8 @@ func newStats(n int) *Stats {
 		messages: make([]atomic.Uint64, n*n),
 		failed:   make([]atomic.Uint64, n*n),
 		modelNs:  make([]atomic.Uint64, n*n),
+		injDrops: make([]atomic.Uint64, n*n),
+		injJitNs: make([]atomic.Uint64, n*n),
 	}
 }
 
@@ -425,6 +454,14 @@ func (s *Stats) addControl(from, to int, cost time.Duration) {
 
 func (s *Stats) addFailed(from, to int) {
 	s.failed[from*s.n+to].Add(1)
+}
+
+func (s *Stats) addInjectedDrop(from, to int) {
+	s.injDrops[from*s.n+to].Add(1)
+}
+
+func (s *Stats) addInjectedJitter(from, to int, extra time.Duration) {
+	s.injJitNs[from*s.n+to].Add(uint64(extra))
 }
 
 // BytesSent returns the total payload bytes rank sent to all peers.
@@ -488,6 +525,44 @@ func (s *Stats) LinkBytes(from, to int) uint64 {
 	return s.bytes[from*s.n+to].Load()
 }
 
+// InjectedDrops returns the number of operations the chaos layer dropped
+// with ErrTransient across all links.
+func (s *Stats) InjectedDrops() uint64 {
+	var total uint64
+	for i := range s.injDrops {
+		total += s.injDrops[i].Load()
+	}
+	return total
+}
+
+// InjectedDropsLink returns the chaos drops injected on one directed link.
+func (s *Stats) InjectedDropsLink(from, to int) uint64 {
+	return s.injDrops[from*s.n+to].Load()
+}
+
+// InjectedJitterTime returns the extra modeled wire time added by chaos
+// straggler multipliers across all links.
+func (s *Stats) InjectedJitterTime() time.Duration {
+	var total uint64
+	for i := range s.injJitNs {
+		total += s.injJitNs[i].Load()
+	}
+	return time.Duration(total)
+}
+
+// Snapshot dumps every per-link counter in a fixed order. Two fabrics that
+// executed the same operation schedule under the same chaos seed produce
+// identical snapshots — the determinism contract soak tests rely on.
+func (s *Stats) Snapshot() []uint64 {
+	out := make([]uint64, 0, 6*len(s.bytes))
+	for i := range s.bytes {
+		out = append(out, s.bytes[i].Load(), s.messages[i].Load(),
+			s.failed[i].Load(), s.modelNs[i].Load(),
+			s.injDrops[i].Load(), s.injJitNs[i].Load())
+	}
+	return out
+}
+
 // Reset zeroes all counters (used between benchmark phases).
 func (s *Stats) Reset() {
 	for i := range s.bytes {
@@ -495,5 +570,7 @@ func (s *Stats) Reset() {
 		s.messages[i].Store(0)
 		s.failed[i].Store(0)
 		s.modelNs[i].Store(0)
+		s.injDrops[i].Store(0)
+		s.injJitNs[i].Store(0)
 	}
 }

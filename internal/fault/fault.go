@@ -1,16 +1,29 @@
-// Package fault implements MALT's fail-stop fault tolerance (paper §3.3).
+// Package fault implements MALT's fault tolerance (paper §3.3), extended
+// from pure fail-stop with a suspicion layer for unreliable networks.
 //
 // A Monitor runs on every rank. The training loop reports the peers whose
-// one-sided writes failed; the monitor then performs a synchronous health
+// one-sided writes failed permanently (the dstorm layer has already
+// absorbed transient faults with bounded retries); each report is one
+// *strike* against the suspect. Strikes decay over time, and only when a
+// suspect accumulates K strikes of repeated independent evidence does the
+// monitor run the expensive confirmation protocol: a synchronous health
 // check of the cluster together with the other monitors it can still
 // reach. A suspect is confirmed dead only when no reachable healthy
 // monitor can reach it either — a rank that others can still talk to is a
-// transient link problem, not a failure. On confirmation, the survivors
-// form a new group: registered callbacks rebuild send/receive lists and
-// redistribute the dead rank's training data, group operations (barriers)
-// skip the dead, and training resumes. Under a network partition each side
-// independently confirms the other side dead and resumes training — the
-// paper's documented behaviour.
+// transient link problem, not a failure, and refuted suspicion resets the
+// suspect's strikes. On confirmation, the survivors form a new group:
+// registered callbacks rebuild send/receive lists and redistribute the
+// dead rank's training data, group operations (barriers) skip the dead,
+// and training resumes. Under a network partition each side independently
+// confirms the other side dead and resumes training — the paper's
+// documented behaviour.
+//
+// Callback serialization guarantee: OnDeath callbacks are serialized per
+// monitor. Whether a death is confirmed by the Watch watchdog goroutine,
+// by ReportFailedWrites from the training loop, or by both racing, at most
+// one callback runs at a time and each callback fires exactly once per
+// dead rank. Rebuild code (send/receive list surgery, data redistribution)
+// therefore never observes concurrent invocations.
 //
 // Monitors also trap local failures: Guard converts a panic in the
 // training loop (the moral equivalent of the paper's processor exceptions:
@@ -38,6 +51,54 @@ var ErrCorruptModel = errors.New("fault: model contains NaN or Inf")
 // ErrLocalFailure wraps a trapped panic from Guard.
 var ErrLocalFailure = errors.New("fault: local training failure")
 
+// Suspicion defaults.
+const (
+	// DefaultStrikes is the number of independent failed-write reports a
+	// suspect must accumulate before the confirmation protocol runs.
+	DefaultStrikes = 3
+	// DefaultDecay is how long a strike stays fresh; older strikes are
+	// forgotten, so sporadic unrelated flakes never add up to a death.
+	DefaultDecay = 10 * time.Second
+	// healthProbeAttempts is how many times a health-check ping is retried
+	// when the chaos layer drops it: a lossy control plane must not turn
+	// the confirmation protocol itself into a false-positive source.
+	healthProbeAttempts = 3
+)
+
+// SuspicionConfig tunes the K-strikes failure detector.
+type SuspicionConfig struct {
+	// Strikes is the confirmation threshold K. Default 3; 1 restores the
+	// fail-stop behaviour of confirming on first evidence.
+	Strikes int
+	// Decay is the strike freshness window. Default 10 s; negative
+	// disables decay.
+	Decay time.Duration
+}
+
+func (c SuspicionConfig) withDefaults() SuspicionConfig {
+	if c.Strikes <= 0 {
+		c.Strikes = DefaultStrikes
+	}
+	if c.Decay == 0 {
+		c.Decay = DefaultDecay
+	}
+	return c
+}
+
+// SuspicionStats counts one monitor's detector activity.
+type SuspicionStats struct {
+	// Reports is the number of failed-write reports processed.
+	Reports uint64
+	// HealthChecks is the number of confirmation protocols run.
+	HealthChecks uint64
+	// Refuted is the number of health checks that found the suspect alive
+	// (transient faults that K strikes let through); each reset the
+	// suspect's strikes.
+	Refuted uint64
+	// Confirmed is the number of deaths this monitor confirmed.
+	Confirmed uint64
+}
+
 // Group couples the monitors of one cluster so they can run joint health
 // checks (in the paper the monitors talk over the network; here they share
 // the fabric, and cross-monitor probes are fabric pings so partitions and
@@ -47,12 +108,26 @@ type Group struct {
 	monitors []*Monitor
 }
 
-// NewGroup creates one Monitor per fabric rank.
+// NewGroup creates one Monitor per fabric rank with default suspicion.
 func NewGroup(fab *fabric.Fabric) *Group {
+	return NewGroupWith(fab, SuspicionConfig{})
+}
+
+// NewGroupWith creates one Monitor per fabric rank with the given
+// suspicion configuration.
+func NewGroupWith(fab *fabric.Fabric, cfg SuspicionConfig) *Group {
+	cfg = cfg.withDefaults()
 	g := &Group{fab: fab}
 	g.monitors = make([]*Monitor, fab.Ranks())
 	for i := range g.monitors {
-		g.monitors[i] = &Monitor{group: g, rank: i, dead: make(map[int]bool)}
+		g.monitors[i] = &Monitor{
+			group:      g,
+			rank:       i,
+			cfg:        cfg,
+			dead:       make(map[int]bool),
+			strikes:    make(map[int]int),
+			lastStrike: make(map[int]time.Time),
+		}
 	}
 	return g
 }
@@ -64,19 +139,27 @@ func (g *Group) Monitor(rank int) *Monitor { return g.monitors[rank] }
 type Monitor struct {
 	group *Group
 	rank  int
+	cfg   SuspicionConfig
 
-	mu      sync.Mutex
-	dead    map[int]bool // this monitor's confirmed-dead set
-	onDeath []func(rank int)
+	mu         sync.Mutex
+	dead       map[int]bool // this monitor's confirmed-dead set
+	strikes    map[int]int  // suspect → fresh strike count
+	lastStrike map[int]time.Time
+	sstats     SuspicionStats
+	onDeath    []func(rank int)
+
+	// cbMu serializes OnDeath callback execution between the Watch
+	// watchdog goroutine and training-loop reporters (see package doc).
+	cbMu sync.Mutex
 }
 
 // Rank returns the monitor's rank.
 func (m *Monitor) Rank() int { return m.rank }
 
-// OnDeath registers a callback invoked (once per dead rank, on the
-// goroutine that confirmed the death) after a failure is confirmed and the
-// survivor group is formed. Callbacks rebuild send/receive lists and
-// redistribute data.
+// OnDeath registers a callback invoked (once per dead rank, serialized with
+// all other OnDeath callbacks of this monitor) after a failure is confirmed
+// and the survivor group is formed. Callbacks rebuild send/receive lists
+// and redistribute data.
 func (m *Monitor) OnDeath(fn func(rank int)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -118,18 +201,75 @@ func (m *Monitor) ConfirmedDead() []int {
 	return out
 }
 
-// ReportFailedWrites feeds the peers whose scatters failed into the
-// monitor. For each suspect, a cluster health check runs synchronously;
-// confirmed deaths fire the OnDeath callbacks. It returns the ranks newly
-// confirmed dead.
+// Suspicion returns the suspect's current fresh strike count.
+func (m *Monitor) Suspicion(rank int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stale(rank, time.Now()) {
+		return 0
+	}
+	return m.strikes[rank]
+}
+
+// SuspicionStats returns the monitor's detector counters.
+func (m *Monitor) SuspicionStats() SuspicionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sstats
+}
+
+// stale reports whether rank's strikes have decayed. Callers hold m.mu.
+func (m *Monitor) stale(rank int, now time.Time) bool {
+	if m.cfg.Decay < 0 {
+		return false
+	}
+	last, ok := m.lastStrike[rank]
+	return ok && now.Sub(last) > m.cfg.Decay
+}
+
+// ReportFailedWrites feeds the peers whose scatters failed permanently (or
+// exhausted their transient retries) into the monitor. Each report is one
+// strike; a suspect reaching the strike threshold triggers the synchronous
+// cluster health check, and confirmed deaths fire the OnDeath callbacks
+// (serialized — see package doc). It returns the ranks newly confirmed
+// dead in this monitor's view.
 func (m *Monitor) ReportFailedWrites(peers []int) []int {
 	var confirmed []int
+	now := time.Now()
 	for _, p := range peers {
+		m.mu.Lock()
+		m.sstats.Reports++
+		if m.dead[p] || p == m.rank {
+			m.mu.Unlock()
+			continue
+		}
+		if m.stale(p, now) {
+			m.strikes[p] = 0
+		}
+		m.strikes[p]++
+		m.lastStrike[p] = now
+		reached := m.strikes[p] >= m.cfg.Strikes
+		m.mu.Unlock()
+		if !reached {
+			continue
+		}
 		if m.confirmDeath(p) {
 			confirmed = append(confirmed, p)
 		}
 	}
 	return confirmed
+}
+
+// ReportReachable clears the strikes of peers that fresh evidence (a
+// successful write or ping) shows reachable: suspicion is about *repeated,
+// uncontradicted* evidence, so a heard-from peer starts over.
+func (m *Monitor) ReportReachable(peers []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range peers {
+		delete(m.strikes, p)
+		delete(m.lastStrike, p)
+	}
 }
 
 // confirmDeath runs the health check for one suspect and, if death is
@@ -141,10 +281,18 @@ func (m *Monitor) confirmDeath(suspect int) bool {
 		m.mu.Unlock()
 		return false
 	}
+	m.sstats.HealthChecks++
 	m.mu.Unlock()
 
 	if !m.healthCheck(suspect) {
-		return false // someone can still reach it: transient
+		// Someone can still reach it: transient. The accumulated evidence
+		// is refuted wholesale, not merely decremented.
+		m.mu.Lock()
+		m.sstats.Refuted++
+		delete(m.strikes, suspect)
+		delete(m.lastStrike, suspect)
+		m.mu.Unlock()
+		return false
 	}
 
 	m.mu.Lock()
@@ -153,20 +301,43 @@ func (m *Monitor) confirmDeath(suspect int) bool {
 		return false
 	}
 	m.dead[suspect] = true
+	m.sstats.Confirmed++
+	delete(m.strikes, suspect)
+	delete(m.lastStrike, suspect)
 	callbacks := append([]func(int){}, m.onDeath...)
 	m.mu.Unlock()
+	m.cbMu.Lock()
 	for _, fn := range callbacks {
 		fn(suspect)
 	}
+	m.cbMu.Unlock()
 	return true
 }
 
-// healthCheck returns true when the suspect is unreachable from this rank
-// AND from every healthy monitor this rank can reach. The probes are
-// fabric pings, so they observe partitions exactly as data writes do.
+// probe pings from→to, retrying transient chaos drops so a lossy control
+// plane does not corrupt the confirmation protocol's verdict.
+func (m *Monitor) probe(from, to int) error {
+	var err error
+	for i := 0; i < healthProbeAttempts; i++ {
+		if err = m.group.fab.Ping(from, to); err == nil || !errors.Is(err, fabric.ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+// healthCheck returns true when the suspect is *permanently* unreachable
+// (fabric.ErrUnreachable: death or partition) from this rank AND from every
+// healthy monitor this rank can reach. The probes are fabric pings, so they
+// observe partitions exactly as data writes do. Transient probe failures
+// (fabric.ErrTransient surviving the retries) are inconclusive and never
+// confirm: a blackout or lossy path means the network is suspect, not the
+// peer — in particular a monitor inside its own blackout window must not
+// confirm the entire live cluster dead.
 func (m *Monitor) healthCheck(suspect int) bool {
 	fab := m.group.fab
-	if err := fab.Ping(m.rank, suspect); err == nil {
+	err := m.probe(m.rank, suspect)
+	if err == nil || errors.Is(err, fabric.ErrTransient) {
 		return false
 	}
 	for r := 0; r < fab.Ranks(); r++ {
@@ -179,13 +350,17 @@ func (m *Monitor) healthCheck(suspect int) bool {
 		if knownDead {
 			continue
 		}
-		// Can we reach the helper monitor at all? If not it cannot vouch.
-		if err := fab.Ping(m.rank, r); err != nil {
+		// Can we reach the helper monitor at all? If not it cannot vouch
+		// either way.
+		if err := m.probe(m.rank, r); err != nil {
 			continue
 		}
 		// Ask the helper to probe the suspect (its probe runs over the
-		// fabric from its own rank, so it sees its own partition view).
-		if err := fab.Ping(r, suspect); err == nil {
+		// fabric from its own rank, so it sees its own partition view). A
+		// reachable suspect refutes; a transient failure is inconclusive
+		// and blocks confirmation too — the suspect may be alive behind a
+		// flaky path.
+		if err := m.probe(r, suspect); err == nil || errors.Is(err, fabric.ErrTransient) {
 			return false
 		}
 	}
@@ -219,10 +394,12 @@ func (m *Monitor) CheckModel(w []float64) error {
 }
 
 // Watch starts a background watchdog that probes every peer each interval
-// and runs the confirmation protocol for unreachable ones, so failures are
-// detected even while the replica computes without communicating (the
-// paper's monitors run continuously, not only on failed writes). The
-// returned stop function terminates the watchdog and waits for it.
+// and feeds the results into the suspicion counter — failed probes are
+// strikes, successful probes clear strikes — so failures are detected (and
+// transient flaps exonerated) even while the replica computes without
+// communicating. Confirmations from the watchdog fire the same serialized
+// OnDeath callbacks as training-loop reports. The returned stop function
+// terminates the watchdog and waits for it.
 func (m *Monitor) Watch(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -240,14 +417,19 @@ func (m *Monitor) Watch(interval time.Duration) (stop func()) {
 			if !fab.Alive(m.rank) {
 				return // we are dead; nothing to watch
 			}
-			var suspects []int
+			var suspects, healthy []int
 			for r := 0; r < fab.Ranks(); r++ {
 				if r == m.rank || !m.Alive(r) {
 					continue
 				}
 				if err := fab.Ping(m.rank, r); err != nil {
 					suspects = append(suspects, r)
+				} else {
+					healthy = append(healthy, r)
 				}
+			}
+			if len(healthy) > 0 {
+				m.ReportReachable(healthy)
 			}
 			if len(suspects) > 0 {
 				m.ReportFailedWrites(suspects)

@@ -8,13 +8,17 @@ import (
 	"malt/internal/fabric"
 )
 
+// newGroup builds a group with Strikes: 1 — the fail-stop configuration the
+// confirmation-protocol tests below were written against, where a single
+// failed-write report triggers the health check. The K-strikes layer on top
+// is covered by suspicion_test.go.
 func newGroup(t *testing.T, ranks int) (*fabric.Fabric, *Group) {
 	t.Helper()
 	f, err := fabric.New(fabric.Config{Ranks: ranks})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return f, NewGroup(f)
+	return f, NewGroupWith(f, SuspicionConfig{Strikes: 1})
 }
 
 func TestConfirmDeathOnKilledRank(t *testing.T) {

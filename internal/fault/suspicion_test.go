@@ -1,0 +1,320 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+func newGroupCfg(t *testing.T, ranks int, cfg SuspicionConfig) (*fabric.Fabric, *Group) {
+	t.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewGroupWith(f, cfg)
+}
+
+func TestDefaultSuspicionConfig(t *testing.T) {
+	cfg := SuspicionConfig{}.withDefaults()
+	if cfg.Strikes != DefaultStrikes || cfg.Decay != DefaultDecay {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestStrikesRequiredBeforeConfirmation(t *testing.T) {
+	f, g := newGroupCfg(t, 3, SuspicionConfig{}) // defaults: 3 strikes
+	if err := f.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	for i := 1; i <= 2; i++ {
+		if confirmed := m.ReportFailedWrites([]int{2}); confirmed != nil {
+			t.Fatalf("confirmed after %d strike(s): %v", i, confirmed)
+		}
+		if got := m.Suspicion(2); got != i {
+			t.Fatalf("Suspicion = %d after %d report(s)", got, i)
+		}
+	}
+	// No health check has run yet: the expensive protocol waits for K.
+	if st := m.SuspicionStats(); st.HealthChecks != 0 {
+		t.Fatalf("health check ran before threshold: %+v", st)
+	}
+	confirmed := m.ReportFailedWrites([]int{2})
+	if len(confirmed) != 1 || confirmed[0] != 2 {
+		t.Fatalf("third strike did not confirm: %v", confirmed)
+	}
+	st := m.SuspicionStats()
+	if st.HealthChecks != 1 || st.Confirmed != 1 || st.Reports != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Suspicion(2) != 0 {
+		t.Fatal("strikes should clear on confirmation")
+	}
+}
+
+func TestRefutedHealthCheckResetsStrikes(t *testing.T) {
+	_, g := newGroupCfg(t, 3, SuspicionConfig{Strikes: 2})
+	m := g.Monitor(0)
+	// Rank 2 is alive: two spurious reports reach the threshold, the health
+	// check refutes, and the evidence is thrown out wholesale.
+	m.ReportFailedWrites([]int{2})
+	if confirmed := m.ReportFailedWrites([]int{2}); confirmed != nil {
+		t.Fatalf("live rank confirmed: %v", confirmed)
+	}
+	st := m.SuspicionStats()
+	if st.HealthChecks != 1 || st.Refuted != 1 || st.Confirmed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Suspicion(2) != 0 {
+		t.Fatalf("refuted suspect kept %d strikes", m.Suspicion(2))
+	}
+	// It takes K fresh strikes, not one, to trigger the next check.
+	m.ReportFailedWrites([]int{2})
+	if st := m.SuspicionStats(); st.HealthChecks != 1 {
+		t.Fatalf("single post-refutation strike re-triggered the check: %+v", st)
+	}
+}
+
+func TestReportReachableClearsStrikes(t *testing.T) {
+	_, g := newGroupCfg(t, 3, SuspicionConfig{Strikes: 3})
+	m := g.Monitor(0)
+	m.ReportFailedWrites([]int{1, 2})
+	m.ReportFailedWrites([]int{1, 2})
+	m.ReportReachable([]int{1})
+	if got := m.Suspicion(1); got != 0 {
+		t.Fatalf("reachable peer kept %d strikes", got)
+	}
+	if got := m.Suspicion(2); got != 2 {
+		t.Fatalf("unrelated suspect lost strikes: %d", got)
+	}
+}
+
+func TestStrikeDecay(t *testing.T) {
+	f, g := newGroupCfg(t, 2, SuspicionConfig{Strikes: 2, Decay: 5 * time.Millisecond})
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	m.ReportFailedWrites([]int{1})
+	time.Sleep(15 * time.Millisecond) // strike goes stale
+	if got := m.Suspicion(1); got != 0 {
+		t.Fatalf("stale strike still visible: %d", got)
+	}
+	// The next report starts a fresh count of 1, so no confirmation yet...
+	if confirmed := m.ReportFailedWrites([]int{1}); confirmed != nil {
+		t.Fatalf("decayed evidence still confirmed: %v", confirmed)
+	}
+	// ...but two rapid reports do confirm the genuinely dead rank.
+	if confirmed := m.ReportFailedWrites([]int{1}); len(confirmed) != 1 {
+		t.Fatalf("fresh strikes did not confirm: %v", confirmed)
+	}
+}
+
+func TestNegativeDecayDisablesExpiry(t *testing.T) {
+	f, g := newGroupCfg(t, 2, SuspicionConfig{Strikes: 2, Decay: -1})
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	m.ReportFailedWrites([]int{1})
+	time.Sleep(5 * time.Millisecond)
+	if got := m.Suspicion(1); got != 1 {
+		t.Fatalf("strike expired despite Decay<0: %d", got)
+	}
+}
+
+// Satellite (a): whichever path confirms a death — watchdog goroutine or
+// training-loop report — OnDeath callbacks never run concurrently.
+func TestOnDeathCallbacksSerialized(t *testing.T) {
+	f, g := newGroupCfg(t, 4, SuspicionConfig{Strikes: 1})
+	if err := f.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	var inFlight, maxFlight, calls atomic.Int32
+	m.OnDeath(func(r int) {
+		cur := inFlight.Add(1)
+		for {
+			prev := maxFlight.Load()
+			if cur <= prev || maxFlight.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond) // widen any overlap window
+		calls.Add(1)
+		inFlight.Add(-1)
+	})
+	stop := m.Watch(time.Millisecond) // watchdog races the reports below
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.ReportFailedWrites([]int{2 + i%2})
+		}(i)
+	}
+	wg.Wait()
+	stop()
+	if got := maxFlight.Load(); got > 1 {
+		t.Fatalf("callbacks overlapped: max concurrency %d", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("OnDeath fired %d times, want exactly once per dead rank (2)", got)
+	}
+}
+
+// A monitor whose own links are blacked out must not confirm the (live)
+// cluster dead: its probes fail transiently, which is evidence about the
+// network, not about the peers.
+func TestOwnBlackoutDoesNotConfirmPeers(t *testing.T) {
+	f, g := newGroupCfg(t, 4, SuspicionConfig{Strikes: 1})
+	if err := f.SetRankBlackout(0, true); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	if confirmed := m.ReportFailedWrites([]int{1, 2, 3}); confirmed != nil {
+		t.Fatalf("blacked-out monitor confirmed live peers dead: %v", confirmed)
+	}
+	st := m.SuspicionStats()
+	if st.Confirmed != 0 || st.Refuted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Blackout lifts: a genuinely dead peer is still confirmable.
+	if err := f.SetRankBlackout(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	if confirmed := m.ReportFailedWrites([]int{3}); len(confirmed) != 1 {
+		t.Fatalf("post-blackout real death not confirmed: %v", confirmed)
+	}
+}
+
+// A suspect inside a blackout window is unreachable by everyone, but only
+// transiently: no monitor may confirm it dead.
+func TestSuspectBlackoutNotConfirmed(t *testing.T) {
+	f, g := newGroupCfg(t, 3, SuspicionConfig{Strikes: 1})
+	if err := f.SetRankBlackout(2, true); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	if confirmed := m.ReportFailedWrites([]int{2}); confirmed != nil {
+		t.Fatalf("blacked-out suspect confirmed dead: %v", confirmed)
+	}
+	if !m.Alive(2) {
+		t.Fatal("blacked-out rank marked dead")
+	}
+}
+
+// reportingRound has every fabric-alive monitor probe every peer it still
+// believes alive and feed the outcome into its detector — the same loop a
+// training replica runs, but driven synchronously for determinism.
+func reportingRound(f *fabric.Fabric, g *Group) {
+	for _, r := range f.AliveRanks() {
+		m := g.Monitor(r)
+		var failed, healthy []int
+		for p := 0; p < f.Ranks(); p++ {
+			if p == r || !m.Alive(p) {
+				continue
+			}
+			if f.Ping(r, p) != nil {
+				failed = append(failed, p)
+			} else {
+				healthy = append(healthy, p)
+			}
+		}
+		m.ReportReachable(healthy)
+		m.ReportFailedWrites(failed)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Satellite (b): after a seeded schedule of kills and healed partition
+// blips, once the cluster quiesces every survivor's Survivors() view is
+// identical — and matches the fabric's ground truth. Partition blips heal
+// before the next reporting round: the paper's split-brain semantics make
+// divergent views *correct* while a partition persists, so agreement is
+// asserted over the healed cluster.
+func TestSurvivorViewsAgreeAfterChaos(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 5 + rng.Intn(4) // 5..8
+		f, err := fabric.New(fabric.Config{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGroupWith(f, SuspicionConfig{}) // default 3 strikes
+
+		for ev := 0; ev < 6; ev++ {
+			switch alive := f.AliveRanks(); {
+			case rng.Intn(2) == 0 && len(alive) > 3:
+				// Permanent kill of a random live rank.
+				victim := alive[rng.Intn(len(alive))]
+				if err := f.Kill(victim); err != nil {
+					t.Fatalf("seed %d: kill %d: %v", seed, victim, err)
+				}
+			default:
+				// Partition blip: split, let everyone observe it for one
+				// round (1 strike — below threshold), then heal. Strikes
+				// against reachable peers are cleared by the healed rounds.
+				mid := 1 + rng.Intn(f.Ranks()-1)
+				var a, b []int
+				for r := 0; r < f.Ranks(); r++ {
+					if r < mid {
+						a = append(a, r)
+					} else {
+						b = append(b, r)
+					}
+				}
+				if err := f.Partition([][]int{a, b}); err != nil {
+					t.Fatalf("seed %d: partition: %v", seed, err)
+				}
+				reportingRound(f, g)
+				f.Heal()
+			}
+			reportingRound(f, g)
+		}
+
+		// Quiescence: strikes against dead ranks accumulate once per round,
+		// so Strikes+1 healed rounds guarantee every survivor has confirmed
+		// every death it can observe.
+		for i := 0; i < DefaultStrikes+1; i++ {
+			reportingRound(f, g)
+		}
+
+		truth := f.AliveRanks()
+		for _, r := range truth {
+			if got := g.Monitor(r).Survivors(); !equalInts(got, truth) {
+				t.Fatalf("seed %d: rank %d view %v != fabric truth %v",
+					seed, r, got, truth)
+			}
+			// Zero live ranks falsely confirmed dead.
+			for _, d := range g.Monitor(r).ConfirmedDead() {
+				if f.Alive(d) {
+					t.Fatalf("seed %d: rank %d falsely confirmed live rank %d dead",
+						seed, r, d)
+				}
+			}
+		}
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"malt/internal/dataflow"
 	"malt/internal/dstorm"
 	"malt/internal/fabric"
+	"malt/internal/fault"
 	"malt/internal/ml/linalg"
 	"malt/internal/vol"
 )
@@ -99,6 +100,36 @@ type UDF = vol.UDF
 // FabricConfig tunes the simulated interconnect (latency, bandwidth,
 // imposed delay).
 type FabricConfig = fabric.Config
+
+// ChaosConfig seeds the fabric's transient-fault model: per-link drop
+// probabilities, blackout windows and straggler jitter (Config.Fabric.Chaos,
+// or Fabric.EnableChaos at runtime).
+type ChaosConfig = fabric.ChaosConfig
+
+// LinkFault is the transient-fault model of one directed link.
+type LinkFault = fabric.LinkFault
+
+// RetryPolicy bounds per-write retrying of transient fabric faults
+// (Config.Retry).
+type RetryPolicy = dstorm.RetryPolicy
+
+// RetryStats counts a rank's transient-fault handling
+// (Context.RetryStats).
+type RetryStats = dstorm.RetryStats
+
+// SuspicionConfig tunes the K-strikes failure detector (Config.Suspicion):
+// a peer is health-checked only after Strikes independent failed-write
+// reports within the Decay window.
+type SuspicionConfig = fault.SuspicionConfig
+
+// SuspicionStats counts a rank's failure-detector activity
+// (Context.Monitor().SuspicionStats).
+type SuspicionStats = fault.SuspicionStats
+
+// ErrTransient marks a fabric operation dropped by the chaos layer: the
+// packet is gone but the link is not. The runtime retries these under
+// Config.Retry; only permanent failures reach the fault monitor.
+var ErrTransient = fabric.ErrTransient
 
 // Vector wire representations.
 const (
