@@ -1,0 +1,97 @@
+// Command maltlint runs the maltlint analyzer suite (internal/lint) over
+// the named packages and reports every invariant violation. It is this
+// repository's machine-checked code review for the invariants the Go type
+// system cannot express: errors.Is on sentinels, no scatters under locks,
+// no mixed atomic/plain field access, pure fold/hook closures, and no raw
+// sleeps in retry loops.
+//
+// Usage:
+//
+//	go run ./cmd/maltlint ./...
+//	go run ./cmd/maltlint -only erriscmp,rawsleep ./internal/...
+//
+// Exit status is 1 when any diagnostic is reported, 2 on operational
+// failure. Suppress a finding with an audited annotation on or above the
+// flagged line:
+//
+//	//maltlint:allow <analyzer> -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"malt/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: maltlint [-only a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".", patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	targets, err := loader.Targets(patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	found := 0
+	for _, path := range targets {
+		pkg, err := loader.LoadPackage(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "maltlint: %d violation(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "maltlint: "+format+"\n", args...)
+	os.Exit(2)
+}

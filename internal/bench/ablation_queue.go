@@ -70,7 +70,7 @@ func runQueueImbalance(ranks, dim, depth, rounds int) (consumed, overwritten uin
 		if ctx.Rank() == 0 {
 			// Slow consumer: gathers only every few producer rounds.
 			for i := 0; i < rounds/8; i++ {
-				time.Sleep(200 * time.Microsecond)
+				time.Sleep(200 * time.Microsecond) //maltlint:allow rawsleep -- deliberate slow-consumer pacing; the lag IS the experiment
 				if _, err := ctx.Gather(v, vol.Average); err != nil {
 					return err
 				}

@@ -23,20 +23,33 @@ import (
 //
 //	flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms
 func Parse(spec string, seed int64) (*Script, error) {
-	s := New(seed)
+	p := &parser{s: New(seed), blackouts: map[int][]window{}}
 	for _, clause := range strings.Split(spec, ";") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
 			continue
 		}
-		if err := parseClause(s, clause); err != nil {
+		if err := p.clause(clause); err != nil {
 			return nil, fmt.Errorf("chaos: clause %q: %w", clause, err)
 		}
 	}
-	return s, nil
+	return p.s, nil
 }
 
-func parseClause(s *Script, clause string) error {
+// parser accumulates cross-clause state so Parse can reject specs that are
+// well-formed clause-by-clause but incoherent as a whole (e.g. two blackout
+// windows on the same rank that overlap — the first Restore would end the
+// second blackout early, silently weakening the experiment).
+type parser struct {
+	s         *Script
+	blackouts map[int][]window
+}
+
+// window is a half-open interval [at, at+dur).
+type window struct{ at, end time.Duration }
+
+func (p *parser) clause(clause string) error {
+	s := p.s
 	// heal@T has no '=' payload.
 	if rest, ok := strings.CutPrefix(clause, "heal@"); ok {
 		at, err := time.ParseDuration(rest)
@@ -90,7 +103,7 @@ func parseClause(s *Script, clause string) error {
 		if !ok {
 			return fmt.Errorf("kill wants R@T")
 		}
-		rank, err := strconv.Atoi(rankStr)
+		rank, err := parseRank(rankStr)
 		if err != nil {
 			return err
 		}
@@ -101,22 +114,25 @@ func parseClause(s *Script, clause string) error {
 		s.KillAt(at, rank)
 		return nil
 	case "blackout":
-		rankStr, window, ok := strings.Cut(val, "@")
+		rankStr, win, ok := strings.Cut(val, "@")
 		if !ok {
 			return fmt.Errorf("blackout wants R@T+D")
 		}
-		rank, err := strconv.Atoi(rankStr)
+		rank, err := parseRank(rankStr)
 		if err != nil {
 			return err
 		}
-		at, dur, err := parseWindow(window)
+		at, dur, err := parseWindow(win)
 		if err != nil {
+			return err
+		}
+		if err := p.addBlackout(rank, at, dur); err != nil {
 			return err
 		}
 		s.BlackoutAt(at, dur, rank)
 		return nil
 	case "straggler":
-		head, window, ok := strings.Cut(val, "@")
+		head, win, ok := strings.Cut(val, "@")
 		if !ok {
 			return fmt.Errorf("straggler wants R:M@T+D")
 		}
@@ -124,7 +140,7 @@ func parseClause(s *Script, clause string) error {
 		if !ok {
 			return fmt.Errorf("straggler wants R:M@T+D")
 		}
-		rank, err := strconv.Atoi(rankStr)
+		rank, err := parseRank(rankStr)
 		if err != nil {
 			return err
 		}
@@ -132,7 +148,7 @@ func parseClause(s *Script, clause string) error {
 		if err != nil {
 			return err
 		}
-		at, dur, err := parseWindow(window)
+		at, dur, err := parseWindow(win)
 		if err != nil {
 			return err
 		}
@@ -151,7 +167,7 @@ func parseClause(s *Script, clause string) error {
 		for _, gs := range strings.Split(groupsStr, "|") {
 			var g []int
 			for _, rs := range strings.Split(gs, ",") {
-				r, err := strconv.Atoi(strings.TrimSpace(rs))
+				r, err := parseRank(strings.TrimSpace(rs))
 				if err != nil {
 					return err
 				}
@@ -171,13 +187,42 @@ func parseLink(s string) (from, to int, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("link wants F-T")
 	}
-	if from, err = strconv.Atoi(fromStr); err != nil {
+	if from, err = parseRank(fromStr); err != nil {
 		return 0, 0, err
 	}
-	if to, err = strconv.Atoi(toStr); err != nil {
+	if to, err = parseRank(toStr); err != nil {
 		return 0, 0, err
 	}
 	return from, to, nil
+}
+
+// parseRank parses a node id. Parse does not know the cluster size, so it
+// can only reject ids that are invalid for every cluster; membership in the
+// actual rank range is checked when the script is applied to a fabric.
+func parseRank(s string) (int, error) {
+	r, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("rank %d is negative", r)
+	}
+	return r, nil
+}
+
+// addBlackout records rank's blackout window, rejecting overlaps: the
+// earlier window's Restore would cut the later one short, so an overlapping
+// spec never runs the fault pattern it appears to describe.
+func (p *parser) addBlackout(rank int, at, dur time.Duration) error {
+	w := window{at: at, end: at + dur}
+	for _, prev := range p.blackouts[rank] {
+		if w.at < prev.end && prev.at < w.end {
+			return fmt.Errorf("blackout [%v, %v) overlaps earlier blackout [%v, %v) on rank %d",
+				w.at, w.end, prev.at, prev.end, rank)
+		}
+	}
+	p.blackouts[rank] = append(p.blackouts[rank], w)
+	return nil
 }
 
 func parseProb(s string) (float64, error) {
@@ -202,6 +247,12 @@ func parseWindow(s string) (at, dur time.Duration, err error) {
 	}
 	if dur, err = time.ParseDuration(durStr); err != nil {
 		return 0, 0, err
+	}
+	if at < 0 {
+		return 0, 0, fmt.Errorf("window offset %v is negative", at)
+	}
+	if dur <= 0 {
+		return 0, 0, fmt.Errorf("window duration %v is not positive", dur)
 	}
 	return at, dur, nil
 }

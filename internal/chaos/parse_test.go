@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parse cannot know the cluster size, but negative ids are invalid for
+// every cluster and must fail fast rather than build a script whose events
+// silently hit no rank.
+func TestParseRejectsNegativeRanks(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want string // substring expected in the error
+	}{
+		{"kill=-1@100ms", "negative"},
+		{"blackout=-2@100ms+50ms", "negative"},
+		{"straggler=-3:4@50ms+25ms", "negative"},
+		{"partition=0,-1|2,3@200ms", "negative"},
+		{"flaky=1--2:0.5", "negative"}, // link endpoint
+	} {
+		_, err := Parse(tc.spec, 1)
+		if err == nil {
+			t.Errorf("spec %q parsed without error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// Overlapping blackouts on one rank are incoherent: the first window's
+// Restore would end the second early, so the spec would not run the fault
+// pattern it describes. Overlaps across different ranks are fine, as are
+// back-to-back windows (the interval is half-open).
+func TestParseRejectsOverlappingBlackouts(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		ok   bool
+	}{
+		{"blackout=1@100ms+80ms;blackout=1@150ms+80ms", false}, // partial overlap
+		{"blackout=1@100ms+80ms;blackout=1@110ms+10ms", false}, // nested
+		{"blackout=1@100ms+80ms;blackout=1@100ms+80ms", false}, // duplicate
+		{"blackout=1@150ms+80ms;blackout=1@100ms+80ms", false}, // overlap, later clause first
+		{"blackout=1@100ms+80ms;blackout=2@150ms+80ms", true},  // different ranks
+		{"blackout=1@100ms+50ms;blackout=1@150ms+50ms", true},  // adjacent half-open windows
+	} {
+		_, err := Parse(tc.spec, 1)
+		if tc.ok && err != nil {
+			t.Errorf("spec %q: unexpected error %v", tc.spec, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("spec %q parsed without error", tc.spec)
+			} else if !strings.Contains(err.Error(), "overlaps") {
+				t.Errorf("spec %q: error %q does not mention overlap", tc.spec, err)
+			}
+		}
+	}
+}
+
+// Windows must describe a real interval: a negative offset or a
+// non-positive duration would schedule a Restore at or before its Blackout.
+func TestParseRejectsDegenerateWindows(t *testing.T) {
+	for _, spec := range []string{
+		"blackout=1@-100ms+50ms", // negative offset
+		"blackout=1@100ms+0s",    // zero duration
+		"blackout=1@100ms+-50ms", // negative duration
+		"straggler=2:4@50ms+0s",  // zero duration (shared window parser)
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}

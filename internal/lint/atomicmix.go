@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that the package accesses both through
+// sync/atomic address-based calls (atomic.AddUint64(&s.n, 1)) and through
+// plain loads/stores (s.n++). Mixed access is a data race that the race
+// detector only reports when the racy interleaving actually happens in a
+// test run; in MALT the symptom is worse than a crash — a torn or lost
+// counter silently corrupts the traffic stats and retry accounting the
+// convergence experiments key off. The fix is either the atomic.Uint64
+// family (which makes plain access impossible) or a mutex; the analyzer
+// exists to catch the transitional mistakes.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct fields must not mix sync/atomic and plain access",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: fields whose address feeds a sync/atomic call, and the exact
+	// selector nodes consumed that way.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicNodes := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				// Methods of atomic.Int64 & friends: the field has an atomic
+				// type, plain access is impossible, nothing to track.
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			// Every address-based sync/atomic function takes the address
+			// first: atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n), ...
+			unary, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(pass.Info, sel); field != nil {
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = call.Pos()
+				}
+				atomicNodes[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other access to those fields is a plain (racy) access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicNodes[sel] {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field == nil {
+				return true
+			}
+			if atomicPos, mixed := atomicFields[field]; mixed {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed atomically at %s; mixing is a data race — use the atomic.%s type or a mutex everywhere",
+					field.Name(), pass.Fset.Position(atomicPos), suggestAtomicType(field.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf returns the struct field object a selector expression denotes,
+// or nil when the selector is not a field access.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if v, ok := selection.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// suggestAtomicType names the sync/atomic wrapper type for a basic type.
+func suggestAtomicType(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

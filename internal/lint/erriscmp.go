@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrIsCmp flags identity comparisons (==, !=, switch/case) against
+// package-level sentinel errors. Every fabric and dstorm error reaches
+// callers wrapped — fabric.Write returns fmt.Errorf("%w: rank %d -> rank
+// %d", ErrUnreachable, ...) — so `err == fabric.ErrUnreachable` is always
+// false at exactly the call sites that matter. The failure mode is silent:
+// a retry loop that misclassifies ErrTransient as permanent (or vice versa)
+// degrades convergence instead of crashing, which is why the check is
+// machine-enforced. Use errors.Is.
+var ErrIsCmp = &Analyzer{
+	Name: "erriscmp",
+	Doc:  "sentinel errors must be classified with errors.Is, not == / != / switch",
+	Run:  runErrIsCmp,
+}
+
+func runErrIsCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if obj := sentinelErrorRef(pass.Info, side); obj != nil {
+						pass.Reportf(n.Pos(),
+							"comparison %s sentinel %s.%s breaks on wrapped errors; use errors.Is",
+							n.Op, obj.Pkg().Name(), obj.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := pass.Info.Types[n.Tag]
+				if !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinelErrorRef(pass.Info, e); obj != nil {
+							pass.Reportf(e.Pos(),
+								"switch case on sentinel %s.%s breaks on wrapped errors; use errors.Is chains",
+								obj.Pkg().Name(), obj.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelErrorRef resolves e to a package-level error variable named
+// Err*, the naming convention every sentinel in this module (and the
+// standard library's errors doctrine) follows. Returns nil otherwise.
+func sentinelErrorRef(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() { // must be package-level
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}

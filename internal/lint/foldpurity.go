@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FoldPurity flags closures handed to gather folds and failure hooks that
+// write variables captured from the enclosing scope without lock
+// protection. A gather-fold UDF runs against per-sender queues that remote
+// NICs (fabric senders) are concurrently depositing into; OnDeath and
+// liveness callbacks fire from the fault watchdog goroutine or whichever
+// training goroutine confirms a death first. A captured write inside such
+// a closure is shared mutable state on a concurrency boundary — the
+// paper-level symptom is not a crash but a silently corrupted model or
+// statistic. Writes guarded by a mutex acquired inside the closure are
+// accepted; anything else needs restructuring (return data through the
+// fold's Local vector) or an audited //maltlint:allow annotation
+// explaining why the capture is single-goroutine.
+var FoldPurity = &Analyzer{
+	Name: "foldpurity",
+	Doc:  "gather-fold and failure-hook closures must not write unguarded captured state",
+	Run:  runFoldPurity,
+}
+
+// hookMethods are the registration points whose closure arguments run on
+// concurrency boundaries, keyed "pkgpath.Type.Method".
+var hookMethods = map[string]bool{
+	"malt/internal/vol.Vector.Gather":              true,
+	"malt/internal/vol.Vector.GatherIf":            true,
+	"malt/internal/vol.Vector.GatherLatest":        true,
+	"malt/internal/vol.Vector.GatherWeak":          true,
+	"malt/internal/core.Context.Gather":            true,
+	"malt/internal/core.Context.GatherLatest":      true,
+	"malt/internal/consistency.Controller.Gather":  true,
+	"malt/internal/fault.Monitor.OnDeath":          true,
+	"malt/internal/fabric.Fabric.OnLivenessChange": true,
+}
+
+func runFoldPurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !maltPackage(fn.Pkg().Path()) {
+				return true
+			}
+			pkgPath, typeName, isMethod := recvTypeName(fn)
+			if !isMethod || !hookMethods[pkgPath+"."+typeName+"."+fn.Name()] {
+				return true
+			}
+			hook := typeName + "." + fn.Name()
+			for _, arg := range call.Args {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					checkClosure(pass, hook, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkClosure reports unguarded writes to captured variables inside lit.
+func checkClosure(pass *Pass, hook string, lit *ast.FuncLit) {
+	// Positions of lock acquisitions inside the closure: a write after one
+	// (in source order) is considered guarded. This is deliberately
+	// generous — the matching Unlock is not tracked — because the analyzer
+	// targets the "no locking at all" failure mode.
+	var lockPositions []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcFor(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "sync" && (fn.Name() == "Lock" || fn.Name() == "RLock") {
+			lockPositions = append(lockPositions, call.Pos())
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool {
+		for _, lp := range lockPositions {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, obj *types.Var) {
+		if guarded(pos) {
+			return
+		}
+		pass.Reportf(pos,
+			"closure passed to %s writes captured %q without a lock; folds/hooks run concurrently with queue deposits — fold into Local, guard with a mutex, or annotate why it is single-goroutine",
+			hook, obj.Name())
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := declares closure-locals
+			}
+			for _, lhs := range n.Lhs {
+				if obj := capturedTarget(pass.Info, lit, lhs); obj != nil {
+					report(lhs.Pos(), obj)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := capturedTarget(pass.Info, lit, n.X); obj != nil {
+				report(n.X.Pos(), obj)
+			}
+		case *ast.CallExpr:
+			// copy(captured, ...) writes through a captured slice.
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "copy" && len(n.Args) > 0 {
+					if obj := capturedTarget(pass.Info, lit, n.Args[0]); obj != nil {
+						report(n.Args[0].Pos(), obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capturedTarget resolves the base variable a write target refers to and
+// returns it when it is captured from outside the closure (including
+// package-level state). It returns nil for closure parameters and locals,
+// the blank identifier, and targets whose base is not a variable.
+func capturedTarget(info *types.Info, lit *ast.FuncLit, target ast.Expr) *types.Var {
+	e := unparen(target)
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			e = unparen(t.X)
+		case *ast.StarExpr:
+			e = unparen(t.X)
+		case *ast.SelectorExpr:
+			e = unparen(t.X)
+		case *ast.SliceExpr:
+			e = unparen(t.X)
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return nil // declared inside the closure (param or local)
+	}
+	return obj
+}

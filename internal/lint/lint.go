@@ -1,0 +1,245 @@
+// Package lint is maltlint: a static-analysis suite that machine-checks the
+// invariants MALT's correctness rests on but Go's type system cannot express.
+//
+// The five analyzers (see their files for details):
+//
+//   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
+//     errors.Is, never == / != / switch — wrapped errors (every fabric error
+//     is returned via fmt.Errorf("%w: ...")) make identity comparison a
+//     silent misclassification.
+//   - lockedscatter: one-sided scatters must not run while a mutex acquired
+//     in the same function is still held — the receiver's gather path takes
+//     its own locks, and a scatter is a synchronous remote deposit, so
+//     holding local locks across it invites deadlock and reintroduces the
+//     receiver-CPU involvement one-sided writes exist to avoid.
+//   - atomicmix: a struct field is either always accessed through
+//     sync/atomic or never — mixing atomic and plain loads/stores is a data
+//     race the race detector only catches when the interleaving happens.
+//   - foldpurity: gather-fold / OnDeath / liveness-hook closures run
+//     concurrently with per-sender queue writes and other hooks; writes to
+//     captured variables inside them must be lock-protected.
+//   - rawsleep: time.Sleep inside retry/poll loops hides backoff policy
+//     from the retry/staleness subsystems; only the two blessed backoff
+//     sites (dstorm/retry.go, consistency.go's stall poll) may sleep raw.
+//
+// The framework is intentionally dependency-free: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
+// standard library's go/ast + go/types, because this repository builds
+// without third-party modules.
+//
+// False positives are suppressed with an explicit, audited annotation:
+//
+//	//maltlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory by convention (reviewers reject bare allows); the analyzer name
+// "all" suppresses every check for that line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run performs the check on one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation and the expected fix.
+	Message string
+	// Analyzer is the name of the analyzer that reported it.
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass connects one analyzer run to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+	allow allowIndex
+}
+
+// Reportf records a finding at pos unless an allow annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			allow:    allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the maltlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep}
+}
+
+// allowIndex maps file -> line -> analyzer names suppressed on that line.
+// An annotation suppresses its own line and the line below it, so both
+// trailing comments and own-line comments work.
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) allows(pos token.Position, analyzer string) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := lines[line]; set != nil && (set[analyzer] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//maltlint:allow"
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := fset.Position(c.Pos())
+				lines := ai[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ai[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.Split(names, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// maltPackage reports whether path is this module or one of its packages.
+func maltPackage(path string) bool {
+	return path == "malt" || strings.HasPrefix(path, "malt/")
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// funcFor resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, built-ins, and conversions.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the (package path, type name) of a method's receiver,
+// dereferencing a pointer receiver; ok is false for non-methods.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string, ok bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

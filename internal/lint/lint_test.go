@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"malt/internal/lint"
+	"malt/internal/lint/linttest"
+)
+
+// Each analyzer must fail on its seeded-violation fixture (the `// want`
+// expectations) and stay silent on the fixture's negative cases — the
+// analysistest contract, enforced by linttest.
+
+func TestErrIsCmp(t *testing.T)      { linttest.Run(t, lint.ErrIsCmp, "erriscmp") }
+func TestLockedScatter(t *testing.T) { linttest.Run(t, lint.LockedScatter, "lockedscatter") }
+func TestAtomicMix(t *testing.T)     { linttest.Run(t, lint.AtomicMix, "atomicmix") }
+func TestFoldPurity(t *testing.T)    { linttest.Run(t, lint.FoldPurity, "foldpurity") }
+func TestRawSleep(t *testing.T)      { linttest.Run(t, lint.RawSleep, "rawsleep") }
+
+// TestAll ensures the suite registry stays complete: cmd/maltlint and CI
+// run All(), so an analyzer missing from it would silently stop gating.
+func TestAll(t *testing.T) {
+	want := map[string]bool{
+		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
+		"foldpurity": true, "rawsleep": true,
+	}
+	got := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in All()", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

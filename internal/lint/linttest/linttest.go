@@ -1,0 +1,158 @@
+// Package linttest is the fixture harness for maltlint analyzers, modeled
+// on golang.org/x/tools/go/analysis/analysistest but built on the
+// dependency-free loader in internal/lint.
+//
+// A fixture is a directory under internal/lint/testdata/src/<name>
+// containing one Go package seeded with violations. Expected diagnostics
+// are declared in the fixture source with trailing comments:
+//
+//	err == fabric.ErrTransient // want `use errors\.Is`
+//
+// Each `// want` comment carries one or more backquoted or double-quoted
+// regular expressions; every regexp must match a diagnostic reported on
+// that line, and every diagnostic must be matched by some expectation.
+// Fixtures may import real malt packages — they resolve against the
+// module's compiled export data, so seeded violations are type-checked
+// against the actual fabric/dstorm/vol APIs, not mocks.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"malt/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one loader for the whole test binary: go list and
+// export-data loading are the expensive part, and every fixture shares the
+// same dependency universe.
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest: building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the calling test's
+// package directory), runs the analyzer, and compares diagnostics against
+// the fixture's `// want` expectations.
+func Run(t *testing.T, analyzer *lint.Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", fixture, err)
+	}
+	expectations := collectWants(t, pkg)
+
+	diags, err := lint.Run(pkg, []*lint.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", analyzer.Name, err)
+	}
+
+	for _, d := range diags {
+		if !matchExpectation(expectations, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func matchExpectation(exps []*expectation, file string, line int, message string) bool {
+	for _, e := range exps {
+		if !e.matched && e.file == file && e.line == line && e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					exps = append(exps, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return exps
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("malt/internal/fabric").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type information the analyzers consume.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// Loader type-checks packages of the enclosing module without any module
+// downloads: dependencies are imported from compiler export data produced
+// by `go list -export`, which works offline because this module has none
+// outside the standard library. It deliberately avoids
+// golang.org/x/tools/go/packages so that maltlint builds with the standard
+// library alone.
+type Loader struct {
+	dir  string // module root (where go list runs)
+	fset *token.FileSet
+	imp  types.Importer // shared gc-export-data importer (identity cache)
+
+	mu   sync.Mutex
+	meta map[string]*listedPackage // import path -> metadata (with export data)
+}
+
+// NewLoader prepares a loader rooted at dir (the module root or any
+// directory inside it). patterns name the packages whose dependency
+// closure must be importable; "./..." covers the whole module.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := &Loader{
+		dir:  dir,
+		fset: token.NewFileSet(),
+		meta: map[string]*listedPackage{},
+	}
+	// A single importer instance so every package sees the same
+	// *types.Package for each dependency (type identity is pointer
+	// identity across go/types).
+	l.imp = importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+		meta, err := l.exportFor(p)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(meta.Export)
+	})
+	if err := l.list(patterns, true); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// list runs `go list` and folds the results into l.meta. With deps it adds
+// -deps -export so every transitive dependency gets export data.
+func (l *Loader) list(patterns []string, deps bool) error {
+	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		q := p
+		if prev, ok := l.meta[p.ImportPath]; !ok || (prev.Export == "" && p.Export != "") {
+			l.meta[q.ImportPath] = &q
+		}
+	}
+	return nil
+}
+
+// Targets resolves package patterns (relative to the loader's root) to the
+// sorted import paths of matching packages.
+func (l *Loader) Targets(patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			paths = append(paths, line)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Import implements types.Importer over export data, making Loader usable
+// as the Importer for from-source type-checking of target packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.imp.Import(path)
+}
+
+// exportFor returns metadata with export data for an import path, listing
+// it on demand when it was not in the initial closure (for example a
+// standard-library package only a test fixture imports).
+func (l *Loader) exportFor(path string) (*listedPackage, error) {
+	l.mu.Lock()
+	meta, ok := l.meta[path]
+	l.mu.Unlock()
+	if ok && meta.Export != "" {
+		return meta, nil
+	}
+	if err := l.list([]string{path}, true); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	meta, ok = l.meta[path]
+	l.mu.Unlock()
+	if !ok || meta.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return meta, nil
+}
+
+// LoadPackage parses and type-checks one module package by import path.
+func (l *Loader) LoadPackage(importPath string) (*Package, error) {
+	l.mu.Lock()
+	meta, ok := l.meta[importPath]
+	l.mu.Unlock()
+	if !ok {
+		if err := l.list([]string{importPath}, true); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		meta, ok = l.meta[importPath]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown package %q", importPath)
+		}
+	}
+	files := make([]string, len(meta.GoFiles))
+	for i, f := range meta.GoFiles {
+		files[i] = filepath.Join(meta.Dir, f)
+	}
+	return l.load(importPath, meta.Dir, files)
+}
+
+// LoadDir parses and type-checks every .go file in dir as a single package
+// with the given import path. Test fixtures load through here; their
+// imports resolve against the module's export data.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.load(importPath, dir, files)
+}
+
+func (l *Loader) load(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedScatter flags one-sided sends issued while a sync.Mutex/RWMutex
+// acquired in the same function is still held. A scatter is a synchronous
+// remote deposit: on the receiver it runs the segment's write handler,
+// which takes the receiver's own locks, and under the TCP transport it
+// blocks on the wire. Holding a local lock across it (a) serializes the
+// fast path the one-sided design exists to keep lock-free, and (b) invites
+// lock-order deadlock the moment the receiver's gather path or fault
+// callbacks contend on the same lock. Every scatter implementation in this
+// module snapshots state under its lock, unlocks, then writes — this
+// analyzer holds user code (and future refactors of dstorm itself) to the
+// same discipline.
+//
+// The tracking is lexical and per-function: locks acquired in branches are
+// not propagated outward, unlocks in early-return branches do not leak,
+// and closure bodies are analyzed with their own empty lock set (a closure
+// runs later, on an unknown goroutine).
+var LockedScatter = &Analyzer{
+	Name: "lockedscatter",
+	Doc:  "one-sided scatters/writes must not run while a locally acquired mutex is held",
+	Run:  runLockedScatter,
+}
+
+// scatterMethods are the one-sided send entry points, keyed
+// "pkgpath.Type.Method". Node.write / writeWithRetry are the internal
+// funnels every scatter drains into; checking them keeps dstorm itself
+// honest, not just its callers.
+var scatterMethods = map[string]bool{
+	"malt/internal/fabric.Fabric.Write":        true,
+	"malt/internal/dstorm.Segment.Scatter":     true,
+	"malt/internal/dstorm.Segment.ScatterTo":   true,
+	"malt/internal/dstorm.AddSegment.Scatter":  true,
+	"malt/internal/dstorm.Node.write":          true,
+	"malt/internal/dstorm.Node.writeWithRetry": true,
+	"malt/internal/vol.Vector.Scatter":         true,
+	"malt/internal/vol.Vector.ScatterTo":       true,
+	"malt/internal/vol.Vector.ScatterSparse":   true,
+	"malt/internal/core.Context.Scatter":       true,
+	"malt/internal/core.Context.Commit":        true,
+}
+
+func runLockedScatter(pass *Pass) error {
+	w := &lockWalker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Every function body starts with an empty lock set; nested
+			// closures are picked up by this same traversal.
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w.block(n.Body.List, lockSet{})
+				}
+			case *ast.FuncLit:
+				w.block(n.Body.List, lockSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet maps a lock receiver expression (as source text) to the position
+// where it was acquired.
+type lockSet map[string]token.Pos
+
+func (ls lockSet) clone() lockSet {
+	out := make(lockSet, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// block walks stmts in source order threading the held-lock set through,
+// and reports whether the block definitely terminates (returns/branches).
+func (w *lockWalker) block(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = w.stmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scan(e, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function, which is exactly what the held set already says; a
+		// deferred scatter runs at return time when locks may differ, so
+		// neither mutates the set. Closure bodies are walked separately.
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's critical
+		// section; its closure body is walked separately with a fresh set.
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		bodyHeld, bodyTerm := w.block(s.Body.List, held.clone())
+		elseHeld, elseTerm := held.clone(), true
+		if s.Else != nil {
+			elseHeld, elseTerm = w.stmt(s.Else, held.clone())
+		} else {
+			elseTerm = false
+		}
+		// A lock released on every path we can still be on is released;
+		// locks acquired inside branches are conservatively dropped.
+		for key := range held {
+			releasedBody := bodyTerm || !containsKey(bodyHeld, key)
+			releasedElse := elseTerm || !containsKey(elseHeld, key)
+			if releasedBody && releasedElse && !(bodyTerm && elseTerm) {
+				delete(held, key)
+			}
+		}
+		return held, bodyTerm && elseTerm
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, held)
+		}
+		w.block(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		w.block(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, held)
+		}
+		w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		w.clauses(s.Body, held)
+	case *ast.SendStmt:
+		w.scan(s.Chan, held)
+		w.scan(s.Value, held)
+	case *ast.IncDecStmt:
+		w.scan(s.X, held)
+	}
+	return held, false
+}
+
+func (w *lockWalker) clauses(body *ast.BlockStmt, held lockSet) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			w.block(c.Body, held.clone())
+		case *ast.CommClause:
+			w.block(c.Body, held.clone())
+		}
+	}
+}
+
+func containsKey(ls lockSet, key string) bool {
+	_, ok := ls[key]
+	return ok
+}
+
+// scan inspects one expression for lock transitions and scatter calls,
+// without descending into closure literals.
+func (w *lockWalker) scan(e ast.Expr, held lockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(w.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			switch fn.Name() {
+			case "Lock", "RLock":
+				held[key] = call.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return true
+		}
+		if pkgPath, typeName, ok := recvTypeName(fn); ok && maltPackage(pkgPath) {
+			if scatterMethods[pkgPath+"."+typeName+"."+fn.Name()] && len(held) > 0 {
+				for key, lockPos := range held {
+					w.pass.Reportf(call.Pos(),
+						"one-sided %s.%s while %s is still locked (acquired at %s); snapshot state, unlock, then scatter",
+						typeName, fn.Name(), key, w.pass.Fset.Position(lockPos))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,34 @@
+// Package atomicmix seeds mixed atomic/plain field access for the
+// atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits     uint64
+	misses   uint64
+	inflight int64
+	safe     atomic.Uint64 // atomic-typed: plain access is impossible
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddInt64(&c.inflight, 1)
+	c.safe.Add(1)
+}
+
+func (c *counters) report() uint64 {
+	total := c.hits // want `plain access to field hits`
+	c.misses++      // plain-only fields are fine: misses is never atomic
+	return total + c.misses + c.safe.Load()
+}
+
+func (c *counters) drain() {
+	for atomic.LoadInt64(&c.inflight) > 0 {
+	}
+	c.inflight = 0 // want `plain access to field inflight`
+}
+
+func (c *counters) reset() {
+	atomic.StoreUint64(&c.hits, 0) // atomic access is never flagged
+}

@@ -1,0 +1,53 @@
+// Package erriscmp seeds sentinel-error identity comparisons for the
+// erriscmp analyzer. Every fabric/dstorm error reaches callers wrapped, so
+// each flagged line is a real misclassification bug, not a style nit.
+package erriscmp
+
+import (
+	"errors"
+
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+)
+
+// ErrLocal is a same-package sentinel: the convention applies to local
+// sentinels exactly as it does to imported ones.
+var ErrLocal = errors.New("erriscmp: local sentinel")
+
+func classify(err error) string {
+	if err == fabric.ErrTransient { // want `use errors\.Is`
+		return "transient"
+	}
+	if err != fabric.ErrUnreachable { // want `use errors\.Is`
+		return "not-unreachable"
+	}
+	if fabric.ErrSenderDead == err { // want `use errors\.Is`
+		return "dead-sender"
+	}
+	if err == ErrLocal { // want `use errors\.Is`
+		return "local"
+	}
+	if errors.Is(err, fabric.ErrUnreachable) { // correct classification
+		return "unreachable"
+	}
+	if err == nil { // nil comparisons are fine
+		return "ok"
+	}
+	return "other"
+}
+
+func classifySwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case dstorm.ErrClosed: // want `use errors\.Is`
+		return "closed"
+	case dstorm.ErrTooLarge, fabric.ErrNotRegistered: // want `use errors\.Is` `use errors\.Is`
+		return "payload"
+	}
+	return "other"
+}
+
+func notErrors(a, b int) bool {
+	return a == b // non-error comparisons are not the analyzer's business
+}

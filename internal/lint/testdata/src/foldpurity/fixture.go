@@ -1,0 +1,70 @@
+// Package foldpurity seeds impure fold/hook closures for the foldpurity
+// analyzer, against the real vol/fault/fabric hook signatures.
+package foldpurity
+
+import (
+	"sync"
+
+	"malt/internal/fabric"
+	"malt/internal/fault"
+	"malt/internal/vol"
+)
+
+func impureFold(v *vol.Vector) {
+	count := 0
+	_, _ = v.Gather(func(f vol.Fold) {
+		count++ // want `writes captured "count" without a lock`
+		for i := range f.Local {
+			f.Local[i] = 0 // writing through the Fold parameter is the job
+		}
+	})
+	_ = count
+}
+
+func impureHook(m *fault.Monitor, f *fabric.Fabric) {
+	var removed []int
+	alive := map[int]bool{}
+	m.OnDeath(func(rank int) {
+		removed = append(removed, rank) // want `writes captured "removed" without a lock`
+	})
+	f.OnLivenessChange(func(rank int, up bool) {
+		alive[rank] = up // want `writes captured "alive" without a lock`
+	})
+	_ = removed
+}
+
+func impureCopy(v *vol.Vector, snapshot []float64) {
+	_, _ = v.GatherLatest(func(f vol.Fold) {
+		copy(snapshot, f.Local) // want `writes captured "snapshot" without a lock`
+	})
+}
+
+func guardedIsFine(v *vol.Vector) {
+	var mu sync.Mutex
+	count := 0
+	_, _ = v.Gather(func(f vol.Fold) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	_ = count
+}
+
+func closureLocalsAreFine(v *vol.Vector) {
+	_, _ = v.GatherWeak(func(f vol.Fold) {
+		seen := 0
+		for range f.Updates {
+			seen++
+		}
+		_ = seen
+	})
+}
+
+func annotatedIsSuppressed(v *vol.Vector) {
+	total := 0.0
+	_, _ = v.Gather(func(f vol.Fold) {
+		//maltlint:allow foldpurity -- fixture: single training goroutine owns total
+		total += float64(len(f.Updates))
+	})
+	_ = total
+}

@@ -1,0 +1,96 @@
+// Package lockedscatter seeds scatter-under-lock hazards for the
+// lockedscatter analyzer, against the real fabric/dstorm/vol APIs.
+package lockedscatter
+
+import (
+	"sync"
+
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+	"malt/internal/vol"
+)
+
+type replica struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	seg *dstorm.Segment
+	buf []byte
+}
+
+func (r *replica) scatterUnderLock() {
+	r.mu.Lock()
+	r.seg.Scatter(r.buf, 1) // want `Segment\.Scatter while r\.mu is still locked`
+	r.mu.Unlock()
+}
+
+func (r *replica) scatterUnderDeferredUnlock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seg.ScatterTo([]int{1}, r.buf, 1) // want `Segment\.ScatterTo while r\.mu is still locked`
+}
+
+func (r *replica) writeUnderRLock(f *fabric.Fabric) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	_ = f.Write(0, 1, "k", r.buf) // want `Fabric\.Write while r\.rw is still locked`
+}
+
+func (r *replica) vectorUnderLock(v *vol.Vector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v.Scatter(2) // want `Vector\.Scatter while r\.mu is still locked`
+}
+
+// snapshotThenScatter is the blessed discipline: copy under the lock,
+// release, then send.
+func (r *replica) snapshotThenScatter() {
+	r.mu.Lock()
+	payload := append([]byte(nil), r.buf...)
+	r.mu.Unlock()
+	r.seg.Scatter(payload, 1)
+}
+
+// earlyReturnKeepsTracking: the unlock on the early-return path must not
+// make the analyzer forget the lock is held on the fallthrough path — and
+// the final unlock before the scatter must clear it.
+func (r *replica) earlyReturnKeepsTracking(closed bool) {
+	r.mu.Lock()
+	if closed {
+		r.mu.Unlock()
+		return
+	}
+	r.seg.Scatter(r.buf, 1) // want `Segment\.Scatter while r\.mu is still locked`
+	r.mu.Unlock()
+	r.seg.Scatter(r.buf, 1)
+}
+
+// conditionalUnlockStillHeld: released on only one non-terminating path
+// means still (possibly) held afterwards.
+func (r *replica) conditionalUnlockStillHeld(flaky bool) {
+	r.mu.Lock()
+	if flaky {
+		r.mu.Unlock()
+	}
+	r.seg.Scatter(r.buf, 1) // want `Segment\.Scatter while r\.mu is still locked`
+}
+
+// closureIsItsOwnFunction: a closure body starts with an empty lock set
+// (it runs later, on an unknown goroutine), and a lock taken inside a
+// closure does not leak out.
+func (r *replica) closureIsItsOwnFunction() func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn := func() {
+		r.seg.Scatter(r.buf, 1) // no lock acquired in *this* function
+	}
+	return fn
+}
+
+// lockInsideClosureFlagged: the same-function rule applies inside closures.
+func (r *replica) lockInsideClosureFlagged() func() {
+	return func() {
+		r.mu.Lock()
+		r.seg.Scatter(r.buf, 1) // want `Segment\.Scatter while r\.mu is still locked`
+		r.mu.Unlock()
+	}
+}
