@@ -21,6 +21,7 @@ import (
 	"malt/internal/consistency"
 	"malt/internal/data"
 	"malt/internal/dataflow"
+	"malt/internal/dstorm"
 	"malt/internal/ml/svm"
 	"malt/internal/trace"
 )
@@ -43,6 +44,10 @@ func main() {
 		sparse    = flag.Bool("sparse", true, "sparse wire format")
 		chaosStr  = flag.String("chaos", "", `chaos scenario, e.g. "flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms" (svm only)`)
 		chaosSeed = flag.Int64("chaosSeed", 1, "seed for the chaos scenario's injection streams")
+		batch     = flag.Bool("batch", false, "coalesce scatters per destination (async send pipeline; svm only)")
+		batchCnt  = flag.Int("batchCount", 0, "flush a destination's batch at this many records (0 = default)")
+		batchByte = flag.Int("batchBytes", 0, "flush a destination's batch at this many payload bytes (0 = default)")
+		batchWait = flag.Duration("batchDelay", 0, "flush a destination's batch after this long (0 = default)")
 	)
 	flag.Parse()
 
@@ -100,7 +105,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := script.Validate(*ranks); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("chaos: %q (seed %d, %d timed events)\n", *chaosStr, *chaosSeed, len(script.Events()))
+	}
+
+	var pipe *dstorm.PipelineConfig
+	if *batch || *batchCnt > 0 || *batchByte > 0 || *batchWait > 0 {
+		pipe = &dstorm.PipelineConfig{
+			MaxBatchCount: *batchCnt,
+			MaxBatchBytes: *batchByte,
+			MaxDelay:      *batchWait,
+		}
+		fmt.Printf("send pipeline: count=%d bytes=%d delay=%v (0 = default)\n",
+			*batchCnt, *batchByte, *batchWait)
 	}
 
 	res, err := bench.RunSVM(bench.SVMOpts{
@@ -109,7 +128,8 @@ func main() {
 		Mode: mode, Epochs: *epochs, Goal: *goal,
 		SVM:    svm.Config{Dim: ds.Dim, Lambda: *lambda, Eta0: *eta},
 		Sparse: *sparse, EvalEvery: 4,
-		Chaos: script,
+		Chaos:    script,
+		Pipeline: pipe,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -138,6 +158,11 @@ func main() {
 	fmt.Printf("\nnetwork: %.1f MB total, %d messages, modeled wire time %v\n",
 		float64(res.Stats.TotalBytes())/(1<<20), res.Stats.TotalMessages(),
 		res.Stats.ModeledNetworkTime().Round(1e6))
+	if pipe != nil {
+		fmt.Printf("coalescing: %d fabric writes saved, %.1f MB merged, peak send queue %d\n",
+			agg.Count(trace.WritesSaved), float64(agg.Count(trace.BytesMerged))/(1<<20),
+			agg.Count(trace.QueuePeak))
+	}
 
 	if script != nil {
 		fmt.Printf("\nchaos: %d transient drops injected, %v straggler wire time\n",

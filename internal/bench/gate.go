@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BenchJSON is the machine-readable form of a maltbench run: the schema of
+// `maltbench -json` output and of the checked-in BENCH_BASELINE.json that
+// the CI regression gate compares against.
+type BenchJSON struct {
+	Experiments map[string]ExpJSON `json:"experiments"`
+}
+
+// ExpJSON is one experiment's entry in BenchJSON.
+type ExpJSON struct {
+	Title string `json:"title,omitempty"`
+	// ElapsedSec is informational (never gated — wall time on shared CI
+	// runners is noise).
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+	// Metrics are the experiment's headline numbers. Gate behaviour is
+	// derived from the metric name; see Classify.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ToJSON converts finished reports into the gate schema.
+func ToJSON(reports []*Report) BenchJSON {
+	out := BenchJSON{Experiments: make(map[string]ExpJSON, len(reports))}
+	for _, r := range reports {
+		out.Experiments[r.ID] = ExpJSON{
+			Title:      r.Title,
+			ElapsedSec: r.Elapsed.Seconds(),
+			Metrics:    r.Metrics,
+		}
+	}
+	return out
+}
+
+// WriteJSON writes b with stable formatting (indented, sorted keys — the
+// encoding/json map behaviour), suitable both for artifacts and for the
+// checked-in baseline.
+func (b BenchJSON) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBenchJSON parses a baseline or run file.
+func ReadBenchJSON(r io.Reader) (BenchJSON, error) {
+	var b BenchJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return BenchJSON{}, fmt.Errorf("bench: parsing baseline: %w", err)
+	}
+	return b, nil
+}
+
+// MetricClass describes how the regression gate treats one metric.
+type MetricClass int
+
+const (
+	// Informational metrics are recorded but never gated (wall-clock
+	// timings, raw byte counts — machine-dependent).
+	Informational MetricClass = iota
+	// LowerBetter metrics fail when the current value exceeds the baseline
+	// by more than the tolerance (modeled latencies).
+	LowerBetter
+	// HigherBetter metrics fail when the current value falls below the
+	// baseline by more than the tolerance (speedups, savings fractions).
+	HigherBetter
+	// Correctness metrics fail on ANY increase over the baseline, with no
+	// tolerance: a lost update or an exhausted retry is a bug, not noise.
+	Correctness
+)
+
+// Classify derives a metric's gate class from its name:
+//
+//   - lost_*, torn_*, dup_*, *exhausted*, *failed*  → Correctness
+//   - *speedup*, *_frac*                            → HigherBetter
+//   - *model_ns*, *_ratio                           → LowerBetter
+//   - everything else (wall_*, bytes, counts)       → Informational
+//
+// Only deterministic modeled quantities are gated as latencies; wall-clock
+// metrics stay informational so the gate never flakes on a noisy runner.
+func Classify(name string) MetricClass {
+	switch {
+	case strings.HasPrefix(name, "lost_"),
+		strings.HasPrefix(name, "torn_"),
+		strings.HasPrefix(name, "dup_"),
+		strings.Contains(name, "exhausted"),
+		strings.Contains(name, "failed"):
+		return Correctness
+	case strings.Contains(name, "speedup"),
+		strings.Contains(name, "_frac"):
+		return HigherBetter
+	case strings.Contains(name, "model_ns"),
+		strings.HasSuffix(name, "_ratio"):
+		return LowerBetter
+	default:
+		return Informational
+	}
+}
+
+// Compare checks a current run against a baseline and returns the list of
+// violations (empty = gate passes). tol is the fractional tolerance for
+// latency/speedup metrics (0.15 = 15%); correctness metrics tolerate
+// nothing. Experiments or metrics present in the baseline but missing from
+// the current run are violations — a silently dropped metric must not pass
+// the gate. New metrics absent from the baseline are ignored (they gate
+// once the baseline is regenerated).
+func Compare(baseline, current BenchJSON, tol float64) []string {
+	var violations []string
+	ids := make([]string, 0, len(baseline.Experiments))
+	for id := range baseline.Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		base := baseline.Experiments[id]
+		cur, ok := current.Experiments[id]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: experiment missing from current run", id))
+			continue
+		}
+		names := make([]string, 0, len(base.Metrics))
+		for name := range base.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := base.Metrics[name]
+			cv, ok := cur.Metrics[name]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s/%s: metric missing from current run", id, name))
+				continue
+			}
+			switch Classify(name) {
+			case Correctness:
+				if cv > bv {
+					violations = append(violations,
+						fmt.Sprintf("%s/%s: correctness counter rose %g -> %g", id, name, bv, cv))
+				}
+			case LowerBetter:
+				if cv > bv*(1+tol) {
+					violations = append(violations,
+						fmt.Sprintf("%s/%s: regressed %g -> %g (>%0.f%% over baseline)", id, name, bv, cv, tol*100))
+				}
+			case HigherBetter:
+				if cv < bv*(1-tol) {
+					violations = append(violations,
+						fmt.Sprintf("%s/%s: regressed %g -> %g (>%0.f%% under baseline)", id, name, bv, cv, tol*100))
+				}
+			}
+		}
+	}
+	return violations
+}

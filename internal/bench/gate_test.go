@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[string]MetricClass{
+		"lost_updates_1KiB":         Correctness,
+		"torn_reads":                Correctness,
+		"dup_deliveries":            Correctness,
+		"exhausted_writes":          Correctness,
+		"failed_writes":             Correctness,
+		"model_speedup_1KiB":        HigherBetter,
+		"speedup_time":              HigherBetter,
+		"writes_saved_frac_4KiB":    HigherBetter,
+		"model_ns_update_sync_1KiB": LowerBetter,
+		"stall_ratio":               LowerBetter,
+		"wall_ns_op_batched_1KiB":   Informational,
+		"bytes_merged":              Informational,
+		"final_auc":                 Informational,
+	}
+	for name, want := range cases {
+		if got := Classify(name); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func gateJSON(metrics map[string]float64) BenchJSON {
+	return BenchJSON{Experiments: map[string]ExpJSON{
+		"pipeline": {Title: "t", Metrics: metrics},
+	}}
+}
+
+func TestCompareCorrectnessZeroTolerance(t *testing.T) {
+	base := gateJSON(map[string]float64{"lost_updates_1KiB": 0})
+	if v := Compare(base, gateJSON(map[string]float64{"lost_updates_1KiB": 0}), 0.15); len(v) != 0 {
+		t.Fatalf("equal correctness counter flagged: %v", v)
+	}
+	v := Compare(base, gateJSON(map[string]float64{"lost_updates_1KiB": 1}), 0.15)
+	if len(v) != 1 || !strings.Contains(v[0], "lost_updates_1KiB") {
+		t.Fatalf("correctness regression not flagged: %v", v)
+	}
+}
+
+func TestCompareLowerBetterTolerance(t *testing.T) {
+	base := gateJSON(map[string]float64{"model_ns_update_sync_1KiB": 100})
+	if v := Compare(base, gateJSON(map[string]float64{"model_ns_update_sync_1KiB": 114}), 0.15); len(v) != 0 {
+		t.Fatalf("within-tolerance latency flagged: %v", v)
+	}
+	if v := Compare(base, gateJSON(map[string]float64{"model_ns_update_sync_1KiB": 116}), 0.15); len(v) != 1 {
+		t.Fatalf("latency regression not flagged: %v", v)
+	}
+	// Improvement never fails a lower-better metric.
+	if v := Compare(base, gateJSON(map[string]float64{"model_ns_update_sync_1KiB": 10}), 0.15); len(v) != 0 {
+		t.Fatalf("latency improvement flagged: %v", v)
+	}
+}
+
+func TestCompareHigherBetterTolerance(t *testing.T) {
+	base := gateJSON(map[string]float64{"model_speedup_1KiB": 2.0})
+	if v := Compare(base, gateJSON(map[string]float64{"model_speedup_1KiB": 1.71}), 0.15); len(v) != 0 {
+		t.Fatalf("within-tolerance speedup flagged: %v", v)
+	}
+	if v := Compare(base, gateJSON(map[string]float64{"model_speedup_1KiB": 1.6}), 0.15); len(v) != 1 {
+		t.Fatalf("speedup regression not flagged: %v", v)
+	}
+	if v := Compare(base, gateJSON(map[string]float64{"model_speedup_1KiB": 5.0}), 0.15); len(v) != 0 {
+		t.Fatalf("speedup improvement flagged: %v", v)
+	}
+}
+
+func TestCompareInformationalNeverGates(t *testing.T) {
+	base := gateJSON(map[string]float64{"wall_ns_op_sync_1KiB": 100})
+	if v := Compare(base, gateJSON(map[string]float64{"wall_ns_op_sync_1KiB": 1e9}), 0.15); len(v) != 0 {
+		t.Fatalf("informational metric gated: %v", v)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := BenchJSON{Experiments: map[string]ExpJSON{
+		"pipeline": {Metrics: map[string]float64{"model_speedup_1KiB": 2}},
+		"fig4":     {Metrics: map[string]float64{"speedup_time": 6}},
+	}}
+	cur := BenchJSON{Experiments: map[string]ExpJSON{
+		"pipeline": {Metrics: map[string]float64{"extra_metric": 1}},
+	}}
+	v := Compare(base, cur, 0.15)
+	if len(v) != 2 {
+		t.Fatalf("want missing-experiment + missing-metric violations, got %v", v)
+	}
+	if !strings.Contains(v[0], "fig4") || !strings.Contains(v[1], "model_speedup_1KiB") {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Metrics present only in the current run are ignored until the
+	// baseline is regenerated.
+	if v := Compare(cur, base, 0.15); len(v) != 1 || !strings.Contains(v[0], "extra_metric") {
+		t.Fatalf("reverse comparison: %v", v)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	reports := []*Report{{
+		ID:      "pipeline",
+		Title:   "coalescing ablation",
+		Metrics: map[string]float64{"model_speedup_1KiB": 2.5, "lost_updates_1KiB": 0},
+		Elapsed: 1500 * time.Millisecond,
+	}}
+	var buf bytes.Buffer
+	if err := ToJSON(reports).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, ok := got.Experiments["pipeline"]
+	if !ok {
+		t.Fatalf("round trip lost experiment: %+v", got)
+	}
+	if exp.Title != "coalescing ablation" || exp.Metrics["model_speedup_1KiB"] != 2.5 {
+		t.Fatalf("round trip mangled fields: %+v", exp)
+	}
+	if exp.ElapsedSec != 1.5 {
+		t.Fatalf("elapsed_sec = %v, want 1.5", exp.ElapsedSec)
+	}
+	if v := Compare(got, got, 0.15); len(v) != 0 {
+		t.Fatalf("self-comparison violated: %v", v)
+	}
+}
+
+func TestReadBenchJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadBenchJSON(strings.NewReader(`{"experimints": {}}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadBenchJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

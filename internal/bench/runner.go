@@ -79,6 +79,9 @@ type SVMOpts struct {
 	Chaos *chaos.Script
 	// Retry bounds per-write transient-fault retrying (zero = defaults).
 	Retry dstorm.RetryPolicy
+	// Pipeline, when non-nil, enables the per-destination send coalescer on
+	// every rank (the batching ablation knob; see dstorm.PipelineConfig).
+	Pipeline *dstorm.PipelineConfig
 	// Suspicion tunes the K-strikes failure detector (zero = defaults).
 	Suspicion fault.SuspicionConfig
 	// Jitter models per-machine compute-speed variance. The single-core
@@ -192,6 +195,15 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
 	}
+	if opts.Chaos != nil {
+		// Catch scripts that are incoherent for this cluster size before any
+		// goroutine starts: a bad rank id or a blackout of an already-killed
+		// rank should fail the run loudly, not surface as a mid-run fabric
+		// error buried in the chaos log.
+		if err := opts.Chaos.Validate(opts.Ranks); err != nil {
+			return nil, err
+		}
+	}
 	cluster, err := core.NewCluster(core.Config{
 		Ranks:          opts.Ranks,
 		Dataflow:       opts.Dataflow,
@@ -203,6 +215,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		Fabric:         opts.Fabric,
 		Retry:          opts.Retry,
 		Suspicion:      opts.Suspicion,
+		Pipeline:       opts.Pipeline,
 	})
 	if err != nil {
 		return nil, err

@@ -50,14 +50,39 @@ type LogEntry struct {
 type Script struct {
 	cfg    fabric.ChaosConfig
 	events []Event
+
+	// Validation metadata, recorded by the builders: the highest rank id any
+	// event references, each rank's earliest kill offset, and every blackout
+	// window. Validate checks these against a concrete cluster size before
+	// the script is let loose on a fabric.
+	maxRank   int
+	kills     map[int]time.Duration
+	blackouts []rankWindow
+}
+
+// rankWindow is one timed per-rank window (a blackout).
+type rankWindow struct {
+	rank int
+	at   time.Duration
 }
 
 // New creates an empty scenario whose injection streams derive from seed.
 func New(seed int64) *Script {
-	return &Script{cfg: fabric.ChaosConfig{
-		Seed:  seed,
-		Links: make(map[[2]int]fabric.LinkFault),
-	}}
+	return &Script{
+		cfg: fabric.ChaosConfig{
+			Seed:  seed,
+			Links: make(map[[2]int]fabric.LinkFault),
+		},
+		maxRank: -1,
+		kills:   make(map[int]time.Duration),
+	}
+}
+
+// noteRank records a rank reference for Validate.
+func (s *Script) noteRank(rank int) {
+	if rank > s.maxRank {
+		s.maxRank = rank
+	}
 }
 
 // Seed returns the scenario seed.
@@ -79,6 +104,8 @@ func (s *Script) FlakyAll(dropProb float64) *Script {
 
 // FlakyLink overrides one directed link's drop probability.
 func (s *Script) FlakyLink(from, to int, dropProb float64) *Script {
+	s.noteRank(from)
+	s.noteRank(to)
 	lf := s.linkFault(from, to)
 	lf.DropProb = dropProb
 	s.cfg.Links[[2]int{from, to}] = lf
@@ -108,6 +135,10 @@ func (s *Script) add(at time.Duration, desc string, apply func(*fabric.Fabric) e
 
 // KillAt permanently kills a rank at the given offset (fail-stop crash).
 func (s *Script) KillAt(at time.Duration, rank int) *Script {
+	s.noteRank(rank)
+	if prev, ok := s.kills[rank]; !ok || at < prev {
+		s.kills[rank] = at
+	}
 	return s.add(at, fmt.Sprintf("kill rank %d", rank),
 		func(f *fabric.Fabric) error { return f.Kill(rank) })
 }
@@ -117,6 +148,9 @@ func (s *Script) PartitionAt(at time.Duration, groups [][]int) *Script {
 	cp := make([][]int, len(groups))
 	for i, g := range groups {
 		cp[i] = append([]int(nil), g...)
+		for _, r := range g {
+			s.noteRank(r)
+		}
 	}
 	return s.add(at, fmt.Sprintf("partition %v", cp),
 		func(f *fabric.Fabric) error { f.Heal(); return f.Partition(cp) })
@@ -132,6 +166,8 @@ func (s *Script) HealAt(at time.Duration) *Script {
 // window [at, at+dur) — the machine goes dark without dying (NIC reset,
 // link renegotiation). Two events are scheduled: on and off.
 func (s *Script) BlackoutAt(at, dur time.Duration, rank int) *Script {
+	s.noteRank(rank)
+	s.blackouts = append(s.blackouts, rankWindow{rank: rank, at: at})
 	s.add(at, fmt.Sprintf("blackout rank %d on", rank),
 		func(f *fabric.Fabric) error { return f.SetRankBlackout(rank, true) })
 	return s.add(at+dur, fmt.Sprintf("blackout rank %d off", rank),
@@ -142,6 +178,7 @@ func (s *Script) BlackoutAt(at, dur time.Duration, rank int) *Script {
 // for the window [at, at+dur) — a transiently slow machine (page-fault
 // storm, background daemon) rather than a dead one.
 func (s *Script) StragglerAt(at, dur time.Duration, rank int, mult float64) *Script {
+	s.noteRank(rank)
 	s.add(at, fmt.Sprintf("straggler rank %d x%g on", rank, mult),
 		func(f *fabric.Fabric) error { return setRankStraggler(f, rank, 1, mult) })
 	return s.add(at+dur, fmt.Sprintf("straggler rank %d off", rank),
@@ -162,6 +199,29 @@ func setRankStraggler(f *fabric.Fabric, rank int, prob, mult float64) error {
 			if err := f.SetLinkFault(link[0], link[1], lf); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the script against a concrete cluster size before it is
+// let loose on a fabric: every referenced rank must exist, and no blackout
+// window may start at or after the same rank's kill — blacking out a dead
+// machine is a contradiction that would otherwise surface mid-run as a
+// confusing fabric error in the chaos log. Parse catches spec-level
+// malformations (negative ranks, degenerate windows); Validate catches
+// what only the cluster size determines.
+func (s *Script) Validate(ranks int) error {
+	if ranks <= 0 {
+		return fmt.Errorf("chaos: cluster size %d must be positive", ranks)
+	}
+	if s.maxRank >= ranks {
+		return fmt.Errorf("chaos: script references rank %d but the cluster has ranks 0..%d", s.maxRank, ranks-1)
+	}
+	for _, b := range s.blackouts {
+		if killAt, ok := s.kills[b.rank]; ok && b.at >= killAt {
+			return fmt.Errorf("chaos: blackout of rank %d at %v starts at or after its kill at %v",
+				b.rank, b.at, killAt)
 		}
 	}
 	return nil

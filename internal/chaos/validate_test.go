@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateAcceptsInRangeScript(t *testing.T) {
+	s, err := Parse("flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms;straggler=2:4@50ms+50ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("valid 4-rank script rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeRank(t *testing.T) {
+	cases := []string{
+		"kill=4@100ms",
+		"blackout=7@100ms+10ms",
+		"straggler=5:4@50ms+50ms",
+		"flaky=0-6:0.5",
+		"partition=0,1|2,6@100ms",
+	}
+	for _, spec := range cases {
+		s, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		err = s.Validate(4)
+		if err == nil {
+			t.Errorf("Validate(4) accepted %q, which references a rank >= 4", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "cluster has ranks 0..3") {
+			t.Errorf("Validate(4) on %q: unexpected error %v", spec, err)
+		}
+	}
+}
+
+func TestValidateRejectsBlackoutAfterKill(t *testing.T) {
+	// Blackout starting exactly at the kill, and strictly after it: both are
+	// contradictions (the machine is already dead).
+	for _, spec := range []string{
+		"kill=1@100ms;blackout=1@100ms+50ms",
+		"kill=1@100ms;blackout=1@200ms+50ms",
+	} {
+		s, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		err = s.Validate(4)
+		if err == nil || !strings.Contains(err.Error(), "at or after its kill") {
+			t.Errorf("Validate accepted kill-then-blackout %q (err=%v)", spec, err)
+		}
+	}
+}
+
+func TestValidateAllowsBlackoutBeforeKill(t *testing.T) {
+	// A blackout window that opens before the kill is a legitimate scenario
+	// (flaky machine that later dies), even if the window would outlast it.
+	s, err := Parse("blackout=1@50ms+500ms;kill=1@100ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("blackout-before-kill rejected: %v", err)
+	}
+	// Same check through the fluent builders (clause order must not matter).
+	s2 := New(1).KillAt(100*time.Millisecond, 1).BlackoutAt(50*time.Millisecond, 20*time.Millisecond, 1)
+	if err := s2.Validate(4); err != nil {
+		t.Fatalf("builder blackout-before-kill rejected: %v", err)
+	}
+}
+
+func TestValidateOtherRankUnaffectedByKill(t *testing.T) {
+	s, err := Parse("kill=1@100ms;blackout=2@200ms+50ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("blackout of a different rank rejected: %v", err)
+	}
+}
+
+func TestValidateClusterSizeAndEmptyScript(t *testing.T) {
+	if err := New(1).Validate(4); err != nil {
+		t.Fatalf("empty script rejected: %v", err)
+	}
+	if err := New(1).Validate(0); err == nil {
+		t.Fatal("zero-rank cluster accepted")
+	}
+	// A script touching only rank 0 fits even a single-rank cluster.
+	if err := New(1).KillAt(time.Millisecond, 0).Validate(1); err != nil {
+		t.Fatalf("rank-0 script on 1-rank cluster rejected: %v", err)
+	}
+	if err := New(1).KillAt(time.Millisecond, 1).Validate(1); err == nil {
+		t.Fatal("rank-1 script on 1-rank cluster accepted")
+	}
+}

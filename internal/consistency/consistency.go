@@ -135,7 +135,15 @@ func (c *Controller) Advance(v *vol.Vector, myIter uint64) (time.Duration, error
 	case ASP:
 		return 0, nil
 	case SSP:
-		return c.stall(v, myIter), nil
+		// Drain the send pipeline before judging staleness: SSP's bound is
+		// on *visible* iterations, so our own updates must have landed
+		// before we stall on peers (and before peers stall on us). Drain
+		// time counts as wait time.
+		start := time.Now()
+		if err := v.Drain(); err != nil {
+			return time.Since(start), err
+		}
+		return time.Since(start) + c.stall(v, myIter), nil
 	default:
 		return 0, fmt.Errorf("consistency: unknown model %v", c.policy.Model)
 	}

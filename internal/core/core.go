@@ -42,6 +42,12 @@ type Config struct {
 	QueueLen int
 	// AsyncSend enables sender-side queues of the given depth when > 0.
 	AsyncSend int
+	// Pipeline, when non-nil, enables the per-destination send coalescer on
+	// every rank: scatters return after enqueue, small updates for the same
+	// peer merge into one fabric write, and BSP/SSP barriers drain the
+	// pipeline so consistency is unchanged. Takes precedence over AsyncSend
+	// on the scatter path. Zero-valued fields use dstorm defaults.
+	Pipeline *dstorm.PipelineConfig
 	// Fabric tunes the simulated interconnect (zero value = defaults).
 	Fabric fabric.Config
 	// Retry bounds per-write retrying of transient fabric faults (zero
@@ -178,7 +184,22 @@ func (c *Cluster) Run(fn func(ctx *Context) error) *Result {
 				ctx.node.EnableAsyncSend(c.cfg.AsyncSend)
 				defer ctx.node.DisableAsyncSend()
 			}
+			if c.cfg.Pipeline != nil {
+				ctx.node.EnablePipeline(*c.cfg.Pipeline)
+			}
 			err := ctx.monitor.Guard(func() error { return fn(ctx) })
+			if c.cfg.Pipeline != nil {
+				// Drain before snapshotting so the counters reflect only
+				// completed batches, then record them for Fig 8-style
+				// breakdowns and shut the worker pool down.
+				_ = ctx.node.Drain()
+				ps := ctx.node.PipelineStats()
+				ctx.timer.AddCount(trace.WritesSaved, ps.WritesSaved)
+				ctx.timer.AddCount(trace.BytesMerged, ps.BytesMerged)
+				ctx.timer.MaxCount(trace.QueuePeak, ps.QueuePeak)
+				ctx.node.DisablePipeline()
+				ctx.reportFailures(nil)
+			}
 			res.PerRank[r] = RankResult{Rank: r, Err: err, Timer: ctx.timer}
 		}(r)
 	}
@@ -363,6 +384,10 @@ func (ctx *Context) Advance(v *vol.Vector) error {
 	default:
 		ctx.timer.Add(trace.Wait, waited)
 	}
+	// Advance drains the send pipeline (BSP barrier, SSP stall); poll for
+	// any asynchronous delivery failures it surfaced so the fault monitor
+	// learns about dead peers at iteration edges, not only at shutdown.
+	ctx.reportFailures(nil)
 	if err != nil && errors.Is(err, dstorm.ErrDead) {
 		return err
 	}

@@ -104,13 +104,7 @@ func (s *AddSegment) Scatter(vals []float64, iter uint64) (failed []int, err err
 	}
 	s.sendMu.Unlock()
 
-	key := addKey(s.name)
-	for _, p := range peers {
-		if werr := s.node.write(p, key, buf); werr != nil {
-			failed = append(failed, p)
-		}
-	}
-	return failed, nil
+	return s.node.writeMulti(peers, addKey(s.name), buf), nil
 }
 
 // AddLocal merges this rank's own contribution into its accumulator, so a
@@ -171,8 +165,12 @@ func (s *AddSegment) RemovePeer(rank int) {
 	s.send = out
 }
 
-// Barrier blocks until every live rank reaches it.
+// Barrier blocks until every live rank reaches it, draining this node's
+// send pipeline first so pre-barrier scatters are merged before release.
 func (s *AddSegment) Barrier() error {
+	if err := s.node.Drain(); err != nil {
+		return err
+	}
 	return s.node.cluster.barrier("add/"+s.name, s.node.rank)
 }
 

@@ -1,16 +1,23 @@
 package dstorm
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"malt/internal/dataflow"
 	"malt/internal/fabric"
 )
 
 func benchCluster(b *testing.B, ranks int, opts SegmentOptions) []*Segment {
+	return benchClusterFabric(b, fabric.Config{Ranks: ranks}, opts)
+}
+
+func benchClusterFabric(b *testing.B, fcfg fabric.Config, opts SegmentOptions) []*Segment {
 	b.Helper()
-	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	ranks := fcfg.Ranks
+	f, err := fabric.New(fcfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,6 +65,46 @@ func BenchmarkScatterLatency(b *testing.B) {
 				}
 			}
 		})
+	}
+
+	// Fan-out variants with the modeled wire time imposed (DelaySpin, 3 µs
+	// base latency — the upper end of the paper's measured InfiniBand
+	// range): the sender pays base latency per write, exactly where
+	// per-destination coalescing wins. batched merges 16 small updates per
+	// peer into one fabric write, so the latency is paid once per batch.
+	const fanRanks = 8 // fan-out 7, all-to-all
+	for _, size := range []int{1 << 10, 4 << 10} {
+		for _, batched := range []bool{false, true} {
+			mode := "sync"
+			if batched {
+				mode = "batched"
+			}
+			b.Run(fmt.Sprintf("fanout%d-%s-%s", fanRanks-1, byteSize(size), mode), func(b *testing.B) {
+				segs := benchClusterFabric(b,
+					fabric.Config{Ranks: fanRanks, Delay: fabric.DelaySpin, Latency: 3 * time.Microsecond},
+					SegmentOptions{ObjectSize: size, QueueLen: 4})
+				node := segs[0].Node()
+				if batched {
+					node.EnablePipeline(PipelineConfig{
+						MaxBatchCount: 16,
+						MaxBatchBytes: 1 << 30,
+						MaxDelay:      time.Hour,
+					})
+					defer node.DisablePipeline()
+				}
+				payload := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := segs[0].Scatter(payload, uint64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := node.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }
 
@@ -127,6 +174,8 @@ func byteSize(n int) string {
 		return "1MiB"
 	case n >= 1<<16:
 		return "64KiB"
+	case n >= 4<<10:
+		return "4KiB"
 	case n >= 1<<10:
 		return "1KiB"
 	default:

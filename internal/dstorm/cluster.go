@@ -184,6 +184,9 @@ type Node struct {
 	retry   RetryPolicy // write-retry policy for transient fabric faults
 	rstats  retryCounters
 
+	pipeMu sync.Mutex
+	pipe   *pipeline // non-nil while the coalescing pipeline is enabled
+
 	failMu      sync.Mutex
 	asyncFailed map[int]int // peer → count of failed async writes
 }
@@ -239,14 +242,20 @@ func (n *Node) drainSends(q chan sendReq, done chan struct{}) {
 	defer close(done)
 	for req := range q {
 		if err := n.writeWithRetry(req.to, req.key, req.payload); err != nil {
-			n.failMu.Lock()
-			if n.asyncFailed == nil {
-				n.asyncFailed = make(map[int]int)
-			}
-			n.asyncFailed[req.to]++
-			n.failMu.Unlock()
+			n.noteAsyncFailure(req.to)
 		}
 	}
+}
+
+// noteAsyncFailure records a failed off-thread write to a peer for the
+// fault monitor's next AsyncFailures poll.
+func (n *Node) noteAsyncFailure(to int) {
+	n.failMu.Lock()
+	if n.asyncFailed == nil {
+		n.asyncFailed = make(map[int]int)
+	}
+	n.asyncFailed[to]++
+	n.failMu.Unlock()
 }
 
 // AsyncFailures returns and clears the peers whose asynchronous writes have
@@ -281,6 +290,32 @@ func (n *Node) write(to int, key string, payload []byte) error {
 	copy(cp, payload)
 	q <- sendReq{to: to, key: key, payload: cp}
 	return nil
+}
+
+// writeMulti delivers one encoded payload to several peers. With the
+// coalescing pipeline enabled it copies the payload once, shares the copy
+// across all destinations' batches, and returns immediately; delivery
+// failures then surface via AsyncFailures. Otherwise it falls back to the
+// per-peer write path (sync or async-queue) and returns the peers whose
+// writes failed.
+func (n *Node) writeMulti(peers []int, key string, payload []byte) (failed []int) {
+	n.pipeMu.Lock()
+	p := n.pipe
+	n.pipeMu.Unlock()
+	if p != nil {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		if p.enqueue(peers, key, cp) {
+			return nil
+		}
+		// Pipeline raced with DisablePipeline; fall through to direct sends.
+	}
+	for _, to := range peers {
+		if err := n.write(to, key, payload); err != nil {
+			failed = append(failed, to)
+		}
+	}
+	return failed
 }
 
 // Ping probes a peer through the fabric.

@@ -404,17 +404,12 @@ func (s *Segment) Scatter(payload []byte, iter uint64) (failed []int, err error)
 	copy(buf[headerSize:], payload)
 	s.mu.Unlock()
 
-	key := segKey(s.name)
-	for _, p := range peers {
-		if werr := s.node.write(p, key, buf); werr != nil {
-			// Every per-peer failure — unreachable, partitioned, or a peer
-			// that closed/re-registered its segment during recovery — is
-			// reported to the caller's fault monitor rather than aborting
-			// the scatter: peer-to-peer training must survive peer loss.
-			failed = append(failed, p)
-		}
-	}
-	return failed, nil
+	// Every per-peer failure — unreachable, partitioned, or a peer that
+	// closed/re-registered its segment during recovery — is reported to the
+	// caller's fault monitor rather than aborting the scatter: peer-to-peer
+	// training must survive peer loss. With the coalescing pipeline enabled
+	// failures are asynchronous and surface via AsyncFailures instead.
+	return s.node.writeMulti(peers, segKey(s.name), buf), nil
 }
 
 // ScatterTo sends payload only to the given peers, which must be a subset of
@@ -598,8 +593,13 @@ func (s *Segment) RemovePeer(rank int) {
 
 // Barrier blocks until every live rank in the cluster has reached the
 // barrier for this segment. Ranks that die while others wait are skipped,
-// per the paper's group-operation recovery.
+// per the paper's group-operation recovery. The node's send pipeline is
+// drained first, so once the barrier releases every rank's pre-barrier
+// scatters have landed — batching cannot weaken BSP.
 func (s *Segment) Barrier() error {
+	if err := s.node.Drain(); err != nil {
+		return err
+	}
 	return s.node.cluster.barrier("seg/"+s.name, s.node.rank)
 }
 

@@ -94,11 +94,12 @@ func (n *Node) Retry() RetryPolicy {
 // RetryStats returns the node's cumulative transient-fault counters.
 func (n *Node) RetryStats() RetryStats { return n.rstats.snapshot() }
 
-// writeWithRetry performs one fabric write, absorbing transient faults with
-// bounded exponential backoff under the node's retry policy. It returns nil
-// on delivery, the last transient error when retries are exhausted, and any
-// permanent error immediately.
-func (n *Node) writeWithRetry(to int, key string, payload []byte) error {
+// retryLoop runs op under the node's retry policy, absorbing transient
+// faults (fabric.ErrTransient) with bounded exponential backoff. It returns
+// nil on success, the last transient error when attempts or deadline run
+// out, and any permanent error immediately. All sleeps of the delivery path
+// live here, in one blessed site.
+func (n *Node) retryLoop(op func() error) error {
 	p := n.Retry()
 	var deadline time.Time
 	if p.Deadline > 0 {
@@ -107,7 +108,7 @@ func (n *Node) writeWithRetry(to int, key string, payload []byte) error {
 	backoff := p.Backoff
 	for attempt := 1; ; attempt++ {
 		n.rstats.attempts.Add(1)
-		err := n.cluster.fab.Write(n.rank, to, key, payload)
+		err := op()
 		if err == nil {
 			if attempt > 1 {
 				n.rstats.recovered.Add(1)
@@ -127,4 +128,21 @@ func (n *Node) writeWithRetry(to int, key string, payload []byte) error {
 			backoff = time.Duration(float64(backoff) * p.BackoffMult)
 		}
 	}
+}
+
+// writeWithRetry performs one fabric write under the retry policy.
+func (n *Node) writeWithRetry(to int, key string, payload []byte) error {
+	return n.retryLoop(func() error {
+		return n.cluster.fab.Write(n.rank, to, key, payload)
+	})
+}
+
+// writeBatchWithRetry posts one merged batch under the retry policy. A
+// transient drop loses the whole batch (one chaos draw per attempt), so the
+// whole batch is retried — records are idempotent ring deposits keyed by
+// sequence number, and a retried batch overwrites its own slots.
+func (n *Node) writeBatchWithRetry(to int, key string, records [][]byte) error {
+	return n.retryLoop(func() error {
+		return n.cluster.fab.WriteBatch(n.rank, to, key, records)
+	})
 }

@@ -232,6 +232,69 @@ func (f *Fabric) Write(from, to int, key string, payload []byte) error {
 	return h(from, payload)
 }
 
+// WriteBatch performs one merged one-sided write carrying several records
+// for the same registered key — the doorbell-batched (scatter-gather) post
+// a real NIC offers, which MALT's send coalescer uses to amortize per-write
+// latency. The whole batch is charged ONE base latency plus the summed size
+// cost, counts as one message, and takes one chaos draw (a dropped batch
+// drops all its records, as a dropped NIC op would). The handler is invoked
+// once per record, in order, on the caller's goroutine; the first handler
+// error is returned after all records have been attempted. The TCP
+// transport sends the records back-to-back on one acked stream.
+func (f *Fabric) WriteBatch(from, to int, key string, records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	if err := f.checkRank(from); err != nil {
+		return err
+	}
+	if err := f.checkRank(to); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	senderDead := f.dead[from]
+	reachable := !f.dead[to] && f.group[from] == f.group[to]
+	h := f.regs[to][key]
+	f.mu.RUnlock()
+
+	if senderDead {
+		return ErrSenderDead
+	}
+	if !reachable {
+		f.stats.addFailed(from, to)
+		return fmt.Errorf("%w: rank %d -> rank %d", ErrUnreachable, from, to)
+	}
+	if h == nil {
+		return fmt.Errorf("%w: %q on rank %d", ErrNotRegistered, key, to)
+	}
+	ferr, jitter := f.chaosFault(from, to, "write")
+	if ferr != nil {
+		return ferr
+	}
+
+	bytes := 0
+	for _, rec := range records {
+		bytes += len(rec)
+	}
+	cost := f.jitterCost(from, to, f.modelCost(bytes), jitter)
+	f.stats.addTransfer(from, to, bytes, cost)
+	f.stats.addCoalesced(from, to, len(records))
+	f.impose(cost)
+	var firstErr error
+	for _, rec := range records {
+		var err error
+		if f.tcp != nil {
+			err = f.tcp.write(from, to, key, rec)
+		} else {
+			err = h(from, rec)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Ping performs a synchronous health probe from one rank to another,
 // charging one round trip. Fault monitors use it for the cluster health
 // check after observing failed writes.
@@ -427,6 +490,8 @@ type Stats struct {
 	modelNs  []atomic.Uint64 // modeled network time, data + control
 	injDrops []atomic.Uint64 // chaos-injected transient drops
 	injJitNs []atomic.Uint64 // chaos-injected extra wire time
+	coalRecs []atomic.Uint64 // records carried inside WriteBatch calls
+	coalOps  []atomic.Uint64 // WriteBatch calls (merged writes issued)
 }
 
 func newStats(n int) *Stats {
@@ -438,6 +503,8 @@ func newStats(n int) *Stats {
 		modelNs:  make([]atomic.Uint64, n*n),
 		injDrops: make([]atomic.Uint64, n*n),
 		injJitNs: make([]atomic.Uint64, n*n),
+		coalRecs: make([]atomic.Uint64, n*n),
+		coalOps:  make([]atomic.Uint64, n*n),
 	}
 }
 
@@ -462,6 +529,12 @@ func (s *Stats) addInjectedDrop(from, to int) {
 
 func (s *Stats) addInjectedJitter(from, to int, extra time.Duration) {
 	s.injJitNs[from*s.n+to].Add(uint64(extra))
+}
+
+func (s *Stats) addCoalesced(from, to, records int) {
+	i := from*s.n + to
+	s.coalRecs[i].Add(uint64(records))
+	s.coalOps[i].Add(1)
 }
 
 // BytesSent returns the total payload bytes rank sent to all peers.
@@ -550,15 +623,41 @@ func (s *Stats) InjectedJitterTime() time.Duration {
 	return time.Duration(total)
 }
 
+// CoalescedRecords returns the number of records that travelled inside
+// merged WriteBatch calls across the fabric.
+func (s *Stats) CoalescedRecords() uint64 {
+	var total uint64
+	for i := range s.coalRecs {
+		total += s.coalRecs[i].Load()
+	}
+	return total
+}
+
+// CoalescedWrites returns the number of merged WriteBatch calls issued.
+func (s *Stats) CoalescedWrites() uint64 {
+	var total uint64
+	for i := range s.coalOps {
+		total += s.coalOps[i].Load()
+	}
+	return total
+}
+
+// WritesSaved returns how many fabric writes coalescing eliminated: records
+// that rode in a merged batch minus the batched writes actually posted.
+func (s *Stats) WritesSaved() uint64 {
+	return s.CoalescedRecords() - s.CoalescedWrites()
+}
+
 // Snapshot dumps every per-link counter in a fixed order. Two fabrics that
 // executed the same operation schedule under the same chaos seed produce
 // identical snapshots — the determinism contract soak tests rely on.
 func (s *Stats) Snapshot() []uint64 {
-	out := make([]uint64, 0, 6*len(s.bytes))
+	out := make([]uint64, 0, 8*len(s.bytes))
 	for i := range s.bytes {
 		out = append(out, s.bytes[i].Load(), s.messages[i].Load(),
 			s.failed[i].Load(), s.modelNs[i].Load(),
-			s.injDrops[i].Load(), s.injJitNs[i].Load())
+			s.injDrops[i].Load(), s.injJitNs[i].Load(),
+			s.coalRecs[i].Load(), s.coalOps[i].Load())
 	}
 	return out
 }
@@ -572,5 +671,7 @@ func (s *Stats) Reset() {
 		s.modelNs[i].Store(0)
 		s.injDrops[i].Store(0)
 		s.injJitNs[i].Store(0)
+		s.coalRecs[i].Store(0)
+		s.coalOps[i].Store(0)
 	}
 }

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GatherDrop flags scatter/gather calls whose error result is discarded —
+// a bare call statement, a go/defer statement, or an assignment that
+// blanks every error position (`_, _ = seg.Scatter(...)`). A scatter or
+// gather error is the failure detector's raw signal: a dropped one means a
+// peer silently missed an update (or this rank folded a torn batch) and
+// the K-strikes suspicion machinery never hears about it. With the async
+// send pipeline the temptation grows — Scatter now returns after enqueue,
+// so its error "never fires" — but the enqueue can still fail (closed
+// pipeline, dead destination) and the sync fallback path still reports
+// wire errors. Deliberate drops must be annotated with //maltlint:allow so
+// the decision is visible at the call site.
+var GatherDrop = &Analyzer{
+	Name: "gatherdrop",
+	Doc:  "scatter/gather error results must be handled, not discarded",
+	Run:  runGatherDrop,
+}
+
+// gatherDropMethods are the scatter/gather entry points whose errors feed
+// fault handling; matched by method name on any type in a malt package.
+var gatherDropMethods = map[string]bool{
+	"Scatter":       true,
+	"ScatterTo":     true,
+	"ScatterSparse": true,
+	"Gather":        true,
+	"GatherIf":      true,
+	"GatherLatest":  true,
+	"GatherWeak":    true,
+}
+
+func runGatherDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkGatherDrop(pass, call, nil)
+				}
+			case *ast.GoStmt:
+				checkGatherDrop(pass, n.Call, nil)
+			case *ast.DeferStmt:
+				checkGatherDrop(pass, n.Call, nil)
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						checkGatherDrop(pass, call, n.Lhs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGatherDrop reports call if it is a malt scatter/gather whose error
+// results are all discarded. lhs is nil for statement-position calls
+// (always a discard) and the assignment targets otherwise (a discard when
+// every error-typed result position is the blank identifier).
+func checkGatherDrop(pass *Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	fn := funcFor(pass.Info, call)
+	if fn == nil || !gatherDropMethods[fn.Name()] {
+		return
+	}
+	pkgPath, typeName, ok := recvTypeName(fn)
+	if !ok || !maltPackage(pkgPath) {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	errIdx := []int{}
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return
+	}
+	if lhs != nil {
+		// Single-value contexts (len mismatch) and partial assignments are
+		// not this analyzer's business; only a full tuple assignment can
+		// blank the error.
+		if len(lhs) != results.Len() {
+			return
+		}
+		for _, i := range errIdx {
+			id, isIdent := unparen(lhs[i]).(*ast.Ident)
+			if !isIdent || id.Name != "_" {
+				return // the error is bound to a real variable
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s error discarded; scatter/gather failures feed the suspicion machinery — handle the error or annotate the drop",
+		typeName, fn.Name())
+}

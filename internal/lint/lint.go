@@ -1,7 +1,7 @@
 // Package lint is maltlint: a static-analysis suite that machine-checks the
 // invariants MALT's correctness rests on but Go's type system cannot express.
 //
-// The five analyzers (see their files for details):
+// The six analyzers (see their files for details):
 //
 //   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
 //     errors.Is, never == / != / switch — wrapped errors (every fabric error
@@ -21,6 +21,9 @@
 //   - rawsleep: time.Sleep inside retry/poll loops hides backoff policy
 //     from the retry/staleness subsystems; only the two blessed backoff
 //     sites (dstorm/retry.go, consistency.go's stall poll) may sleep raw.
+//   - gatherdrop: scatter/gather error results must be handled — a bare
+//     call, go/defer statement, or all-blank assignment silently severs the
+//     failure detector from the wire errors that feed it.
 //
 // The framework is intentionally dependency-free: it mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
@@ -132,7 +135,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop}
 }
 
 // allowIndex maps file -> line -> analyzer names suppressed on that line.

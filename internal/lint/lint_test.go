@@ -16,13 +16,14 @@ func TestLockedScatter(t *testing.T) { linttest.Run(t, lint.LockedScatter, "lock
 func TestAtomicMix(t *testing.T)     { linttest.Run(t, lint.AtomicMix, "atomicmix") }
 func TestFoldPurity(t *testing.T)    { linttest.Run(t, lint.FoldPurity, "foldpurity") }
 func TestRawSleep(t *testing.T)      { linttest.Run(t, lint.RawSleep, "rawsleep") }
+func TestGatherDrop(t *testing.T)    { linttest.Run(t, lint.GatherDrop, "gatherdrop") }
 
 // TestAll ensures the suite registry stays complete: cmd/maltlint and CI
 // run All(), so an analyzer missing from it would silently stop gating.
 func TestAll(t *testing.T) {
 	want := map[string]bool{
 		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
-		"foldpurity": true, "rawsleep": true,
+		"foldpurity": true, "rawsleep": true, "gatherdrop": true,
 	}
 	got := lint.All()
 	if len(got) != len(want) {

@@ -1,0 +1,70 @@
+// Package gatherdrop seeds discarded scatter/gather errors for the
+// gatherdrop analyzer, against the real dstorm/vol/core APIs.
+package gatherdrop
+
+import (
+	"malt/internal/core"
+	"malt/internal/dstorm"
+	"malt/internal/vol"
+)
+
+type replica struct {
+	seg *dstorm.Segment
+	add *dstorm.AddSegment
+	vec *vol.Vector
+	buf []byte
+}
+
+// Bare call statements discard the whole result tuple.
+func (r *replica) bareCalls(ctx *core.Context) {
+	r.seg.Scatter(r.buf, 1)             // want `Segment\.Scatter error discarded`
+	r.seg.ScatterTo([]int{1}, r.buf, 2) // want `Segment\.ScatterTo error discarded`
+	r.add.Scatter([]float64{1}, 3)      // want `AddSegment\.Scatter error discarded`
+	r.seg.Gather(dstorm.GatherLatest)   // want `Segment\.Gather error discarded`
+	r.vec.GatherLatest(vol.Average)     // want `Vector\.GatherLatest error discarded`
+	ctx.Scatter(r.vec)                  // want `Context\.Scatter error discarded`
+}
+
+// Blank assignments discard the error explicitly.
+func (r *replica) blankAssignments() {
+	_, _ = r.seg.Scatter(r.buf, 1)               // want `Segment\.Scatter error discarded`
+	_, _ = r.vec.ScatterSparse(nil, 2)           // want `Vector\.ScatterSparse error discarded`
+	_, _ = r.vec.GatherIf(vol.Average, nil)      // want `Vector\.GatherIf error discarded`
+	_, _ = r.seg.GatherWeak(dstorm.GatherAllNew) // want `Segment\.GatherWeak error discarded`
+}
+
+// go/defer statements can never observe the result.
+func (r *replica) asyncDrops() {
+	go r.seg.Scatter(r.buf, 1)      // want `Segment\.Scatter error discarded`
+	defer r.vec.Gather(vol.Average) // want `Vector\.Gather error discarded`
+}
+
+// Binding the error to a variable is handling it (even if checked later);
+// binding only the failed-peers list to blank is fine too.
+func (r *replica) handled() error {
+	if _, err := r.seg.Scatter(r.buf, 1); err != nil {
+		return err
+	}
+	_, err := r.vec.Scatter(2)
+	return err
+}
+
+// Using the call in value position consumes the tuple; not a drop.
+func (r *replica) valuePosition() ([]dstorm.Update, error) {
+	return r.seg.Gather(dstorm.GatherLatest)
+}
+
+// A same-named method on a local type is not a MALT scatter.
+type localSeg struct{}
+
+func (localSeg) Scatter(b []byte, seq uint64) ([]int, error) { return nil, nil }
+
+func localLookalike(s localSeg) {
+	s.Scatter(nil, 1)
+}
+
+// An audited drop is suppressed with the standard annotation.
+func (r *replica) annotatedDrop() {
+	//maltlint:allow gatherdrop -- best-effort prefetch, loss is acceptable
+	r.vec.GatherWeak(vol.Average)
+}

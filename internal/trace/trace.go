@@ -54,9 +54,45 @@ func Phases() []Phase {
 	return []Phase{Compute, Scatter, Gather, Barrier, Wait}
 }
 
-// Timer accumulates time per phase.
+// Counter labels one accounted event count (not a duration). Counters feed
+// the coalescing-pipeline ablations: how many fabric writes batching saved,
+// how many bytes shared a write, and how deep the send coalescer got.
+type Counter int
+
+const (
+	// WritesSaved is fabric writes eliminated by send-side coalescing.
+	WritesSaved Counter = iota
+	// BytesMerged is payload bytes that travelled in a merged batch.
+	BytesMerged
+	// QueuePeak is the peak number of records pending in the coalescer.
+	// Merged with Max, not summed.
+	QueuePeak
+	numCounters
+)
+
+// String returns the counter name.
+func (c Counter) String() string {
+	switch c {
+	case WritesSaved:
+		return "writes_saved"
+	case BytesMerged:
+		return "bytes_merged"
+	case QueuePeak:
+		return "queue_peak"
+	default:
+		return fmt.Sprintf("Counter(%d)", int(c))
+	}
+}
+
+// Counters lists all counters in display order.
+func Counters() []Counter {
+	return []Counter{WritesSaved, BytesMerged, QueuePeak}
+}
+
+// Timer accumulates time per phase and event counts per counter.
 type Timer struct {
-	total [numPhases]time.Duration
+	total  [numPhases]time.Duration
+	counts [numCounters]uint64
 }
 
 // Time runs fn and charges its duration to phase.
@@ -101,14 +137,40 @@ func (t *Timer) Snapshot() map[Phase]time.Duration {
 	return out
 }
 
-// Merge adds another timer's totals into t (aggregating ranks).
+// AddCount charges n events to counter c.
+func (t *Timer) AddCount(c Counter, n uint64) {
+	t.counts[c] += n
+}
+
+// MaxCount raises counter c to n if n is larger (for peak-style counters).
+func (t *Timer) MaxCount(c Counter, n uint64) {
+	if n > t.counts[c] {
+		t.counts[c] = n
+	}
+}
+
+// Count returns the accumulated events for a counter.
+func (t *Timer) Count(c Counter) uint64 { return t.counts[c] }
+
+// Merge adds another timer's totals into t (aggregating ranks). Peak-style
+// counters (QueuePeak) take the max instead of summing.
 func (t *Timer) Merge(other *Timer) {
 	for p := Phase(0); p < numPhases; p++ {
 		t.total[p] += other.total[p]
 	}
+	for c := Counter(0); c < numCounters; c++ {
+		if c == QueuePeak {
+			if other.counts[c] > t.counts[c] {
+				t.counts[c] = other.counts[c]
+			}
+		} else {
+			t.counts[c] += other.counts[c]
+		}
+	}
 }
 
-// String formats the totals compactly for logs.
+// String formats the totals compactly for logs; counters appear only when
+// nonzero.
 func (t *Timer) String() string {
 	var b strings.Builder
 	for i, p := range Phases() {
@@ -116,6 +178,11 @@ func (t *Timer) String() string {
 			b.WriteByte(' ')
 		}
 		fmt.Fprintf(&b, "%s=%v", p, t.total[p].Round(time.Microsecond))
+	}
+	for _, c := range Counters() {
+		if t.counts[c] != 0 {
+			fmt.Fprintf(&b, " %s=%d", c, t.counts[c])
+		}
 	}
 	return b.String()
 }

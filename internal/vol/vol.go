@@ -408,8 +408,17 @@ func (v *Vector) noteUpdate(stats *GatherStats, u dstorm.Update) {
 func (v *Vector) PeerIters() map[int]uint64 { return v.seg.PeerIters() }
 
 // Barrier blocks until all live ranks reach the vector's barrier — the
-// paper's g.barrier() for bulk-synchronous training.
+// paper's g.barrier() for bulk-synchronous training. The owning node's send
+// pipeline is drained first (see dstorm.Segment.Barrier).
 func (v *Vector) Barrier() error { return v.seg.Barrier() }
+
+// Drain blocks until every scatter accepted by the owning node's coalescing
+// pipeline has been delivered or exhausted its retries. A no-op when the
+// pipeline is disabled. SSP calls this before staleness stalls.
+func (v *Vector) Drain() error { return v.seg.Node().Drain() }
+
+// Flush posts the pipeline's partial batches without waiting for delivery.
+func (v *Vector) Flush() { v.seg.Node().Flush() }
 
 // RemovePeer drops a failed rank from the vector's send/receive lists.
 func (v *Vector) RemovePeer(rank int) { v.seg.RemovePeer(rank) }
