@@ -48,6 +48,8 @@ func main() {
 		batchCnt  = flag.Int("batchCount", 0, "flush a destination's batch at this many records (0 = default)")
 		batchByte = flag.Int("batchBytes", 0, "flush a destination's batch at this many payload bytes (0 = default)")
 		batchWait = flag.Duration("batchDelay", 0, "flush a destination's batch after this long (0 = default)")
+		gatherW   = flag.Int("gatherWorkers", 0, "parallel gather engine workers (0 = serial, -1 = default pool size; svm only)")
+		foldChunk = flag.Int("foldChunk", 0, "coordinate-chunk size for parallel folds (0 = default)")
 	)
 	flag.Parse()
 
@@ -122,14 +124,20 @@ func main() {
 			*batchCnt, *batchByte, *batchWait)
 	}
 
+	if *gatherW != 0 {
+		fmt.Printf("parallel gather: workers=%d foldChunk=%d (0 = default)\n", *gatherW, *foldChunk)
+	}
+
 	res, err := bench.RunSVM(bench.SVMOpts{
 		DS: ds, Ranks: *ranks, CB: *cb,
 		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
 		Mode: mode, Epochs: *epochs, Goal: *goal,
 		SVM:    svm.Config{Dim: ds.Dim, Lambda: *lambda, Eta0: *eta},
 		Sparse: *sparse, EvalEvery: 4,
-		Chaos:    script,
-		Pipeline: pipe,
+		Chaos:         script,
+		Pipeline:      pipe,
+		GatherWorkers: *gatherW,
+		FoldChunk:     *foldChunk,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -162,6 +170,10 @@ func main() {
 		fmt.Printf("coalescing: %d fabric writes saved, %.1f MB merged, peak send queue %d\n",
 			agg.Count(trace.WritesSaved), float64(agg.Count(trace.BytesMerged))/(1<<20),
 			agg.Count(trace.QueuePeak))
+	}
+	if *gatherW != 0 {
+		fmt.Printf("gather engine: %d decode tasks fanned out, %d chunks folded, %d scratch hits\n",
+			agg.Count(trace.DecodeTasks), agg.Count(trace.ChunksFolded), agg.Count(trace.ScratchHits))
 	}
 
 	if script != nil {

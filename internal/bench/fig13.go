@@ -45,6 +45,7 @@ func init() {
 				r.Linef("%-6s %14s %14s %14s   (MB total, %d epochs, cb=%d)", "ranks", "all", "halton", "paramserver", epochs, cb)
 				for _, n := range rankSet {
 					row := make(map[string]float64, 3)
+					rowNs := make(map[string]float64, 3)
 					for _, flow := range []dataflow.Kind{dataflow.All, dataflow.Halton} {
 						o.logf("fig13: ranks=%d %v", n, flow)
 						res, err := RunSVM(SVMOpts{
@@ -62,6 +63,7 @@ func init() {
 							return err
 						}
 						row[flow.String()] = float64(res.Stats.TotalBytes()) / (1 << 20)
+						rowNs[flow.String()] = float64(res.Stats.ModeledNetworkTime().Nanoseconds())
 					}
 					// Parameter server with the same number of gradient pushes
 					// per worker as the MALT runs performed batches.
@@ -91,6 +93,14 @@ func init() {
 					r.Linef("%-6d %13.1f %14.1f %14.1f", n, row["all"], row["halton"], row["paramserver"])
 					for k, v := range row {
 						r.Metric(fmt.Sprintf("%s_mb_n%d", k, n), v)
+					}
+					// Modeled wire time is the gated form of the MALT traffic
+					// totals: deterministic (latency + bytes/bandwidth per
+					// write, no chaos here), unlike wall clock. The parameter
+					// server's control traffic is scheduling-dependent, so its
+					// modeled time is not emitted — only the byte totals above.
+					for k, v := range rowNs {
+						r.Metric(fmt.Sprintf("model_ns_net_%s_n%d", k, n), v)
 					}
 				}
 				return nil

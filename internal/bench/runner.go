@@ -82,6 +82,12 @@ type SVMOpts struct {
 	// Pipeline, when non-nil, enables the per-destination send coalescer on
 	// every rank (the batching ablation knob; see dstorm.PipelineConfig).
 	Pipeline *dstorm.PipelineConfig
+	// GatherWorkers enables the parallel gather engine on every rank
+	// (0 = serial, -1 = default pool size; see core.Config.GatherWorkers).
+	GatherWorkers int
+	// FoldChunk is the coordinate-chunk size for parallel folds
+	// (0 = vol.DefaultFoldChunk).
+	FoldChunk int
 	// Suspicion tunes the K-strikes failure detector (zero = defaults).
 	Suspicion fault.SuspicionConfig
 	// Jitter models per-machine compute-speed variance. The single-core
@@ -216,6 +222,8 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		Retry:          opts.Retry,
 		Suspicion:      opts.Suspicion,
 		Pipeline:       opts.Pipeline,
+		GatherWorkers:  opts.GatherWorkers,
+		FoldChunk:      opts.FoldChunk,
 	})
 	if err != nil {
 		return nil, err

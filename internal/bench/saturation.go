@@ -76,6 +76,12 @@ func init() {
 					r.Linef("%-6d %13.2f %15.2f %13.2fs", n, perRank, agg,
 						fab.Stats().ModeledNetworkTime().Seconds())
 					r.Metric("gbps_per_rank_n"+strconv.Itoa(n), perRank)
+					// Deterministic counterpart of the wall throughput: the
+					// cost model charges every scatter write the same
+					// latency + size/bandwidth, so this gates traffic-volume
+					// regressions without wall-clock noise.
+					r.Metric("model_ns_wire_n"+strconv.Itoa(n),
+						float64(fab.Stats().ModeledNetworkTime().Nanoseconds()))
 				}
 				r.Linef("(paper: 5.1 GB/s sync, 4.2 GB/s async per machine on 56 Gbps InfiniBand)")
 				return nil

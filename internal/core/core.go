@@ -48,6 +48,16 @@ type Config struct {
 	// pipeline so consistency is unchanged. Takes precedence over AsyncSend
 	// on the scatter path. Zero-valued fields use dstorm defaults.
 	Pipeline *dstorm.PipelineConfig
+	// GatherWorkers enables the parallel gather engine on every rank:
+	// per-sender ring drains and update decodes fan out across a worker
+	// pool, and folds whose UDFs have chunk forms split across the
+	// coordinate axis (bitwise identical to the serial fold). 0 disables
+	// (serial gathers); -1 selects the default pool size; > 0 is an
+	// explicit worker count.
+	GatherWorkers int
+	// FoldChunk is the coordinate-chunk size for parallel folds (vectors
+	// created via Context inherit it; 0 = vol.DefaultFoldChunk).
+	FoldChunk int
 	// Fabric tunes the simulated interconnect (zero value = defaults).
 	Fabric fabric.Config
 	// Retry bounds per-write retrying of transient fabric faults (zero
@@ -187,7 +197,25 @@ func (c *Cluster) Run(fn func(ctx *Context) error) *Result {
 			if c.cfg.Pipeline != nil {
 				ctx.node.EnablePipeline(*c.cfg.Pipeline)
 			}
+			if c.cfg.GatherWorkers != 0 {
+				ctx.node.EnableParallelGather(c.cfg.GatherWorkers)
+			}
 			err := ctx.monitor.Guard(func() error { return fn(ctx) })
+			if c.cfg.GatherWorkers != 0 {
+				ctx.node.DisableParallelGather()
+			}
+			// Record the gather engine's work counters for Fig 8-style
+			// breakdowns regardless of whether the pool was enabled (serial
+			// chunk folds and scratch hits count too).
+			ctx.mu.Lock()
+			vecs := append([]*vol.Vector(nil), ctx.vectors...)
+			ctx.mu.Unlock()
+			for _, v := range vecs {
+				gp := v.GatherPerf()
+				ctx.timer.AddCount(trace.DecodeTasks, gp.DecodeTasks)
+				ctx.timer.AddCount(trace.ChunksFolded, gp.ChunksFolded)
+				ctx.timer.AddCount(trace.ScratchHits, gp.ScratchHits)
+			}
 			if c.cfg.Pipeline != nil {
 				// Drain before snapshotting so the counters reflect only
 				// completed batches, then record them for Fig 8-style
@@ -293,6 +321,9 @@ func (ctx *Context) CreateVector(name string, typ vol.Type, dim int) (*vol.Vecto
 func (ctx *Context) CreateVectorOpts(name string, typ vol.Type, dim int, opts vol.Options) (*vol.Vector, error) {
 	if opts.QueueLen == 0 {
 		opts.QueueLen = ctx.cluster.cfg.QueueLen
+	}
+	if opts.FoldChunk == 0 {
+		opts.FoldChunk = ctx.cluster.cfg.FoldChunk
 	}
 	v, err := vol.Create(ctx.node, name, typ, dim, ctx.cluster.graph, opts)
 	if err != nil {

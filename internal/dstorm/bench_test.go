@@ -114,6 +114,7 @@ func BenchmarkGatherLatency(b *testing.B) {
 	segs := benchCluster(b, 2, SegmentOptions{ObjectSize: size, QueueLen: 2})
 	payload := make([]byte, size)
 	b.SetBytes(size)
+	b.ReportAllocs() // gather scratch is pooled: steady state must stay at 0 allocs/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := segs[0].Scatter(payload, uint64(i+1)); err != nil {

@@ -187,6 +187,8 @@ type Node struct {
 	pipeMu sync.Mutex
 	pipe   *pipeline // non-nil while the coalescing pipeline is enabled
 
+	gather gatherPoolState // parallel-gather worker pool (see gatherpool.go)
+
 	failMu      sync.Mutex
 	asyncFailed map[int]int // peer → count of failed async writes
 }

@@ -120,19 +120,33 @@ const (
 type Segment struct {
 	node *Node
 	name string
+	key  string // segKey(name), precomputed for the scatter hot path
 	opts SegmentOptions
 
 	mu            sync.Mutex
 	graph         *dataflow.Graph
 	send          []int          // current send peer list (rebuilt on failure)
+	allowed       map[int]bool   // ScatterTo membership cache over send; nil = stale
 	queues        map[int]*queue // senderRank → local receive queue
 	seq           uint64         // local scatter sequence
 	iter          uint64         // local iteration counter attached to scatters
 	consumedTotal uint64         // updates returned by gathers (for Stats)
 	closed        bool
 
-	encBuf  []byte   // scatter encode buffer
-	readBuf [][]byte // gather buffers, one per in-flight Update
+	encBuf      []byte // scatter encode buffer
+	sendScratch []int  // per-scatter snapshot of send, reused across calls
+
+	// Gather-side scratch, reused across gathers to keep the steady state
+	// allocation-free. Only the owning rank's training goroutine gathers, so
+	// no lock is needed beyond the snapshot of s.queues taken under mu.
+	senderScratch []senderQ
+	updOut        []Update
+}
+
+// senderQ pairs a sender rank with its receive queue for one gather pass.
+type senderQ struct {
+	from int
+	q    *queue
 }
 
 // queue is the per-sender receive ring living in this rank's registered
@@ -147,6 +161,12 @@ type queue struct {
 	// overwritten counts updates that were lapped in the ring before this
 	// receiver consumed them (the freshness-over-completeness trade).
 	overwritten uint64
+	// Gather scratch owned by this queue (guarded by consumedMu): snapshot
+	// buffers and decoded Update views, reused across gathers. Per-queue
+	// rather than per-segment so the parallel gather engine can drain every
+	// sender's ring concurrently without sharing buffers.
+	bufs [][]byte
+	ups  []Update
 }
 
 // Stats are a segment's local receive-side counters.
@@ -214,6 +234,7 @@ func (n *Node) CreateSegment(name string, opts SegmentOptions) (*Segment, error)
 	s := &Segment{
 		node:   n,
 		name:   name,
+		key:    segKey(name),
 		opts:   opts,
 		graph:  opts.Graph,
 		queues: make(map[int]*queue),
@@ -381,6 +402,12 @@ func (sl *slot) peek() (seq, iter uint64) {
 // as suspicion evidence. Scatter itself never fails on peer death — that is
 // the point of one-sided, peer-to-peer training.
 func (s *Segment) Scatter(payload []byte, iter uint64) (failed []int, err error) {
+	return s.scatter(nil, payload, iter)
+}
+
+// scatter encodes and delivers one update to the given peers (nil = the
+// segment's full send list).
+func (s *Segment) scatter(peers []int, payload []byte, iter uint64) (failed []int, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -396,7 +423,12 @@ func (s *Segment) Scatter(payload []byte, iter uint64) (failed []int, err error)
 	if iter != 0 {
 		it = iter
 	}
-	peers := append([]int(nil), s.send...)
+	if peers == nil {
+		// Snapshot the send list into reusable scratch: writeMulti and the
+		// pipeline iterate it synchronously and never retain it.
+		s.sendScratch = append(s.sendScratch[:0], s.send...)
+		peers = s.sendScratch
+	}
 	buf := s.encBuf[:headerSize+len(payload)]
 	binary.LittleEndian.PutUint64(buf[0:8], seq)
 	binary.LittleEndian.PutUint64(buf[8:16], it)
@@ -409,36 +441,30 @@ func (s *Segment) Scatter(payload []byte, iter uint64) (failed []int, err error)
 	// caller's fault monitor rather than aborting the scatter: peer-to-peer
 	// training must survive peer loss. With the coalescing pipeline enabled
 	// failures are asynchronous and surface via AsyncFailures instead.
-	return s.node.writeMulti(peers, segKey(s.name), buf), nil
+	return s.node.writeMulti(peers, s.key, buf), nil
 }
 
 // ScatterTo sends payload only to the given peers, which must be a subset of
 // the dataflow's send list. It gives developers the fine-grained per-call
-// dataflow control described in §3.2 of the paper.
+// dataflow control described in §3.2 of the paper. The membership check runs
+// against a cached send-list index (invalidated when recovery rebuilds the
+// list), so a per-batch ScatterTo costs no map rebuild on the hot path.
 func (s *Segment) ScatterTo(peers []int, payload []byte, iter uint64) (failed []int, err error) {
 	s.mu.Lock()
-	allowed := make(map[int]bool, len(s.send))
-	for _, p := range s.send {
-		allowed[p] = true
+	if s.allowed == nil {
+		s.allowed = make(map[int]bool, len(s.send))
+		for _, p := range s.send {
+			s.allowed[p] = true
+		}
 	}
-	s.mu.Unlock()
 	for _, p := range peers {
-		if !allowed[p] {
+		if !s.allowed[p] {
+			s.mu.Unlock()
 			return nil, fmt.Errorf("dstorm: ScatterTo peer %d is not in the dataflow send list", p)
 		}
 	}
-	saved := s.swapSendList(peers)
-	failed, err = s.Scatter(payload, iter)
-	s.swapSendList(saved)
-	return failed, err
-}
-
-func (s *Segment) swapSendList(peers []int) []int {
-	s.mu.Lock()
-	old := s.send
-	s.send = append([]int(nil), peers...)
 	s.mu.Unlock()
-	return old
+	return s.scatter(peers, payload, iter)
 }
 
 // Gather consumes queued updates atomically (seqlock snapshot per slot) and
@@ -461,14 +487,11 @@ func (s *Segment) gather(mode GatherMode, atomic bool) ([]Update, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	type pending struct {
-		from int
-		q    *queue
-	}
-	senders := make([]pending, 0, len(s.queues))
+	senders := s.senderScratch[:0]
 	for from, q := range s.queues {
-		senders = append(senders, pending{from, q})
+		senders = append(senders, senderQ{from, q})
 	}
+	s.senderScratch = senders
 	s.mu.Unlock()
 	// Deterministic order: by sender rank.
 	for i := 1; i < len(senders); i++ {
@@ -477,79 +500,104 @@ func (s *Segment) gather(mode GatherMode, atomic bool) ([]Update, error) {
 		}
 	}
 
-	var updates []Update
-	bufIdx := 0
-	grab := func() []byte {
-		if bufIdx < len(s.readBuf) {
-			b := s.readBuf[bufIdx]
-			bufIdx++
-			return b
+	// Stage 1 of the gather engine: drain every sender's ring. Each queue
+	// owns its snapshot buffers and Update scratch, so with a gather pool
+	// enabled the per-sender seqlock snapshots proceed concurrently; the
+	// rank-order concatenation below restores the deterministic order
+	// regardless of completion order.
+	if pool := s.node.GatherPool(); pool != nil && len(senders) > 1 {
+		g := pool.NewGroup()
+		for i := range senders {
+			p := senders[i]
+			g.Go(func() { s.drainQueue(p.from, p.q, mode, atomic) })
 		}
-		b := make([]byte, headerSize+s.opts.ObjectSize)
-		s.readBuf = append(s.readBuf, b)
-		bufIdx++
-		return b
+		g.Wait()
+	} else {
+		for _, p := range senders {
+			s.drainQueue(p.from, p.q, mode, atomic)
+		}
 	}
 
+	updates := s.updOut[:0]
 	for _, p := range senders {
-		q := p.q
-		q.consumedMu.Lock()
-		// Find the freshest sequence present across the ring.
-		var newest uint64
-		for i := range q.slots {
-			if sq, _ := q.slots[i].peek(); sq > newest {
-				newest = sq
-			}
-		}
-		if newest <= q.consumed {
-			q.consumedMu.Unlock()
-			continue
-		}
-		lo := q.consumed + 1
-		if mode == GatherLatest {
-			q.overwritten += newest - lo // skipped items count as dropped
-			lo = newest
-		}
-		// Items older than newest-qlen+1 have been overwritten in the ring.
-		if qlen := uint64(len(q.slots)); newest >= qlen && lo < newest-qlen+1 {
-			q.overwritten += (newest - qlen + 1) - lo
-			lo = newest - qlen + 1
-		}
-		for sq := lo; sq <= newest; sq++ {
-			sl := &q.slots[sq%uint64(len(q.slots))]
-			buf := grab()
-			var gotSeq, gotIter uint64
-			var n int
-			var torn bool
-			if atomic {
-				gotSeq, gotIter, n = sl.readAtomic(buf)
-			} else {
-				gotSeq, gotIter, n, torn = sl.readWeak(buf)
-			}
-			if gotSeq != sq && atomic {
-				// The slot was lapped between peek and read; its content is
-				// a newer item we will pick up (or already did) at its own
-				// sequence position. Skip the overwritten one.
-				bufIdx--
-				continue
-			}
-			updates = append(updates, Update{
-				From: p.from,
-				Seq:  gotSeq,
-				Iter: gotIter,
-				Data: buf[headerSize : headerSize+n],
-				Torn: torn,
-			})
-		}
-		q.consumed = newest
-		q.consumedMu.Unlock()
+		updates = append(updates, p.q.ups...)
 	}
+	s.updOut = updates
 	if len(updates) > 0 {
 		s.mu.Lock()
 		s.consumedTotal += uint64(len(updates))
 		s.mu.Unlock()
 	}
 	return updates, nil
+}
+
+// drainQueue consumes one sender's ring into the queue-owned scratch
+// (q.ups), taking atomic or weak snapshots of each slot. Safe to run
+// concurrently for different queues; q.consumedMu serializes against
+// Stats readers.
+func (s *Segment) drainQueue(from int, q *queue, mode GatherMode, atomic bool) {
+	q.consumedMu.Lock()
+	defer q.consumedMu.Unlock()
+	q.ups = q.ups[:0]
+	bufIdx := 0
+	grab := func() []byte {
+		if bufIdx < len(q.bufs) {
+			b := q.bufs[bufIdx]
+			bufIdx++
+			return b
+		}
+		b := make([]byte, headerSize+s.opts.ObjectSize)
+		q.bufs = append(q.bufs, b)
+		bufIdx++
+		return b
+	}
+	// Find the freshest sequence present across the ring.
+	var newest uint64
+	for i := range q.slots {
+		if sq, _ := q.slots[i].peek(); sq > newest {
+			newest = sq
+		}
+	}
+	if newest <= q.consumed {
+		return
+	}
+	lo := q.consumed + 1
+	if mode == GatherLatest {
+		q.overwritten += newest - lo // skipped items count as dropped
+		lo = newest
+	}
+	// Items older than newest-qlen+1 have been overwritten in the ring.
+	if qlen := uint64(len(q.slots)); newest >= qlen && lo < newest-qlen+1 {
+		q.overwritten += (newest - qlen + 1) - lo
+		lo = newest - qlen + 1
+	}
+	for sq := lo; sq <= newest; sq++ {
+		sl := &q.slots[sq%uint64(len(q.slots))]
+		buf := grab()
+		var gotSeq, gotIter uint64
+		var n int
+		var torn bool
+		if atomic {
+			gotSeq, gotIter, n = sl.readAtomic(buf)
+		} else {
+			gotSeq, gotIter, n, torn = sl.readWeak(buf)
+		}
+		if gotSeq != sq && atomic {
+			// The slot was lapped between peek and read; its content is
+			// a newer item we will pick up (or already did) at its own
+			// sequence position. Skip the overwritten one.
+			bufIdx--
+			continue
+		}
+		q.ups = append(q.ups, Update{
+			From: from,
+			Seq:  gotSeq,
+			Iter: gotIter,
+			Data: buf[headerSize : headerSize+n],
+			Torn: torn,
+		})
+	}
+	q.consumed = newest
 }
 
 // PeerIters returns, without consuming anything, the latest iteration count
@@ -588,6 +636,7 @@ func (s *Segment) RemovePeer(rank int) {
 		}
 	}
 	s.send = out
+	s.allowed = nil // invalidate the ScatterTo membership cache
 	delete(s.queues, rank)
 }
 

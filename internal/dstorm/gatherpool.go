@@ -1,0 +1,55 @@
+package dstorm
+
+import (
+	"sync"
+
+	"malt/internal/par"
+)
+
+// The receive side of the gather engine: a per-node worker pool that
+// Segment.gather fans per-sender ring snapshots across, and that the vector
+// library reuses for parallel decode and coordinate-chunked folds. One pool
+// per node mirrors the NUMA-ish sharding of a real receive path — every
+// rank's receive queues drain on that rank's own workers, never a peer's.
+
+// gatherPoolState is the node's parallel-gather handle; split from Node's
+// other mutex domains because gathers are hot and must not contend with
+// send-side state.
+type gatherPoolState struct {
+	mu   sync.Mutex
+	pool *par.Pool
+}
+
+// EnableParallelGather switches the node's gather path (and the vector
+// library's decode+fold stages) to a worker pool of the given size
+// (workers <= 0 selects par.DefaultWorkers). Enabling while already enabled
+// keeps the first pool, mirroring EnablePipeline. Must be paired with
+// DisableParallelGather before the node is discarded.
+func (n *Node) EnableParallelGather(workers int) {
+	n.gather.mu.Lock()
+	defer n.gather.mu.Unlock()
+	if n.gather.pool != nil {
+		return
+	}
+	n.gather.pool = par.New(workers, 0)
+}
+
+// DisableParallelGather stops the gather pool and returns the node to the
+// serial gather path. Callers must not have a gather in flight.
+func (n *Node) DisableParallelGather() {
+	n.gather.mu.Lock()
+	p := n.gather.pool
+	n.gather.pool = nil
+	n.gather.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// GatherPool returns the node's parallel-gather pool, or nil when gathers
+// run serially.
+func (n *Node) GatherPool() *par.Pool {
+	n.gather.mu.Lock()
+	defer n.gather.mu.Unlock()
+	return n.gather.pool
+}

@@ -1,10 +1,11 @@
 package dstorm
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"malt/internal/par"
 )
 
 // PipelineConfig tunes the per-destination send coalescer. The coalescer
@@ -35,10 +36,7 @@ type PipelineConfig struct {
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-		if c.Workers > 8 {
-			c.Workers = 8
-		}
+		c.Workers = par.DefaultWorkers()
 	}
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 256 << 10
@@ -146,16 +144,12 @@ type pendingBatch struct {
 	gen   uint64
 }
 
-type batchReq struct {
-	to   int
-	key  string
-	recs [][]byte
-}
-
-// pipeline is the per-node send coalescer plus deposit worker pool.
+// pipeline is the per-node send coalescer plus deposit worker pool (a
+// sticky par.Pool: destination rank is the submit key, so batches for one
+// peer deliver in FIFO order while different peers proceed in parallel).
 // Locking: mu guards pending and closed; drainMu guards inflight.
 // mu may be taken before drainMu (flush increments inflight); workers take
-// only drainMu. Worker channel sends can block while mu is held — that is
+// only drainMu. Pool submissions can block while mu is held — that is
 // the back-pressure path, and it cannot deadlock because workers never take
 // mu.
 type pipeline struct {
@@ -168,8 +162,7 @@ type pipeline struct {
 	genSeq      uint64 // batch generation allocator
 	closed      bool
 
-	workers []chan batchReq
-	wg      sync.WaitGroup
+	pool *par.Pool
 
 	drainMu  sync.Mutex
 	drained  *sync.Cond
@@ -185,13 +178,7 @@ func newPipeline(n *Node, cfg PipelineConfig) *pipeline {
 		pending: make(map[pendKey]*pendingBatch),
 	}
 	p.drained = sync.NewCond(&p.drainMu)
-	p.workers = make([]chan batchReq, p.cfg.Workers)
-	for i := range p.workers {
-		ch := make(chan batchReq, p.cfg.QueueDepth)
-		p.workers[i] = ch
-		p.wg.Add(1)
-		go p.worker(ch)
-	}
+	p.pool = par.New(p.cfg.Workers, p.cfg.QueueDepth)
 	return p
 }
 
@@ -257,7 +244,8 @@ func (p *pipeline) flushLocked(k pendKey, b *pendingBatch, cause int) {
 	p.drainMu.Lock()
 	p.inflight++
 	p.drainMu.Unlock()
-	p.workers[k.to%len(p.workers)] <- batchReq{to: k.to, key: k.key, recs: b.recs}
+	to, key, recs := k.to, k.key, b.recs
+	p.pool.Submit(to, func() { p.deliver(to, key, recs) })
 }
 
 // flushAllLocked flushes every non-empty bucket. Caller holds p.mu.
@@ -296,26 +284,22 @@ func (p *pipeline) stop() {
 	p.closed = true
 	p.flushAllLocked(flushExplicit)
 	p.mu.Unlock()
-	for _, ch := range p.workers {
-		close(ch)
-	}
-	p.wg.Wait()
+	p.pool.Close()
 }
 
-func (p *pipeline) worker(ch chan batchReq) {
-	defer p.wg.Done()
-	for req := range ch {
-		if err := p.node.writeBatchWithRetry(req.to, req.key, req.recs); err != nil {
-			p.stats.failed.Add(1)
-			p.node.noteAsyncFailure(req.to)
-		}
-		p.drainMu.Lock()
-		p.inflight--
-		if p.inflight == 0 {
-			p.drained.Broadcast()
-		}
-		p.drainMu.Unlock()
+// deliver posts one merged batch on a pool worker and settles the drain
+// accounting.
+func (p *pipeline) deliver(to int, key string, recs [][]byte) {
+	if err := p.node.writeBatchWithRetry(to, key, recs); err != nil {
+		p.stats.failed.Add(1)
+		p.node.noteAsyncFailure(to)
 	}
+	p.drainMu.Lock()
+	p.inflight--
+	if p.inflight == 0 {
+		p.drained.Broadcast()
+	}
+	p.drainMu.Unlock()
 }
 
 // EnablePipeline switches the node's scatter path to the coalescing

@@ -1,7 +1,7 @@
 // Package lint is maltlint: a static-analysis suite that machine-checks the
 // invariants MALT's correctness rests on but Go's type system cannot express.
 //
-// The six analyzers (see their files for details):
+// The seven analyzers (see their files for details):
 //
 //   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
 //     errors.Is, never == / != / switch — wrapped errors (every fabric error
@@ -24,6 +24,9 @@
 //   - gatherdrop: scatter/gather error results must be handled — a bare
 //     call, go/defer statement, or all-blank assignment silently severs the
 //     failure detector from the wire errors that feed it.
+//   - queuelen: vol.Options{QueueLen: 1} pins a depth-1 receive ring that
+//     overwrites all but the newest update per sender; only ablation files
+//     (internal/bench/) may do that deliberately.
 //
 // The framework is intentionally dependency-free: it mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
@@ -135,7 +138,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen}
 }
 
 // allowIndex maps file -> line -> analyzer names suppressed on that line.

@@ -17,6 +17,7 @@ func TestAtomicMix(t *testing.T)     { linttest.Run(t, lint.AtomicMix, "atomicmi
 func TestFoldPurity(t *testing.T)    { linttest.Run(t, lint.FoldPurity, "foldpurity") }
 func TestRawSleep(t *testing.T)      { linttest.Run(t, lint.RawSleep, "rawsleep") }
 func TestGatherDrop(t *testing.T)    { linttest.Run(t, lint.GatherDrop, "gatherdrop") }
+func TestQueueLen(t *testing.T)      { linttest.Run(t, lint.QueueLen, "queuelen") }
 
 // TestAll ensures the suite registry stays complete: cmd/maltlint and CI
 // run All(), so an analyzer missing from it would silently stop gating.
@@ -24,6 +25,7 @@ func TestAll(t *testing.T) {
 	want := map[string]bool{
 		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
 		"foldpurity": true, "rawsleep": true, "gatherdrop": true,
+		"queuelen": true,
 	}
 	got := lint.All()
 	if len(got) != len(want) {

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// QueueLen flags vol.Options composite literals that pin the per-sender
+// receive-queue depth to 1. A depth-1 ring holds exactly one update per
+// sender, so every deposit overwrites the previous one: under ASP (or any
+// gather that runs less often than peers scatter) GatherAllNew silently
+// degrades to latest-only and the lost updates surface as ring overwrites,
+// not errors. That trade is a legitimate *ablation* — quantifying queue
+// depth is how the paper motivates its defaults — so files under the bench
+// harness (internal/bench/) and files named like ablations are exempt;
+// anywhere else the depth must come from configuration, or the site must
+// carry an audited //maltlint:allow queuelen annotation.
+var QueueLen = &Analyzer{
+	Name: "queuelen",
+	Doc:  "vol.Options{QueueLen: 1} outside ablation files silently drops updates",
+	Run:  runQueueLen,
+}
+
+// queueLenExemptDirs are path fragments whose files may pin QueueLen: 1 —
+// the ablation/benchmark harness, where depth-1 rings are the experiment.
+var queueLenExemptDirs = []string{
+	"internal/bench/",
+}
+
+func runQueueLen(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := filepath.ToSlash(pass.Fset.Position(f.Pos()).Filename)
+		if queueLenExempt(filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isVolOptions(pass, lit) {
+				return true
+			}
+			if expr := queueLenField(lit); expr != nil && isConstOne(pass, expr) {
+				pass.Reportf(expr.Pos(),
+					"vol.Options{QueueLen: 1} gives each sender a depth-1 receive ring that overwrites all but the newest update; leave QueueLen at the default (or move this into an ablation under internal/bench)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func queueLenExempt(filename string) bool {
+	for _, dir := range queueLenExemptDirs {
+		if strings.Contains(filename, dir) {
+			return true
+		}
+	}
+	return strings.Contains(filepath.Base(filename), "ablation")
+}
+
+// isVolOptions reports whether the composite literal's type is
+// malt/internal/vol.Options (possibly through an alias or &-literal).
+func isVolOptions(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := derefNamed(tv.Type)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "malt/internal/vol" && named.Obj().Name() == "Options"
+}
+
+// derefNamed unwraps a pointer and returns the named type underneath.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return named, ok
+}
+
+// queueLenField returns the expression assigned to the QueueLen field, for
+// both keyed and positional literals (QueueLen is field 0), or nil.
+func queueLenField(lit *ast.CompositeLit) ast.Expr {
+	for i, elt := range lit.Elts {
+		kv, keyed := elt.(*ast.KeyValueExpr)
+		if !keyed {
+			if i == 0 {
+				return elt
+			}
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "QueueLen" {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// isConstOne reports whether the expression is the integer constant 1.
+func isConstOne(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v == 1
+}

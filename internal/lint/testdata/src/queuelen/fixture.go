@@ -1,0 +1,48 @@
+// Package queuelen seeds depth-1 receive-ring literals for the queuelen
+// analyzer.
+package queuelen
+
+import "malt/internal/vol"
+
+func depthOne() vol.Options {
+	return vol.Options{QueueLen: 1} // want `depth-1 receive ring`
+}
+
+func depthOneAmongOthers() vol.Options {
+	return vol.Options{ChunkSize: 64, QueueLen: 1, MaxNNZ: 8} // want `depth-1 receive ring`
+}
+
+func depthOnePointer() *vol.Options {
+	return &vol.Options{QueueLen: 1} // want `depth-1 receive ring`
+}
+
+func depthOnePositional() vol.Options {
+	return vol.Options{1, 0, 0, 0} // want `depth-1 receive ring`
+}
+
+// depthDefault and depthDeep are fine: only the pathological depth 1 is
+// flagged.
+func depthDefault() vol.Options {
+	return vol.Options{ChunkSize: 64}
+}
+
+func depthDeep() vol.Options {
+	return vol.Options{QueueLen: 16}
+}
+
+// otherStructOne: QueueLen fields of other types are not vol.Options.
+type localOpts struct{ QueueLen int }
+
+func otherStructOne() localOpts {
+	return localOpts{QueueLen: 1}
+}
+
+// variableDepth: non-constant depths come from configuration; the analyzer
+// only flags the literal constant 1.
+func variableDepth(n int) vol.Options {
+	return vol.Options{QueueLen: n}
+}
+
+func annotatedIsSuppressed() vol.Options {
+	return vol.Options{QueueLen: 1} //maltlint:allow queuelen -- fixture: deliberate depth-1 ablation
+}

@@ -1,0 +1,134 @@
+// Package par provides the bounded worker pools shared by MALT's hot
+// communication paths. Two shapes of work run on the same primitive:
+//
+//   - Sticky streams: the scatter pipeline maps each destination rank to a
+//     fixed worker (key % workers), preserving per-destination FIFO order —
+//     batches for one peer never reorder, batches for different peers
+//     proceed in parallel.
+//   - Fan-out/join: the gather engine fans per-sender snapshot+decode tasks
+//     and per-chunk fold tasks across the pool and joins them with a Group
+//     before touching the results.
+//
+// A Pool owns one goroutine and one bounded FIFO queue per worker. Submit
+// blocks when the selected worker's queue is full — that back-pressure is
+// deliberate (it is the sender-side flow control of paper §3.1), so pool
+// users must never submit from inside a task targeting the same key, and
+// tasks must not block on each other except through a Group owned by a
+// non-worker goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when New is given n <= 0:
+// min(GOMAXPROCS, 8) — enough to cover the fan-outs that matter (paper
+// topologies have single-digit in-degree per rank) without oversubscribing
+// small CI machines.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// DefaultQueueDepth is the per-worker queue capacity used when New is
+// given depth <= 0.
+const DefaultQueueDepth = 128
+
+// Pool is a fixed set of workers with per-worker bounded FIFO queues.
+type Pool struct {
+	queues []chan func()
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New creates a pool of n workers (n <= 0 selects DefaultWorkers) whose
+// queues hold depth pending tasks each (depth <= 0 selects
+// DefaultQueueDepth). The workers run until Close.
+func New(n, depth int) *Pool {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	p := &Pool{queues: make([]chan func(), n)}
+	for i := range p.queues {
+		ch := make(chan func(), depth)
+		p.queues[i] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.queues) }
+
+// Submit enqueues fn on the worker selected by key. Equal keys always land
+// on the same worker, so tasks sharing a key run in submission order
+// (sticky FIFO); unrelated keys spread across workers. Submit blocks while
+// the selected worker's queue is full. Submitting to a closed pool panics
+// (a send on a closed channel), matching the pipeline contract that
+// producers are stopped before their pool.
+func (p *Pool) Submit(key int, fn func()) {
+	if key < 0 {
+		key = -key
+	}
+	p.queues[key%len(p.queues)] <- fn
+}
+
+// Close waits for every queued task to finish and stops the workers. The
+// pool is unusable afterwards.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, ch := range p.queues {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// Group joins a fan-out of tasks submitted to a pool. The zero value is
+// ready to use with its pool set via NewGroup. Go may be called from one
+// goroutine only; Wait blocks until every task submitted through Go has
+// finished.
+type Group struct {
+	pool *Pool
+	wg   sync.WaitGroup
+	next int
+}
+
+// NewGroup returns a Group that fans out over p.
+func (p *Pool) NewGroup() *Group { return &Group{pool: p} }
+
+// Go submits fn to the group's pool on the next worker in round-robin
+// order and tracks it for Wait.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	key := g.next
+	g.next++
+	g.pool.Submit(key, func() {
+		defer g.wg.Done()
+		fn()
+	})
+}
+
+// Wait blocks until all tasks submitted via Go have completed.
+func (g *Group) Wait() { g.wg.Wait() }

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStickyFIFO: tasks sharing a key must execute in submission order even
+// with many workers racing.
+func TestStickyFIFO(t *testing.T) {
+	p := New(4, 8)
+	defer p.Close()
+	const keys, perKey = 8, 200
+	var mu sync.Mutex
+	got := make(map[int][]int)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			k, i := k, i
+			wg.Add(1)
+			p.Submit(k, func() {
+				defer wg.Done()
+				mu.Lock()
+				got[k] = append(got[k], i)
+				mu.Unlock()
+			})
+		}
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if len(got[k]) != perKey {
+			t.Fatalf("key %d: %d tasks ran, want %d", k, len(got[k]), perKey)
+		}
+		for i, v := range got[k] {
+			if v != i {
+				t.Fatalf("key %d: task %d ran at position %d (FIFO violated)", k, v, i)
+			}
+		}
+	}
+}
+
+// TestGroupJoin: Wait must observe every task's effects.
+func TestGroupJoin(t *testing.T) {
+	p := New(0, 0) // defaults
+	defer p.Close()
+	if p.Size() != DefaultWorkers() {
+		t.Fatalf("Size() = %d, want %d", p.Size(), DefaultWorkers())
+	}
+	var sum atomic.Int64
+	g := p.NewGroup()
+	for i := 1; i <= 100; i++ {
+		i := i
+		g.Go(func() { sum.Add(int64(i)) })
+	}
+	g.Wait()
+	if got := sum.Load(); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+	// A group is reusable after Wait.
+	g.Go(func() { sum.Add(1) })
+	g.Wait()
+	if got := sum.Load(); got != 5051 {
+		t.Fatalf("sum after reuse = %d, want 5051", got)
+	}
+}
+
+// TestCloseDrains: Close must run every already-submitted task.
+func TestCloseDrains(t *testing.T) {
+	p := New(2, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(i, func() { ran.Add(1) })
+	}
+	p.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("%d tasks ran before Close returned, want 50", got)
+	}
+	p.Close() // idempotent
+}
+
+// TestNegativeKey: negative keys must map to a valid worker.
+func TestNegativeKey(t *testing.T) {
+	p := New(3, 4)
+	defer p.Close()
+	done := make(chan struct{})
+	p.Submit(-7, func() { close(done) })
+	<-done
+}

@@ -55,8 +55,10 @@ func Phases() []Phase {
 }
 
 // Counter labels one accounted event count (not a duration). Counters feed
-// the coalescing-pipeline ablations: how many fabric writes batching saved,
-// how many bytes shared a write, and how deep the send coalescer got.
+// the coalescing-pipeline and parallel-gather ablations: how many fabric
+// writes batching saved, how deep the send coalescer got, how much work the
+// gather engine fanned out, and how often its scratch pools avoided
+// allocation.
 type Counter int
 
 const (
@@ -67,6 +69,12 @@ const (
 	// QueuePeak is the peak number of records pending in the coalescer.
 	// Merged with Max, not summed.
 	QueuePeak
+	// DecodeTasks is update decodes fanned to the parallel-gather pool.
+	DecodeTasks
+	// ChunksFolded is coordinate chunks folded by chunk-form UDFs.
+	ChunksFolded
+	// ScratchHits is gather decode buffers reused without allocation.
+	ScratchHits
 	numCounters
 )
 
@@ -79,6 +87,12 @@ func (c Counter) String() string {
 		return "bytes_merged"
 	case QueuePeak:
 		return "queue_peak"
+	case DecodeTasks:
+		return "decode_tasks"
+	case ChunksFolded:
+		return "chunks_folded"
+	case ScratchHits:
+		return "scratch_hits"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}
@@ -86,7 +100,7 @@ func (c Counter) String() string {
 
 // Counters lists all counters in display order.
 func Counters() []Counter {
-	return []Counter{WritesSaved, BytesMerged, QueuePeak}
+	return []Counter{WritesSaved, BytesMerged, QueuePeak, DecodeTasks, ChunksFolded, ScratchHits}
 }
 
 // Timer accumulates time per phase and event counts per counter.

@@ -38,17 +38,17 @@ func encodeDense(buf []byte, data []float64) []byte {
 	return out
 }
 
-func (v *Vector) decodeDense(payload []byte) ([]float64, error) {
-	if len(payload) != 8*v.dim {
-		return nil, fmt.Errorf("vol: dense payload %d bytes, want %d", len(payload), 8*v.dim)
+// decodeDenseInto decodes a dense payload into dst, which must be exactly
+// dim long (each update slot owns its storage because the UDF receives all
+// of a gather's updates together).
+func decodeDenseInto(dst []float64, payload []byte) error {
+	if len(payload) != 8*len(dst) {
+		return fmt.Errorf("vol: dense payload %d bytes, want %d", len(payload), 8*len(dst))
 	}
-	// Each update needs its own storage because the UDF receives all of a
-	// gather's updates together.
-	out := make([]float64, v.dim)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 	}
-	return out, nil
+	return nil
 }
 
 func encodeSparse(buf []byte, sv *linalg.SparseVector) ([]byte, error) {
@@ -72,16 +72,33 @@ func encodeSparse(buf []byte, sv *linalg.SparseVector) ([]byte, error) {
 }
 
 func decodeSparse(payload []byte) (*linalg.SparseVector, error) {
+	sv := &linalg.SparseVector{}
+	if err := decodeSparseInto(sv, payload); err != nil {
+		return nil, err
+	}
+	return sv, nil
+}
+
+// decodeSparseInto decodes a sparse payload into sv, reusing its Idx/Val
+// storage when the capacity suffices (the gather engine's scratch slots
+// reach zero-allocation steady state this way).
+func decodeSparseInto(sv *linalg.SparseVector, payload []byte) error {
 	if len(payload) < 4 {
-		return nil, fmt.Errorf("vol: sparse payload too short (%d bytes)", len(payload))
+		return fmt.Errorf("vol: sparse payload too short (%d bytes)", len(payload))
 	}
 	count := int(binary.LittleEndian.Uint32(payload[0:4]))
 	if count < 0 || 4+12*count > len(payload) {
-		return nil, fmt.Errorf("vol: sparse payload count %d exceeds payload of %d bytes", count, len(payload))
+		return fmt.Errorf("vol: sparse payload count %d exceeds payload of %d bytes", count, len(payload))
 	}
-	sv := &linalg.SparseVector{
-		Idx: make([]int32, count),
-		Val: make([]float64, count),
+	if cap(sv.Idx) < count {
+		sv.Idx = make([]int32, count)
+	} else {
+		sv.Idx = sv.Idx[:count]
+	}
+	if cap(sv.Val) < count {
+		sv.Val = make([]float64, count)
+	} else {
+		sv.Val = sv.Val[:count]
 	}
 	off := 4
 	for i := 0; i < count; i++ {
@@ -92,5 +109,5 @@ func decodeSparse(payload []byte) (*linalg.SparseVector, error) {
 		sv.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 		off += 8
 	}
-	return sv, nil
+	return nil
 }

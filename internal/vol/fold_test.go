@@ -1,0 +1,189 @@
+package vol
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// foldScenario scatters deterministic pseudo-random data from every rank
+// and gathers on rank 0 with the given UDF, returning rank 0's folded
+// value. workers == 0 runs the serial engine; otherwise the parallel
+// engine with that pool size.
+func foldScenario(t *testing.T, typ Type, udf UDF, ranks, dim, workers, foldChunk int, seed int64) []float64 {
+	t.Helper()
+	vecs := newVectors(t, ranks, dim, typ, Options{FoldChunk: foldChunk})
+	for _, v := range vecs {
+		defer v.Close()
+	}
+	if workers > 0 {
+		node := vecs[0].Segment().Node()
+		node.EnableParallelGather(workers)
+		defer node.DisableParallelGather()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r, v := range vecs {
+		for i := range v.Data() {
+			x := rng.NormFloat64()
+			if typ == Sparse && rng.Intn(4) != 0 {
+				x = 0 // sparsify: ~25% density
+			}
+			v.Data()[i] = x
+		}
+		if r == 0 {
+			continue // rank 0 only gathers; its local value is the fold base
+		}
+		if _, err := v.Scatter(uint64(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := vecs[0].Gather(udf); err != nil {
+		t.Fatal(err)
+	}
+	return append([]float64(nil), vecs[0].Data()...)
+}
+
+// TestFoldDeterminism is the engine's core property: the parallel fold is
+// bitwise identical to the serial fold for every chunk-form UDF, at any
+// worker count and chunk size, for both wire formats. Chunking the
+// coordinate axis preserves each coordinate's addition order, so not even
+// the last ulp may differ.
+func TestFoldDeterminism(t *testing.T) {
+	const (
+		ranks = 5 // 4 senders + the gathering rank
+		dim   = 501
+	)
+	udfs := []struct {
+		name string
+		udf  UDF
+	}{
+		{"Average", Average},
+		{"AverageIncoming", AverageIncoming},
+		{"Sum", Sum},
+		{"ReplaceCoords", ReplaceCoords},
+		{"Replace", Replace},
+	}
+	for _, typ := range []Type{Dense, Sparse} {
+		for _, u := range udfs {
+			t.Run(fmt.Sprintf("%v/%s", typ, u.name), func(t *testing.T) {
+				seed := int64(7)
+				serial := foldScenario(t, typ, u.udf, ranks, dim, 0, 0, seed)
+				for _, workers := range []int{1, 2, 8} {
+					for _, chunk := range []int{1, 8, 100, dim, 2 * dim} {
+						got := foldScenario(t, typ, u.udf, ranks, dim, workers, chunk, seed)
+						for i := range serial {
+							if math.Float64bits(got[i]) != math.Float64bits(serial[i]) {
+								t.Fatalf("workers=%d chunk=%d: coord %d = %x, serial %x",
+									workers, chunk, i, math.Float64bits(got[i]), math.Float64bits(serial[i]))
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelGatherUnderConcurrentScatter races the parallel gather engine
+// against live scatters from every peer; run with -race this checks the
+// pool fan-out (ring drains, decode scratch, chunk folds) is properly
+// synchronized against seqlock writers. Folded values are garbage mixes of
+// rounds — only memory safety and loss accounting are asserted.
+func TestParallelGatherUnderConcurrentScatter(t *testing.T) {
+	const (
+		ranks = 4
+		dim   = 2048
+	)
+	vecs := newVectors(t, ranks, dim, Dense, Options{QueueLen: 4, FoldChunk: 128})
+	for _, v := range vecs {
+		defer v.Close()
+	}
+	node := vecs[0].Segment().Node()
+	node.EnableParallelGather(4)
+	defer node.DisableParallelGather()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 1; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for iter := uint64(1); ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range vecs[r].Data() {
+					vecs[r].Data()[i] = float64(r)*1e6 + float64(iter)
+				}
+				if _, err := vecs[r].Scatter(iter); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	gathers := 0
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			if _, err := vecs[0].Gather(Average); err != nil {
+				t.Fatal(err)
+			}
+			gathers++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if gathers == 0 {
+		t.Fatal("no gathers completed")
+	}
+}
+
+// TestGatherScratchSteadyState: after the first gather sized the scratch
+// pools, subsequent gathers reuse every decode buffer (ScratchHits grows by
+// exactly the update count) — the allocation-free steady state the engine
+// promises.
+func TestGatherScratchSteadyState(t *testing.T) {
+	for _, typ := range []Type{Dense, Sparse} {
+		t.Run(typ.String(), func(t *testing.T) {
+			const ranks, dim = 3, 256
+			vecs := newVectors(t, ranks, dim, typ, Options{})
+			for _, v := range vecs {
+				defer v.Close()
+			}
+			round := func(iter uint64) {
+				for r := 1; r < ranks; r++ {
+					for i := range vecs[r].Data() {
+						vecs[r].Data()[i] = float64(i%7) * float64(iter)
+					}
+					if _, err := vecs[r].Scatter(iter); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := vecs[0].Gather(Average); err != nil {
+					t.Fatal(err)
+				}
+			}
+			round(1) // sizes the scratch slots
+			before := vecs[0].GatherPerf()
+			const rounds = 10
+			for i := uint64(2); i < 2+rounds; i++ {
+				round(i)
+			}
+			after := vecs[0].GatherPerf()
+			wantHits := uint64(rounds * (ranks - 1))
+			if got := after.ScratchHits - before.ScratchHits; got != wantHits {
+				t.Fatalf("ScratchHits grew by %d over %d rounds, want %d (a miss means a steady-state allocation)",
+					got, rounds, wantHits)
+			}
+		})
+	}
+}

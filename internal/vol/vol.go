@@ -18,6 +18,7 @@ import (
 	"malt/internal/dataflow"
 	"malt/internal/dstorm"
 	"malt/internal/ml/linalg"
+	"malt/internal/par"
 )
 
 // Type selects the wire representation of scattered updates.
@@ -47,6 +48,10 @@ type Options struct {
 	ChunkSize int
 	// MaxNNZ caps the entries of a sparse update; 0 means dim (worst case).
 	MaxNNZ int
+	// FoldChunk is the coordinate-chunk size for parallel folds (see
+	// fold.go); 0 means DefaultFoldChunk. Only consulted when the owning
+	// node's parallel-gather pool is enabled.
+	FoldChunk int
 }
 
 // GatherStats summarizes one gather call.
@@ -89,110 +94,53 @@ type Fold struct {
 
 // UDF folds incoming peer updates into the local vector. Implementations
 // must not retain f.Updates' Data slices — they alias gather buffers.
+//
+// The built-in UDFs (Average, AverageIncoming, Sum, ReplaceCoords, Replace)
+// live in fold.go alongside their chunk forms, which parallel gathers use
+// to fold coordinate ranges concurrently with bitwise-identical results.
 type UDF func(f Fold)
 
-// Average replaces local with the mean of {local} ∪ updates — the paper's
-// default gradient-averaging gather. The summation folds in ascending rank
-// order (treating the local value as rank Self's contribution), so that
-// when every rank sees the same multiset of updates — as in synchronous
-// all-to-all training — every rank computes the bit-identical result
-// regardless of which contribution is its own.
-func Average(f Fold) {
-	if len(f.Updates) == 0 {
-		return
-	}
-	scale := 1.0 / float64(len(f.Updates)+1)
-	acc := make([]float64, len(f.Local))
-	localAdded := false
-	addLocal := func() {
-		for i, v := range f.Local {
-			acc[i] += scale * v
-		}
-		localAdded = true
-	}
-	for _, u := range f.Updates {
-		if !localAdded && f.Self < u.From {
-			addLocal()
-		}
-		linalg.Axpy(scale, u.Data, acc)
-	}
-	if !localAdded {
-		addLocal()
-	}
-	copy(f.Local, acc)
+// GatherPerf counts the parallel gather engine's work since the vector was
+// created. The counters are owned by the vector's goroutine (like the
+// vector itself); read them between gathers.
+type GatherPerf struct {
+	// DecodeTasks is the number of update decodes fanned out to the node's
+	// parallel-gather pool (serial decodes are not counted).
+	DecodeTasks uint64
+	// ChunksFolded is the number of chunk-form UDF invocations; a serial
+	// fold through a chunk form counts one whole-vector chunk.
+	ChunksFolded uint64
+	// ScratchHits is the number of decode scratch buffers reused without
+	// allocation — the steady-state value equals the number of updates
+	// decoded.
+	ScratchHits uint64
 }
 
-// AverageIncoming replaces local with the mean of the incoming updates
-// only, leaving local untouched when nothing arrived. Model-averaging
-// configurations ("modelavg") use it: the local parameters are mixed into
-// the scatter itself, not the fold.
-func AverageIncoming(f Fold) {
-	if len(f.Updates) == 0 {
-		return
-	}
-	linalg.Zero(f.Local)
-	scale := 1.0 / float64(len(f.Updates))
-	for _, u := range f.Updates {
-		linalg.Axpy(scale, u.Data, f.Local)
-	}
-}
-
-// Sum adds every incoming update into local.
-func Sum(f Fold) {
-	for _, u := range f.Updates {
-		linalg.Axpy(1, u.Data, f.Local)
-	}
-}
-
-// ReplaceCoords overwrites, for every incoming sparse update in arrival
-// order, exactly the coordinates the sender shipped, leaving all others
-// untouched. This is the distributed Hogwild gather for models where each
-// update touches a few rows (matrix factorization: the changed rows and
-// columns of the factor matrices). Dense updates fall back to whole-vector
-// replacement.
-func ReplaceCoords(f Fold) {
-	for _, u := range f.Updates {
-		if u.Sparse == nil {
-			copy(f.Local, u.Data)
-			continue
-		}
-		n := int32(len(f.Local))
-		for i, idx := range u.Sparse.Idx {
-			if idx < n {
-				f.Local[idx] = u.Sparse.Val[i]
-			}
-		}
-	}
-}
-
-// Replace overwrites local with the freshest incoming update (highest
-// iteration stamp, ties broken by arrival order) — the distributed Hogwild
-// gather used by the matrix-factorization workload.
-func Replace(f Fold) {
-	if len(f.Updates) == 0 {
-		return
-	}
-	best := 0
-	for i, u := range f.Updates {
-		if u.Iter >= f.Updates[best].Iter {
-			best = i
-		}
-	}
-	copy(f.Local, f.Updates[best].Data)
+// updScratch is one update slot's reusable decode storage.
+type updScratch struct {
+	dense []float64
+	sv    linalg.SparseVector
 }
 
 // Vector is a shared model-parameter or gradient vector.
 type Vector struct {
-	name string
-	typ  Type
-	dim  int
-	rank int
-	seg  *dstorm.Segment
-	data []float64
+	name      string
+	typ       Type
+	dim       int
+	rank      int
+	seg       *dstorm.Segment
+	data      []float64
+	foldChunk int
 
 	encBuf    []byte
 	updateBuf []Update                         // per-gather decoded views
 	accept    func(from int, iter uint64) bool // transient GatherIf filter
+
+	acceptBuf []dstorm.Update // per-gather accept-filtered raw updates
+	scratch   []updScratch    // per-slot decode buffers, reused across gathers
+	errBuf    []error         // per-slot decode outcomes
+	foldBuf   []float64       // dim-length fold accumulator, split per chunk
+	perf      GatherPerf
 }
 
 // Create collectively creates a Vector named name over the node's cluster.
@@ -225,13 +173,14 @@ func Create(node *dstorm.Node, name string, typ Type, dim int, graph *dataflow.G
 		return nil, err
 	}
 	return &Vector{
-		name:   name,
-		typ:    typ,
-		dim:    dim,
-		rank:   node.Rank(),
-		seg:    seg,
-		data:   make([]float64, dim),
-		encBuf: make([]byte, objSize),
+		name:      name,
+		typ:       typ,
+		dim:       dim,
+		rank:      node.Rank(),
+		seg:       seg,
+		data:      make([]float64, dim),
+		foldChunk: opts.FoldChunk,
+		encBuf:    make([]byte, objSize),
 	}, nil
 }
 
@@ -327,6 +276,15 @@ func (v *Vector) GatherWeak(udf UDF) (GatherStats, error) {
 	return v.gather(udf, dstorm.GatherAllNew, true)
 }
 
+// gather is the receive half of the parallel gather engine. It runs in
+// three stages: (1) accept-filter the raw updates serially (the GatherIf
+// callback is caller-owned state) and assign each survivor a reusable
+// decode-scratch slot; (2) decode — fanned across the node's gather pool
+// when one is enabled, serial otherwise; (3) assemble the decoded views in
+// arrival order and fold them, chunked across the coordinate axis when the
+// UDF has a registered chunk form. Stage ordering keeps the observable
+// behaviour (update order, error choice, stats) identical to the serial
+// path at any worker count.
 func (v *Vector) gather(udf UDF, mode dstorm.GatherMode, weak bool) (GatherStats, error) {
 	var (
 		ups []dstorm.Update
@@ -342,46 +300,64 @@ func (v *Vector) gather(udf UDF, mode dstorm.GatherMode, weak bool) (GatherStats
 	}
 	stats := GatherStats{}
 	v.updateBuf = v.updateBuf[:0]
-	switch v.typ {
-	case Dense:
-		for _, u := range ups {
-			if v.accept != nil && !v.accept(u.From, u.Iter) {
-				continue
-			}
-			dec, derr := v.decodeDense(u.Data)
-			if derr != nil {
-				if weak && u.Torn {
-					stats.Torn++
-					continue // torn payloads may be undecodable; drop
-				}
-				return stats, derr
-			}
-			v.noteUpdate(&stats, u)
-			v.updateBuf = append(v.updateBuf, Update{From: u.From, Iter: u.Iter, Data: dec})
+
+	// Stage 1: accept filter + scratch slot assignment.
+	acc := v.acceptBuf[:0]
+	for _, u := range ups {
+		if v.accept != nil && !v.accept(u.From, u.Iter) {
+			continue
 		}
-	case Sparse:
-		// Sparse updates are densified so every UDF sees a uniform dense
-		// view.
-		for _, u := range ups {
-			if v.accept != nil && !v.accept(u.From, u.Iter) {
-				continue
-			}
-			sv, derr := decodeSparse(u.Data)
-			if derr != nil {
-				if weak && u.Torn {
-					stats.Torn++
-					continue
-				}
-				return stats, derr
-			}
-			v.noteUpdate(&stats, u)
-			dense := make([]float64, v.dim)
-			sv.AxpyDense(1, dense)
-			v.updateBuf = append(v.updateBuf, Update{From: u.From, Iter: u.Iter, Data: dense, Sparse: sv})
+		acc = append(acc, u)
+	}
+	v.acceptBuf = acc
+	for len(v.scratch) < len(acc) {
+		v.scratch = append(v.scratch, updScratch{})
+	}
+	for len(v.errBuf) < len(acc) {
+		v.errBuf = append(v.errBuf, nil)
+	}
+	for i := range acc {
+		if len(v.scratch[i].dense) == v.dim {
+			v.perf.ScratchHits++
+		} else {
+			v.scratch[i].dense = make([]float64, v.dim)
 		}
 	}
+
+	// Stage 2: decode. Slots are disjoint, so decodes are independent.
+	pool := v.seg.Node().GatherPool()
+	if pool != nil && len(acc) > 1 {
+		g := pool.NewGroup()
+		for i := range acc {
+			i := i
+			g.Go(func() { v.errBuf[i] = v.decodeInto(&v.scratch[i], acc[i].Data) })
+			v.perf.DecodeTasks++
+		}
+		g.Wait()
+	} else {
+		for i := range acc {
+			v.errBuf[i] = v.decodeInto(&v.scratch[i], acc[i].Data)
+		}
+	}
+
+	// Stage 3: assemble in arrival order, then fold.
+	for i, u := range acc {
+		if derr := v.errBuf[i]; derr != nil {
+			if weak && u.Torn {
+				stats.Torn++
+				continue // torn payloads may be undecodable; drop
+			}
+			return stats, derr
+		}
+		v.noteUpdate(&stats, u)
+		upd := Update{From: u.From, Iter: u.Iter, Data: v.scratch[i].dense}
+		if v.typ == Sparse {
+			upd.Sparse = &v.scratch[i].sv
+		}
+		v.updateBuf = append(v.updateBuf, upd)
+	}
 	if udf != nil {
-		udf(Fold{Self: v.rank, Local: v.data, Updates: v.updateBuf})
+		v.fold(udf, pool)
 	}
 	if weak {
 		for _, u := range ups {
@@ -392,6 +368,60 @@ func (v *Vector) gather(udf UDF, mode dstorm.GatherMode, weak bool) (GatherStats
 	}
 	return stats, nil
 }
+
+// decodeInto decodes one raw payload into an update slot's scratch. Sparse
+// updates are densified so every UDF sees a uniform dense view.
+func (v *Vector) decodeInto(s *updScratch, payload []byte) error {
+	switch v.typ {
+	case Sparse:
+		if err := decodeSparseInto(&s.sv, payload); err != nil {
+			return err
+		}
+		linalg.Zero(s.dense)
+		s.sv.AxpyDense(1, s.dense)
+		return nil
+	default:
+		return decodeDenseInto(s.dense, payload)
+	}
+}
+
+// fold applies the UDF, chunked across the coordinate axis when a chunk
+// form is registered and a pool is available. Chunk boundaries never split
+// a coordinate, so per-coordinate fold order — and therefore the float
+// result — is bitwise identical to the serial fold.
+func (v *Vector) fold(udf UDF, pool *par.Pool) {
+	chunkFn := chunkFormOf(udf)
+	if chunkFn == nil {
+		udf(Fold{Self: v.rank, Local: v.data, Updates: v.updateBuf})
+		return
+	}
+	if v.foldBuf == nil {
+		v.foldBuf = make([]float64, v.dim)
+	}
+	cs := v.foldChunk
+	if cs <= 0 {
+		cs = DefaultFoldChunk
+	}
+	if pool == nil || v.dim <= cs {
+		chunkFn(Chunk{Self: v.rank, Lo: 0, Hi: v.dim, Local: v.data, Updates: v.updateBuf, Acc: v.foldBuf})
+		v.perf.ChunksFolded++
+		return
+	}
+	g := pool.NewGroup()
+	for lo := 0; lo < v.dim; lo += cs {
+		hi := lo + cs
+		if hi > v.dim {
+			hi = v.dim
+		}
+		c := Chunk{Self: v.rank, Lo: lo, Hi: hi, Local: v.data, Updates: v.updateBuf, Acc: v.foldBuf[lo:hi]}
+		g.Go(func() { chunkFn(c) })
+		v.perf.ChunksFolded++
+	}
+	g.Wait()
+}
+
+// GatherPerf returns the engine's cumulative work counters.
+func (v *Vector) GatherPerf() GatherPerf { return v.perf }
 
 func (v *Vector) noteUpdate(stats *GatherStats, u dstorm.Update) {
 	if stats.Updates == 0 || u.Iter < stats.MinIter {

@@ -248,9 +248,8 @@ func TestDenseCodecRoundTrip(t *testing.T) {
 		}
 		buf := make([]byte, 8*dim)
 		enc := encodeDense(buf, data)
-		v := &Vector{dim: dim}
-		dec, err := v.decodeDense(enc)
-		if err != nil {
+		dec := make([]float64, dim)
+		if err := decodeDenseInto(dec, enc); err != nil {
 			return false
 		}
 		for i := range data {
