@@ -505,9 +505,9 @@ func BenchmarkPerSenderQueuesVsLockedInbox(b *testing.B) {
 func BenchmarkTransports(b *testing.B) {
 	const dim = 47152
 	payload := make([]byte, 8*dim)
-	for _, tr := range []fabric.Transport{fabric.InProc, fabric.TCP} {
+	for _, tr := range []fabric.Delivery{fabric.InProc, fabric.TCP} {
 		b.Run(tr.String(), func(b *testing.B) {
-			f, err := fabric.New(fabric.Config{Ranks: 2, Transport: tr})
+			f, err := fabric.New(fabric.Config{Ranks: 2, Delivery: tr})
 			if err != nil {
 				b.Fatal(err)
 			}

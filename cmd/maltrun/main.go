@@ -50,8 +50,19 @@ func main() {
 		batchWait = flag.Duration("batchDelay", 0, "flush a destination's batch after this long (0 = default)")
 		gatherW   = flag.Int("gatherWorkers", 0, "parallel gather engine workers (0 = serial, -1 = default pool size; svm only)")
 		foldChunk = flag.Int("foldChunk", 0, "coordinate-chunk size for parallel folds (0 = default)")
+		transport = flag.String("transport", "inproc", "interconnect: inproc (simulated fabric) or tcp (one process per rank over real sockets; svm only)")
+		listen    = flag.String("listen", "", "this rank's host:port (tcp transport)")
+		peersStr  = flag.String("peers", "", "comma-separated host:port list for every rank; this rank = position of -listen in the list (tcp transport)")
 	)
 	flag.Parse()
+
+	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tspec.tcp() && *app != "svm" {
+		log.Fatalf("maltrun: -transport=tcp supports only -app=svm (got %q)", *app)
+	}
 
 	switch *app {
 	case "svm":
@@ -97,6 +108,12 @@ func main() {
 		log.Fatalf("unknown -mode %q", *modeStr)
 	}
 
+	if tspec.tcp() {
+		// The peer list is the cluster: every process must derive the same
+		// shape, so -ranks is ignored in favor of len(-peers).
+		*ranks = len(tspec.peers)
+	}
+
 	fmt.Printf("workload %s: %d train / %d test examples, %d features\n",
 		ds.Name, len(ds.Train), len(ds.Test), ds.Dim)
 	fmt.Printf("cluster: %d ranks, %v dataflow, %v, %s, cb=%d\n", *ranks, flow, sync, mode, *cb)
@@ -128,7 +145,7 @@ func main() {
 		fmt.Printf("parallel gather: workers=%d foldChunk=%d (0 = default)\n", *gatherW, *foldChunk)
 	}
 
-	res, err := bench.RunSVM(bench.SVMOpts{
+	opts := bench.SVMOpts{
 		DS: ds, Ranks: *ranks, CB: *cb,
 		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
 		Mode: mode, Epochs: *epochs, Goal: *goal,
@@ -138,9 +155,29 @@ func main() {
 		Pipeline:      pipe,
 		GatherWorkers: *gatherW,
 		FoldChunk:     *foldChunk,
-	})
+	}
+	if tspec.tcp() {
+		tnet, err := dialTCP(tspec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tnet.Close()
+		opts.Transport = tnet
+		opts.LocalRank = tspec.rank
+	}
+	res, err := bench.RunSVM(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if tspec.tcp() && tspec.rank != 0 {
+		// Only rank 0's process samples the curve and owns the final
+		// model; the other processes report their local phase breakdown
+		// and traffic and exit.
+		fmt.Printf("\nrank %d finished in %v\n", tspec.rank, res.Elapsed.Round(1e6))
+		printTimers(res, 1)
+		printNetwork(res)
+		return
 	}
 
 	tr, _ := svm.New(svm.Config{Dim: ds.Dim, Lambda: *lambda})
@@ -154,18 +191,8 @@ func main() {
 		}
 	}
 
-	agg := &trace.Timer{}
-	for _, tm := range res.Timers {
-		agg.Merge(tm)
-	}
-	n := float64(*ranks)
-	fmt.Printf("\nper-rank phase breakdown (mean):\n")
-	for _, p := range trace.Phases() {
-		fmt.Printf("  %-8s %10.3fs\n", p, agg.Get(p).Seconds()/n)
-	}
-	fmt.Printf("\nnetwork: %.1f MB total, %d messages, modeled wire time %v\n",
-		float64(res.Stats.TotalBytes())/(1<<20), res.Stats.TotalMessages(),
-		res.Stats.ModeledNetworkTime().Round(1e6))
+	agg := printTimers(res, *ranks)
+	printNetwork(res)
 	if pipe != nil {
 		fmt.Printf("coalescing: %d fabric writes saved, %.1f MB merged, peak send queue %d\n",
 			agg.Count(trace.WritesSaved), float64(agg.Count(trace.BytesMerged))/(1<<20),
@@ -195,6 +222,29 @@ func main() {
 				r, m.Survivors(), st.Reports, st.HealthChecks, st.Refuted, st.Confirmed)
 		}
 	}
+}
+
+// printTimers prints the mean per-rank phase breakdown over the n ranks
+// that ran in this process (remote ranks have no timer here) and returns
+// the aggregate for follow-up reporting.
+func printTimers(res *bench.RunStats, n int) *trace.Timer {
+	agg := &trace.Timer{}
+	for _, tm := range res.Timers {
+		if tm != nil {
+			agg.Merge(tm)
+		}
+	}
+	fmt.Printf("\nper-rank phase breakdown (mean):\n")
+	for _, p := range trace.Phases() {
+		fmt.Printf("  %-8s %10.3fs\n", p, agg.Get(p).Seconds()/float64(n))
+	}
+	return agg
+}
+
+func printNetwork(res *bench.RunStats) {
+	fmt.Printf("\nnetwork: %.1f MB total, %d messages, modeled wire time %v\n",
+		float64(res.Stats.TotalBytes())/(1<<20), res.Stats.TotalMessages(),
+		res.Stats.ModeledNetworkTime().Round(1e6))
 }
 
 func loadDataset(file, workload string, scale int) (*data.Dataset, error) {

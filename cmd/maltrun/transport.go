@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"malt/internal/fabric/tcpnet"
+)
+
+// transportSpec is the validated result of the -transport/-listen/-peers
+// flag triple.
+type transportSpec struct {
+	kind   string // "inproc" or "tcp"
+	listen string
+	peers  []string
+	rank   int // index of listen in peers (tcp only)
+}
+
+func (s *transportSpec) tcp() bool { return s.kind == "tcp" }
+
+// validateTransportFlags checks the transport flag triple before anything
+// binds a socket or loads a dataset, so a mis-assembled cluster fails fast
+// with an actionable message on every rank.
+func validateTransportFlags(kind, listen, peers, chaosSpec string) (*transportSpec, error) {
+	switch kind {
+	case "inproc":
+		if listen != "" || peers != "" {
+			return nil, fmt.Errorf("maltrun: -listen and -peers are only meaningful with -transport=tcp (got -transport=inproc)")
+		}
+		return &transportSpec{kind: kind}, nil
+	case "tcp":
+	default:
+		return nil, fmt.Errorf("maltrun: unknown -transport %q (want inproc or tcp)", kind)
+	}
+	if listen == "" {
+		return nil, fmt.Errorf("maltrun: -transport=tcp requires -listen (this process's host:port, e.g. -listen=127.0.0.1:7001)")
+	}
+	if peers == "" {
+		return nil, fmt.Errorf("maltrun: -transport=tcp requires -peers (comma-separated host:port list covering every rank, including this one)")
+	}
+	if chaosSpec != "" {
+		return nil, fmt.Errorf("maltrun: -chaos requires the simulated fabric and cannot be combined with -transport=tcp; run the chaos scenario with -transport=inproc")
+	}
+	list := strings.Split(peers, ",")
+	spec := &transportSpec{kind: kind, listen: listen, rank: -1}
+	seen := make(map[string]int, len(list))
+	for i, addr := range list {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("maltrun: -peers entry %d is empty", i)
+		}
+		if prev, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("maltrun: duplicate -peers address %q (positions %d and %d); every rank needs its own listen address", addr, prev, i)
+		}
+		seen[addr] = i
+		spec.peers = append(spec.peers, addr)
+		if addr == listen {
+			spec.rank = i
+		}
+	}
+	if spec.rank < 0 {
+		return nil, fmt.Errorf("maltrun: -listen %q does not appear in -peers %q; the rank is its position in the peer list", listen, peers)
+	}
+	return spec, nil
+}
+
+// dialTCP binds this rank's listener and blocks in the rank-0 rendezvous
+// until the whole peer list has assembled.
+func dialTCP(spec *transportSpec) (*tcpnet.Net, error) {
+	n, err := tcpnet.New(tcpnet.Config{Rank: spec.rank, Peers: spec.peers})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("tcp transport: rank %d of %d listening on %s; waiting for rendezvous at %s\n",
+		spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
+	if err := n.Rendezvous(); err != nil {
+		n.Close()
+		return nil, err
+	}
+	fmt.Printf("tcp transport: cluster assembled (generation %d)\n", n.Generation())
+	return n, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTransportFlags(t *testing.T) {
+	peers := "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003"
+	cases := []struct {
+		name    string
+		kind    string
+		listen  string
+		peers   string
+		chaos   string
+		wantErr string // substring of the error, empty = success
+		rank    int
+	}{
+		{name: "inproc default", kind: "inproc"},
+		{name: "inproc with listen", kind: "inproc", listen: "127.0.0.1:7001",
+			wantErr: "only meaningful with -transport=tcp"},
+		{name: "inproc with peers", kind: "inproc", peers: peers,
+			wantErr: "only meaningful with -transport=tcp"},
+		{name: "unknown transport", kind: "rdma",
+			wantErr: "unknown -transport"},
+		{name: "tcp without listen", kind: "tcp", peers: peers,
+			wantErr: "-transport=tcp requires -listen"},
+		{name: "tcp without peers", kind: "tcp", listen: "127.0.0.1:7001",
+			wantErr: "-transport=tcp requires -peers"},
+		{name: "tcp with chaos", kind: "tcp", listen: "127.0.0.1:7001", peers: peers,
+			chaos:   "flaky=0.05",
+			wantErr: "-chaos requires the simulated fabric"},
+		{name: "duplicate peers", kind: "tcp", listen: "127.0.0.1:7001",
+			peers:   "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7001",
+			wantErr: "duplicate -peers address"},
+		{name: "empty peer entry", kind: "tcp", listen: "127.0.0.1:7001",
+			peers:   "127.0.0.1:7001,,127.0.0.1:7003",
+			wantErr: "entry 1 is empty"},
+		{name: "listen not in peers", kind: "tcp", listen: "127.0.0.1:9999", peers: peers,
+			wantErr: "does not appear in -peers"},
+		{name: "rank 0", kind: "tcp", listen: "127.0.0.1:7001", peers: peers, rank: 0},
+		{name: "rank 2", kind: "tcp", listen: "127.0.0.1:7003", peers: peers, rank: 2},
+		{name: "peers with spaces", kind: "tcp", listen: "127.0.0.1:7002",
+			peers: "127.0.0.1:7001, 127.0.0.1:7002, 127.0.0.1:7003", rank: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := validateTransportFlags(tc.kind, tc.listen, tc.peers, tc.chaos)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got nil", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if spec.kind != tc.kind {
+				t.Fatalf("kind = %q, want %q", spec.kind, tc.kind)
+			}
+			if tc.kind == "tcp" && spec.rank != tc.rank {
+				t.Fatalf("rank = %d, want %d", spec.rank, tc.rank)
+			}
+		})
+	}
+}

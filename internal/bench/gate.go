@@ -75,10 +75,16 @@ const (
 	// Correctness metrics fail on ANY increase over the baseline, with no
 	// tolerance: a lost update or an exhausted retry is a bug, not noise.
 	Correctness
+	// Exact metrics are deterministic invariants of a fixed algorithm
+	// (message counts of an 8-rank all-reduce, say): the gate fails on ANY
+	// deviation from the baseline, in either direction. A drop is as
+	// suspicious as a rise — it means the algorithm changed.
+	Exact
 )
 
 // Classify derives a metric's gate class from its name:
 //
+//   - *_exact                                       → Exact
 //   - lost_*, torn_*, dup_*, *exhausted*, *failed*  → Correctness
 //   - *speedup*, *_frac*                            → HigherBetter
 //   - *model_ns*, *_ratio                           → LowerBetter
@@ -88,6 +94,8 @@ const (
 // metrics stay informational so the gate never flakes on a noisy runner.
 func Classify(name string) MetricClass {
 	switch {
+	case strings.HasSuffix(name, "_exact"):
+		return Exact
 	case strings.HasPrefix(name, "lost_"),
 		strings.HasPrefix(name, "torn_"),
 		strings.HasPrefix(name, "dup_"),
@@ -107,8 +115,8 @@ func Classify(name string) MetricClass {
 
 // Compare checks a current run against a baseline and returns the list of
 // violations (empty = gate passes). tol is the fractional tolerance for
-// latency/speedup metrics (0.15 = 15%); correctness metrics tolerate
-// nothing. Experiments or metrics present in the baseline but missing from
+// latency/speedup metrics (0.15 = 15%); correctness and exact metrics
+// tolerate nothing. Experiments or metrics present in the baseline but missing from
 // the current run are violations — a silently dropped metric must not pass
 // the gate. New metrics absent from the baseline are ignored (they gate
 // once the baseline is regenerated).
@@ -139,6 +147,11 @@ func Compare(baseline, current BenchJSON, tol float64) []string {
 				continue
 			}
 			switch Classify(name) {
+			case Exact:
+				if cv != bv {
+					violations = append(violations,
+						fmt.Sprintf("%s/%s: deterministic metric changed %g -> %g (must match the baseline exactly)", id, name, bv, cv))
+				}
 			case Correctness:
 				if cv > bv {
 					violations = append(violations,

@@ -9,19 +9,21 @@ import (
 
 func TestClassify(t *testing.T) {
 	cases := map[string]MetricClass{
-		"lost_updates_1KiB":         Correctness,
-		"torn_reads":                Correctness,
-		"dup_deliveries":            Correctness,
-		"exhausted_writes":          Correctness,
-		"failed_writes":             Correctness,
-		"model_speedup_1KiB":        HigherBetter,
-		"speedup_time":              HigherBetter,
-		"writes_saved_frac_4KiB":    HigherBetter,
-		"model_ns_update_sync_1KiB": LowerBetter,
-		"stall_ratio":               LowerBetter,
-		"wall_ns_op_batched_1KiB":   Informational,
-		"bytes_merged":              Informational,
-		"final_auc":                 Informational,
+		"lost_updates_1KiB":           Correctness,
+		"torn_reads":                  Correctness,
+		"dup_deliveries":              Correctness,
+		"exhausted_writes":            Correctness,
+		"failed_writes":               Correctness,
+		"model_speedup_1KiB":          HigherBetter,
+		"speedup_time":                HigherBetter,
+		"writes_saved_frac_4KiB":      HigherBetter,
+		"model_ns_update_sync_1KiB":   LowerBetter,
+		"stall_ratio":                 LowerBetter,
+		"wall_ns_op_batched_1KiB":     Informational,
+		"bytes_merged":                Informational,
+		"final_auc":                   Informational,
+		"msgs_per_reduce_naive_exact": Exact,
+		"rounds_exact":                Exact,
 	}
 	for name, want := range cases {
 		if got := Classify(name); got != want {
@@ -44,6 +46,21 @@ func TestCompareCorrectnessZeroTolerance(t *testing.T) {
 	v := Compare(base, gateJSON(map[string]float64{"lost_updates_1KiB": 1}), 0.15)
 	if len(v) != 1 || !strings.Contains(v[0], "lost_updates_1KiB") {
 		t.Fatalf("correctness regression not flagged: %v", v)
+	}
+}
+
+func TestCompareExactNoTolerance(t *testing.T) {
+	base := gateJSON(map[string]float64{"msgs_per_reduce_tree_exact": 14})
+	if v := Compare(base, gateJSON(map[string]float64{"msgs_per_reduce_tree_exact": 14}), 0.15); len(v) != 0 {
+		t.Fatalf("identical exact metric should pass: %v", v)
+	}
+	// Both directions fail: fewer messages means the algorithm changed
+	// just as surely as more.
+	for _, bad := range []float64{13, 15} {
+		v := Compare(base, gateJSON(map[string]float64{"msgs_per_reduce_tree_exact": bad}), 0.15)
+		if len(v) != 1 || !strings.Contains(v[0], "deterministic metric changed") {
+			t.Fatalf("exact metric %v should fail the gate: %v", bad, v)
+		}
 	}
 }
 

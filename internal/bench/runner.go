@@ -68,6 +68,16 @@ type SVMOpts struct {
 	Sparse   bool
 	QueueLen int
 	Fabric   fabric.Config
+	// Transport, when non-nil, replaces the simulated fabric with an
+	// external interconnect (e.g. tcpnet over real sockets). The run then
+	// executes only LocalRank's replica in this process; the other ranks
+	// run their own RunSVM in their own processes against the same peer
+	// list, and the returned RunStats covers the local rank only (curve
+	// and final model are populated only where rank 0 lives). Chaos
+	// requires the simulated fabric and is rejected.
+	Transport fabric.Transport
+	// LocalRank is this process's rank when Transport is set.
+	LocalRank int
 	// KillRank/KillAtIter inject a crash: the given rank dies when it
 	// reaches the given batch count (0 disables).
 	KillRank   int
@@ -202,6 +212,9 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		return nil, err
 	}
 	if opts.Chaos != nil {
+		if opts.Transport != nil {
+			return nil, fmt.Errorf("bench: chaos injection requires the simulated fabric; it is not supported on an external transport")
+		}
 		// Catch scripts that are incoherent for this cluster size before any
 		// goroutine starts: a bad rank id or a blackout of an already-killed
 		// rank should fail the run loudly, not surface as a mid-run fabric
@@ -212,6 +225,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 	}
 	cluster, err := core.NewCluster(core.Config{
 		Ranks:          opts.Ranks,
+		Transport:      opts.Transport,
 		Dataflow:       opts.Dataflow,
 		Graph:          opts.Graph,
 		Sync:           opts.Sync,
@@ -247,7 +261,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		finalWTail []float64
 	)
 	udf := vol.Average
-	res := cluster.Run(func(ctx *core.Context) error {
+	replica := func(ctx *core.Context) error {
 		v, err := ctx.CreateVectorOpts("svm", vtype, opts.SVM.Dim, vol.Options{QueueLen: opts.QueueLen})
 		if err != nil {
 			return err
@@ -267,7 +281,10 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		if err := ctx.Barrier(v); err != nil {
 			return err
 		}
-		if ctx.Rank() == 0 {
+		// Rank 0 anchors the convergence-curve clock; under an external
+		// transport each process hosts one rank, so that rank stamps the
+		// training region or Elapsed would read zero off-rank-0.
+		if ctx.Rank() == 0 || opts.Transport != nil {
 			mu.Lock()
 			start = time.Now()
 			mu.Unlock()
@@ -293,7 +310,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 				batch := shard[at : at+opts.CB]
 				iter++
 				if opts.KillAtIter > 0 && ctx.Rank() == opts.KillRank && iter == opts.KillAtIter {
-					if err := cluster.Fabric().Kill(ctx.Rank()); err != nil {
+					if err := cluster.Transport().Kill(ctx.Rank()); err != nil {
 						return err
 					}
 					return fmt.Errorf("bench: injected crash on rank %d at iter %d", ctx.Rank(), iter)
@@ -301,7 +318,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 				// A chaos script may have killed this rank out of band: a
 				// dead replica must stop computing (its error is filtered by
 				// LiveErrors below) instead of striking its live peers.
-				if !cluster.Fabric().Alive(ctx.Rank()) {
+				if !cluster.Transport().Alive(ctx.Rank()) {
 					return fmt.Errorf("bench: rank %d killed externally at iter %d", ctx.Rank(), iter)
 				}
 				ctx.SetIteration(iter)
@@ -411,11 +428,22 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 			mu.Unlock()
 		}
 		return nil
-	})
+	}
+	var res *core.Result
+	if opts.Transport != nil {
+		// Multi-process: this process hosts exactly one replica; its peers
+		// run in their own processes over the shared transport.
+		res, err = cluster.RunLocal(opts.LocalRank, replica)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res = cluster.Run(replica)
+	}
 	if chaosRunner != nil {
 		chaosRunner.Stop()
 	}
-	if errs := res.LiveErrors(cluster.Fabric().Alive); len(errs) > 0 {
+	if errs := res.LiveErrors(cluster.Transport().Alive); len(errs) > 0 {
 		return nil, errs[0]
 	}
 
@@ -424,7 +452,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		FinalW:     finalW,
 		FinalWTail: finalWTail,
 		Timers:     make([]*trace.Timer, opts.Ranks),
-		Stats:      cluster.Fabric().Stats(),
+		Stats:      cluster.Transport().Stats(),
 		Cluster:    cluster,
 	}
 	for r := 0; r < opts.Ranks; r++ {
@@ -442,8 +470,8 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		out.Elapsed = time.Since(start)
 	}
 	mu.Unlock()
-	for r := range out.Timers {
-		out.Timers[r] = res.PerRank[r].Timer
+	for _, rr := range res.PerRank {
+		out.Timers[rr.Rank] = rr.Timer
 	}
 	if len(curve.Points) > 0 {
 		out.Batches = uint64(curve.Points[len(curve.Points)-1].Iter) / uint64(opts.CB)

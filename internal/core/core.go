@@ -59,7 +59,15 @@ type Config struct {
 	// created via Context inherit it; 0 = vol.DefaultFoldChunk).
 	FoldChunk int
 	// Fabric tunes the simulated interconnect (zero value = defaults).
+	// Ignored when Transport is set.
 	Fabric fabric.Config
+	// Transport, when non-nil, replaces the simulated fabric with an
+	// externally built backend (e.g. fabric/tcpnet for real TCP sockets).
+	// Its Ranks() must match Config.Ranks. With a transport whose ranks
+	// live in other OS processes, use RunLocal instead of Run: this process
+	// drives only its own rank. Chaos injection requires the simulated
+	// fabric and is rejected when Transport is set.
+	Transport fabric.Transport
 	// Retry bounds per-write retrying of transient fabric faults (zero
 	// value = dstorm defaults: 4 attempts, exponential backoff).
 	Retry dstorm.RetryPolicy
@@ -76,11 +84,14 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Cluster is an in-process MALT cluster: Ranks replicas sharing one
-// simulated RDMA fabric.
+// Cluster is a MALT cluster: Ranks replicas sharing one transport. With
+// the default simulated fabric all replicas run in this process; with an
+// external Transport (fabric/tcpnet) this process may host just one rank
+// of a multi-process cluster.
 type Cluster struct {
 	cfg    Config
-	fab    *fabric.Fabric
+	fab    fabric.Transport
+	sim    *fabric.Fabric // non-nil only for the default simulated fabric
 	dsc    *dstorm.Cluster
 	faults *fault.Group
 	graph  *dataflow.Graph
@@ -88,15 +99,29 @@ type Cluster struct {
 	contexts []*Context
 }
 
-// NewCluster builds the cluster, its fabric, and its dataflow graph.
+// NewCluster builds the cluster, its transport (the simulated fabric
+// unless cfg.Transport overrides it), and its dataflow graph.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	fab, err := fabric.New(cfg.Fabric)
-	if err != nil {
-		return nil, err
+	var fab fabric.Transport
+	var sim *fabric.Fabric
+	if cfg.Transport != nil {
+		if cfg.Transport.Ranks() != cfg.Ranks {
+			return nil, fmt.Errorf("core: transport has %d ranks, config says %d", cfg.Transport.Ranks(), cfg.Ranks)
+		}
+		if cfg.Fabric.Chaos != nil {
+			return nil, errors.New("core: chaos injection requires the simulated fabric; it is not supported on an external transport")
+		}
+		fab = cfg.Transport
+	} else {
+		sim, err = fabric.New(cfg.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		fab = sim
 	}
 	graph := cfg.Graph
 	if graph == nil {
@@ -110,6 +135,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:    cfg,
 		fab:    fab,
+		sim:    sim,
 		dsc:    dstorm.NewCluster(fab),
 		faults: fault.NewGroupWith(fab, cfg.Suspicion),
 		graph:  graph,
@@ -126,7 +152,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Fabric exposes the simulated interconnect (stats, failure injection).
-func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+// It is nil when the cluster runs on an external Transport; use
+// Transport() for the backend-agnostic surface.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.sim }
+
+// Transport exposes the interconnect the cluster actually runs on — the
+// simulated fabric by default, or the external backend from
+// Config.Transport.
+func (c *Cluster) Transport() fabric.Transport { return c.fab }
+
+// Close releases transport resources (sockets, goroutines). It does not
+// close an external Transport supplied via Config.Transport — that is
+// owned by the caller who built it.
+func (c *Cluster) Close() error {
+	if c.sim != nil {
+		return c.sim.Close()
+	}
+	return nil
+}
 
 // Graph returns the cluster's dataflow graph.
 func (c *Cluster) Graph() *dataflow.Graph { return c.graph }
@@ -189,51 +232,71 @@ func (c *Cluster) Run(fn func(ctx *Context) error) *Result {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ctx := c.contexts[r]
-			if c.cfg.AsyncSend > 0 {
-				ctx.node.EnableAsyncSend(c.cfg.AsyncSend)
-				defer ctx.node.DisableAsyncSend()
-			}
-			if c.cfg.Pipeline != nil {
-				ctx.node.EnablePipeline(*c.cfg.Pipeline)
-			}
-			if c.cfg.GatherWorkers != 0 {
-				ctx.node.EnableParallelGather(c.cfg.GatherWorkers)
-			}
-			err := ctx.monitor.Guard(func() error { return fn(ctx) })
-			if c.cfg.GatherWorkers != 0 {
-				ctx.node.DisableParallelGather()
-			}
-			// Record the gather engine's work counters for Fig 8-style
-			// breakdowns regardless of whether the pool was enabled (serial
-			// chunk folds and scratch hits count too).
-			ctx.mu.Lock()
-			vecs := append([]*vol.Vector(nil), ctx.vectors...)
-			ctx.mu.Unlock()
-			for _, v := range vecs {
-				gp := v.GatherPerf()
-				ctx.timer.AddCount(trace.DecodeTasks, gp.DecodeTasks)
-				ctx.timer.AddCount(trace.ChunksFolded, gp.ChunksFolded)
-				ctx.timer.AddCount(trace.ScratchHits, gp.ScratchHits)
-			}
-			if c.cfg.Pipeline != nil {
-				// Drain before snapshotting so the counters reflect only
-				// completed batches, then record them for Fig 8-style
-				// breakdowns and shut the worker pool down.
-				_ = ctx.node.Drain()
-				ps := ctx.node.PipelineStats()
-				ctx.timer.AddCount(trace.WritesSaved, ps.WritesSaved)
-				ctx.timer.AddCount(trace.BytesMerged, ps.BytesMerged)
-				ctx.timer.MaxCount(trace.QueuePeak, ps.QueuePeak)
-				ctx.node.DisablePipeline()
-				ctx.reportFailures(nil)
-			}
-			res.PerRank[r] = RankResult{Rank: r, Err: err, Timer: ctx.timer}
+			res.PerRank[r] = c.runRank(r, fn)
 		}(r)
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// RunLocal executes fn for a single rank of the cluster and waits for it —
+// the entry point for multi-process transports, where each OS process
+// hosts exactly one rank and the others are reached over the network. The
+// Result has one entry (for rank); panics are trapped exactly as in Run.
+func (c *Cluster) RunLocal(rank int, fn func(ctx *Context) error) (*Result, error) {
+	if rank < 0 || rank >= c.cfg.Ranks {
+		return nil, fmt.Errorf("core: local rank %d out of range [0,%d)", rank, c.cfg.Ranks)
+	}
+	start := time.Now()
+	res := &Result{PerRank: []RankResult{c.runRank(rank, fn)}}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runRank drives one replica: engine setup, the guarded training function,
+// and the trace-counter harvest.
+func (c *Cluster) runRank(r int, fn func(ctx *Context) error) RankResult {
+	ctx := c.contexts[r]
+	if c.cfg.AsyncSend > 0 {
+		ctx.node.EnableAsyncSend(c.cfg.AsyncSend)
+		defer ctx.node.DisableAsyncSend()
+	}
+	if c.cfg.Pipeline != nil {
+		ctx.node.EnablePipeline(*c.cfg.Pipeline)
+	}
+	if c.cfg.GatherWorkers != 0 {
+		ctx.node.EnableParallelGather(c.cfg.GatherWorkers)
+	}
+	err := ctx.monitor.Guard(func() error { return fn(ctx) })
+	if c.cfg.GatherWorkers != 0 {
+		ctx.node.DisableParallelGather()
+	}
+	// Record the gather engine's work counters for Fig 8-style
+	// breakdowns regardless of whether the pool was enabled (serial
+	// chunk folds and scratch hits count too).
+	ctx.mu.Lock()
+	vecs := append([]*vol.Vector(nil), ctx.vectors...)
+	ctx.mu.Unlock()
+	for _, v := range vecs {
+		gp := v.GatherPerf()
+		ctx.timer.AddCount(trace.DecodeTasks, gp.DecodeTasks)
+		ctx.timer.AddCount(trace.ChunksFolded, gp.ChunksFolded)
+		ctx.timer.AddCount(trace.ScratchHits, gp.ScratchHits)
+	}
+	if c.cfg.Pipeline != nil {
+		// Drain before snapshotting so the counters reflect only
+		// completed batches, then record them for Fig 8-style
+		// breakdowns and shut the worker pool down.
+		_ = ctx.node.Drain()
+		ps := ctx.node.PipelineStats()
+		ctx.timer.AddCount(trace.WritesSaved, ps.WritesSaved)
+		ctx.timer.AddCount(trace.BytesMerged, ps.BytesMerged)
+		ctx.timer.MaxCount(trace.QueuePeak, ps.QueuePeak)
+		ctx.node.DisablePipeline()
+		ctx.reportFailures(nil)
+	}
+	return RankResult{Rank: r, Err: err, Timer: ctx.timer}
 }
 
 // Context is one rank's handle on the cluster, passed to the training

@@ -23,7 +23,7 @@ func TestDistributedSVMOverTCP(t *testing.T) {
 	c, err := NewCluster(Config{
 		Ranks:  3,
 		Sync:   consistency.BSP,
-		Fabric: fabric.Config{Transport: fabric.TCP},
+		Fabric: fabric.Config{Delivery: fabric.TCP},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,11 +108,11 @@ func TestTransportsProduceIdenticalModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train := func(transport fabric.Transport) []float64 {
+	train := func(transport fabric.Delivery) []float64 {
 		c, err := NewCluster(Config{
 			Ranks:  2,
 			Sync:   consistency.BSP,
-			Fabric: fabric.Config{Transport: transport},
+			Fabric: fabric.Config{Delivery: transport},
 		})
 		if err != nil {
 			t.Fatal(err)

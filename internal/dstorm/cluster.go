@@ -17,7 +17,8 @@ var ErrDead = errors.New("dstorm: rank is dead")
 // synchronous group-operation layer that GASPI provides in the paper's
 // implementation.
 type Cluster struct {
-	fab *fabric.Fabric
+	fab   fabric.Transport
+	coord fabric.Coordinator // non-nil when the transport brings its own barrier
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -35,12 +36,19 @@ type barrierState struct {
 	pruned map[int]bool
 }
 
-// NewCluster creates the coordination layer over a fabric and one Node per
-// rank.
-func NewCluster(f *fabric.Fabric) *Cluster {
+// NewCluster creates the coordination layer over a transport and one Node
+// per rank. With the default simulated fabric every rank lives in this
+// process and barriers are the in-process generation-counted kind; a
+// transport that also implements fabric.Coordinator (a multi-process
+// backend like fabric/tcpnet) supplies its own cluster-wide barrier and
+// dstorm delegates to it.
+func NewCluster(f fabric.Transport) *Cluster {
 	c := &Cluster{
 		fab:      f,
 		barriers: make(map[string]*barrierState),
+	}
+	if co, ok := f.(fabric.Coordinator); ok {
+		c.coord = co
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.nodes = make([]*Node, f.Ranks())
@@ -57,8 +65,8 @@ func NewCluster(f *fabric.Fabric) *Cluster {
 	return c
 }
 
-// Fabric returns the underlying fabric.
-func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+// Fabric returns the underlying transport.
+func (c *Cluster) Fabric() fabric.Transport { return c.fab }
 
 // Node returns the dstorm endpoint for the given rank.
 func (c *Cluster) Node(rank int) *Node { return c.nodes[rank] }
@@ -71,6 +79,12 @@ func (c *Cluster) Node(rank int) *Node { return c.nodes[rank] }
 // barrier is forming are excluded on the fly (the liveness watcher
 // broadcasts, and waiters recount).
 func (c *Cluster) barrier(name string, rank int) error {
+	if c.coord != nil {
+		if !c.fab.Alive(rank) {
+			return ErrDead
+		}
+		return c.coord.Barrier(name, rank)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {

@@ -12,6 +12,11 @@ import (
 	"malt/internal/fabric"
 )
 
+// simFab unwraps the simulated fabric behind a test cluster for the
+// sim-only controls (partitions, blackouts) the Transport interface does
+// not carry.
+func simFab(c *Cluster) *fabric.Fabric { return c.Fabric().(*fabric.Fabric) }
+
 // newTestCluster creates a fabric+cluster and opens the named segment on
 // every rank concurrently (creation is a collective operation).
 func newTestCluster(t *testing.T, ranks int, opts SegmentOptions) (*Cluster, []*Segment) {
@@ -610,7 +615,7 @@ func TestBarrierScopedToPartition(t *testing.T) {
 	// Let all four block (none can complete: they need each other), then
 	// cut the network into {0,1} and {2,3}.
 	time.Sleep(20 * time.Millisecond)
-	if err := c.Fabric().Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+	if err := simFab(c).Partition([][]int{{0, 1}, {2, 3}}); err != nil {
 		t.Fatal(err)
 	}
 	released := map[int]bool{}
@@ -623,7 +628,7 @@ func TestBarrierScopedToPartition(t *testing.T) {
 		}
 	}
 	// After healing, a cluster-wide barrier must span all ranks again.
-	c.Fabric().Heal()
+	simFab(c).Heal()
 	var wg sync.WaitGroup
 	for r := 0; r < 4; r++ {
 		wg.Add(1)
@@ -640,7 +645,7 @@ func TestBarrierScopedToPartition(t *testing.T) {
 func TestBarrierWithinPartitionGroups(t *testing.T) {
 	// With a partition already in place, each group barriers among itself.
 	c, segs := newTestCluster(t, 4, SegmentOptions{ObjectSize: 8})
-	if err := c.Fabric().Partition([][]int{{0, 1}, {2, 3}}); err != nil {
+	if err := simFab(c).Partition([][]int{{0, 1}, {2, 3}}); err != nil {
 		t.Fatal(err)
 	}
 	// Only group 0 barriers: must complete without group 1 participating.

@@ -306,7 +306,7 @@ func TestPipelineUnderBlackout(t *testing.T) {
 			Deadline:    30 * time.Second,
 		})
 	}
-	if err := c.Fabric().SetRankBlackout(1, true); err != nil {
+	if err := simFab(c).SetRankBlackout(1, true); err != nil {
 		t.Fatal(err)
 	}
 	for r := 0; r < ranks; r++ {
@@ -317,7 +317,7 @@ func TestPipelineUnderBlackout(t *testing.T) {
 		}
 		c.Node(r).Flush() // batches now sit in worker retry loops
 	}
-	if err := c.Fabric().SetRankBlackout(1, false); err != nil {
+	if err := simFab(c).SetRankBlackout(1, false); err != nil {
 		t.Fatal(err)
 	}
 	for r := 0; r < ranks; r++ {

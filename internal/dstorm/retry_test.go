@@ -87,7 +87,7 @@ func TestScatterBlackoutExhaustsRetries(t *testing.T) {
 	c, segs := newChaosCluster(t, 2, fabric.ChaosConfig{Seed: 3},
 		SegmentOptions{ObjectSize: 8})
 	c.Node(0).SetRetryPolicy(RetryPolicy{MaxAttempts: 3, Backoff: time.Microsecond})
-	if err := c.Fabric().SetRankBlackout(1, true); err != nil {
+	if err := simFab(c).SetRankBlackout(1, true); err != nil {
 		t.Fatal(err)
 	}
 	failed, err := segs[0].Scatter([]byte("payload!"), 1)
@@ -102,7 +102,7 @@ func TestScatterBlackoutExhaustsRetries(t *testing.T) {
 		t.Fatalf("Exhausted = %d, want 1", st.Exhausted)
 	}
 	// Blackout lifts: the same path recovers without any rebuild.
-	if err := c.Fabric().SetRankBlackout(1, false); err != nil {
+	if err := simFab(c).SetRankBlackout(1, false); err != nil {
 		t.Fatal(err)
 	}
 	failed, err = segs[0].Scatter([]byte("payload!"), 2)
@@ -150,7 +150,7 @@ func TestRetryDeadlineBoundsOneWrite(t *testing.T) {
 		Backoff:     200 * time.Microsecond,
 		Deadline:    2 * time.Millisecond,
 	})
-	if err := c.Fabric().SetRankBlackout(1, true); err != nil {
+	if err := simFab(c).SetRankBlackout(1, true); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()

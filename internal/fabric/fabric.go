@@ -83,8 +83,8 @@ type Config struct {
 	Bandwidth float64
 	// Delay selects whether modeled time is imposed or only accounted.
 	Delay DelayMode
-	// Transport selects in-process delivery (default) or loopback TCP.
-	Transport Transport
+	// Delivery selects in-process delivery (default) or loopback TCP.
+	Delivery Delivery
 	// Chaos, when non-nil, installs the transient-fault model at creation
 	// (EnableChaos can also install or replace it later).
 	Chaos *ChaosConfig
@@ -124,7 +124,7 @@ func New(cfg Config) (*Fabric, error) {
 	cfg.setDefaults()
 	f := &Fabric{
 		cfg:   cfg,
-		stats: newStats(cfg.Ranks),
+		stats: NewStats(cfg.Ranks),
 		regs:  make([]map[string]WriteHandler, cfg.Ranks),
 		dead:  make([]bool, cfg.Ranks),
 		group: make([]int, cfg.Ranks),
@@ -135,7 +135,7 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.Chaos != nil {
 		f.chaos = newChaosState(cfg.Ranks, *cfg.Chaos)
 	}
-	if cfg.Transport == TCP {
+	if cfg.Delivery == TCP {
 		tcp, err := newTCPFabric(f)
 		if err != nil {
 			return nil, err
@@ -212,7 +212,7 @@ func (f *Fabric) Write(from, to int, key string, payload []byte) error {
 		return ErrSenderDead
 	}
 	if !reachable {
-		f.stats.addFailed(from, to)
+		f.stats.AddFailed(from, to)
 		return fmt.Errorf("%w: rank %d -> rank %d", ErrUnreachable, from, to)
 	}
 	if h == nil {
@@ -224,7 +224,7 @@ func (f *Fabric) Write(from, to int, key string, payload []byte) error {
 	}
 
 	cost := f.jitterCost(from, to, f.modelCost(len(payload)), jitter)
-	f.stats.addTransfer(from, to, len(payload), cost)
+	f.stats.AddTransfer(from, to, len(payload), cost)
 	f.impose(cost)
 	if f.tcp != nil {
 		return f.tcp.write(from, to, key, payload)
@@ -261,7 +261,7 @@ func (f *Fabric) WriteBatch(from, to int, key string, records [][]byte) error {
 		return ErrSenderDead
 	}
 	if !reachable {
-		f.stats.addFailed(from, to)
+		f.stats.AddFailed(from, to)
 		return fmt.Errorf("%w: rank %d -> rank %d", ErrUnreachable, from, to)
 	}
 	if h == nil {
@@ -277,8 +277,8 @@ func (f *Fabric) WriteBatch(from, to int, key string, records [][]byte) error {
 		bytes += len(rec)
 	}
 	cost := f.jitterCost(from, to, f.modelCost(bytes), jitter)
-	f.stats.addTransfer(from, to, bytes, cost)
-	f.stats.addCoalesced(from, to, len(records))
+	f.stats.AddTransfer(from, to, bytes, cost)
+	f.stats.AddCoalesced(from, to, len(records))
 	f.impose(cost)
 	var firstErr error
 	for _, rec := range records {
@@ -318,13 +318,13 @@ func (f *Fabric) Ping(from, to int) error {
 		// partition keep their fail-stop signal.
 		ferr, jitter := f.chaosFault(from, to, "ping")
 		if ferr != nil {
-			f.stats.addControl(from, to, cost)
+			f.stats.AddControl(from, to, cost)
 			f.impose(cost)
 			return ferr
 		}
 		cost = f.jitterCost(from, to, cost, jitter)
 	}
-	f.stats.addControl(from, to, cost)
+	f.stats.AddControl(from, to, cost)
 	f.impose(cost)
 	if !ok {
 		return fmt.Errorf("%w: ping rank %d -> rank %d", ErrUnreachable, from, to)
@@ -494,7 +494,10 @@ type Stats struct {
 	coalOps  []atomic.Uint64 // WriteBatch calls (merged writes issued)
 }
 
-func newStats(n int) *Stats {
+// NewStats creates a zeroed per-link counter matrix for n ranks. Transport
+// implementations outside this package (fabric/tcpnet) use it to offer the
+// same Stats surface the simulated fabric has.
+func NewStats(n int) *Stats {
 	return &Stats{
 		n:        n,
 		bytes:    make([]atomic.Uint64, n*n),
@@ -508,18 +511,22 @@ func newStats(n int) *Stats {
 	}
 }
 
-func (s *Stats) addTransfer(from, to, bytes int, cost time.Duration) {
+// AddTransfer records one successful data write of the given size and wire
+// cost on the from→to link.
+func (s *Stats) AddTransfer(from, to, bytes int, cost time.Duration) {
 	i := from*s.n + to
 	s.bytes[i].Add(uint64(bytes))
 	s.messages[i].Add(1)
 	s.modelNs[i].Add(uint64(cost))
 }
 
-func (s *Stats) addControl(from, to int, cost time.Duration) {
+// AddControl records control-plane wire time (pings, barriers) on a link.
+func (s *Stats) AddControl(from, to int, cost time.Duration) {
 	s.modelNs[from*s.n+to].Add(uint64(cost))
 }
 
-func (s *Stats) addFailed(from, to int) {
+// AddFailed records one write that failed with ErrUnreachable.
+func (s *Stats) AddFailed(from, to int) {
 	s.failed[from*s.n+to].Add(1)
 }
 
@@ -531,7 +538,8 @@ func (s *Stats) addInjectedJitter(from, to int, extra time.Duration) {
 	s.injJitNs[from*s.n+to].Add(uint64(extra))
 }
 
-func (s *Stats) addCoalesced(from, to, records int) {
+// AddCoalesced records one merged WriteBatch call carrying records records.
+func (s *Stats) AddCoalesced(from, to, records int) {
 	i := from*s.n + to
 	s.coalRecs[i].Add(uint64(records))
 	s.coalOps[i].Add(1)

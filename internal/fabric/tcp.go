@@ -9,13 +9,15 @@ import (
 	"sync"
 )
 
-// Transport selects how one-sided writes move between ranks.
-type Transport int
+// Delivery selects how the simulated fabric moves one-sided writes between
+// its in-process ranks. (Cross-process backends implement the Transport
+// interface instead; see transport.go and fabric/tcpnet.)
+type Delivery int
 
 const (
 	// InProc delivers writes by direct memory copy on the sender's
 	// goroutine — the default, closest to real RDMA semantics.
-	InProc Transport = iota
+	InProc Delivery = iota
 	// TCP delivers writes over loopback TCP sockets: every rank owns a
 	// listener, senders keep one persistent connection per peer, and each
 	// write is a framed message acknowledged by the receiver. The handler
@@ -25,8 +27,8 @@ const (
 	TCP
 )
 
-// String returns the transport name.
-func (t Transport) String() string {
+// String returns the delivery-mode name.
+func (t Delivery) String() string {
 	if t == TCP {
 		return "tcp"
 	}

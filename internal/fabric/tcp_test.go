@@ -9,7 +9,7 @@ import (
 
 func newTCP(t *testing.T, ranks int) *Fabric {
 	t.Helper()
-	f, err := New(Config{Ranks: ranks, Transport: TCP})
+	f, err := New(Config{Ranks: ranks, Delivery: TCP})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,131 @@
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// peerConn is one rank's persistent pooled connection to a peer. One
+// request (frame out, ack in) is in flight at a time — the per-link
+// serialization the simulated fabric's tcpConn also imposes. The
+// connection is dialed lazily and redialed after errors; a refused redial
+// is the transport's strongest death signal.
+type peerConn struct {
+	mu sync.Mutex // serializes round trips
+
+	cmu sync.Mutex // guards c/br so closeConn can interrupt an in-flight request
+	c   net.Conn
+	br  *bufio.Reader
+}
+
+// expectsAck reports whether a frame type is a round trip.
+func expectsAck(t byte) bool { return t != frameBarrierRelease }
+
+// request performs one round trip to peer to: dial if needed, write f,
+// read the ack (unless fire-and-forget). Errors are classified into the
+// fabric taxonomy; a refused connection additionally marks the peer dead
+// (except during the rendezvous hello, when the peer may simply not be up
+// yet).
+func (p *peerConn) request(n *Net, to int, f *Frame, deadline time.Time) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, br, err := p.conn(n, to, deadline)
+	if err != nil {
+		cerr := classify("dial", to, err)
+		if errors.Is(cerr, fabric.ErrUnreachable) && f.Type != frameHello {
+			n.markDead(to)
+		}
+		return nil, cerr
+	}
+	c.SetDeadline(deadline)
+	if err := writeFrame(c, f); err != nil {
+		p.closeConn()
+		return nil, classify("write", to, err)
+	}
+	if !expectsAck(f.Type) {
+		return nil, nil
+	}
+	ack, err := readFrame(br)
+	if err != nil {
+		p.closeConn()
+		return nil, classify("read ack", to, err)
+	}
+	return ack, nil
+}
+
+// conn returns the live connection, dialing if necessary. Callers hold
+// p.mu.
+func (p *peerConn) conn(n *Net, to int, deadline time.Time) (net.Conn, *bufio.Reader, error) {
+	p.cmu.Lock()
+	c, br := p.c, p.br
+	p.cmu.Unlock()
+	if c != nil {
+		return c, br, nil
+	}
+	timeout := n.cfg.DialTimeout
+	if until := time.Until(deadline); until < timeout {
+		if until <= 0 {
+			return nil, nil, fmt.Errorf("deadline exceeded before dial: %w", errTimeout{})
+		}
+		timeout = until
+	}
+	d := net.Dialer{Timeout: timeout}
+	nc, err := d.Dial("tcp", n.cfg.Peers[to])
+	if err != nil {
+		return nil, nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nbr := bufio.NewReader(nc)
+	p.cmu.Lock()
+	p.c, p.br = nc, nbr
+	p.cmu.Unlock()
+	return nc, nbr, nil
+}
+
+// closeConn drops the connection (if any) so the next request redials. It
+// is safe to call concurrently with an in-flight request, whose syscalls
+// then fail immediately.
+func (p *peerConn) closeConn() {
+	p.cmu.Lock()
+	if p.c != nil {
+		p.c.Close()
+		p.c, p.br = nil, nil
+	}
+	p.cmu.Unlock()
+}
+
+// errTimeout satisfies net.Error for the pre-dial deadline check.
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+// classify maps socket errors onto the fabric error taxonomy:
+//
+//   - deadline expiry → ErrTransient (the peer may be slow or the path
+//     congested; RetryPolicy decides how long to keep trying)
+//   - connection refused → ErrUnreachable (nobody listens on the peer's
+//     port: the process is gone)
+//   - anything else (EOF, reset, closed) → ErrTransient; the connection is
+//     dropped, the next attempt redials, and a refused redial upgrades the
+//     verdict to ErrUnreachable
+func classify(op string, to int, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %s rank %d timed out: %v", fabric.ErrTransient, op, to, err)
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return fmt.Errorf("%w: %s rank %d: connection refused", fabric.ErrUnreachable, op, to)
+	}
+	return fmt.Errorf("%w: %s rank %d: %v", fabric.ErrTransient, op, to, err)
+}

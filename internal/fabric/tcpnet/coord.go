@@ -1,0 +1,185 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// coordinator is the rank-0 barrier service. Every rank (rank 0 included)
+// enters a named barrier by reporting to the coordinator; when all
+// transport-alive ranks have entered, the coordinator releases everyone
+// who entered and resets the barrier for its next use. Deaths observed by
+// rank 0's transport re-evaluate pending barriers, so survivors are
+// released when membership shrinks — the multi-process analogue of the
+// in-process barrier's death pruning.
+type coordinator struct {
+	n *Net
+
+	mu       sync.Mutex
+	barriers map[string]*barrierEntry
+}
+
+type barrierEntry struct {
+	entered map[int]bool
+}
+
+func newCoordinator(n *Net) *coordinator {
+	return &coordinator{n: n, barriers: make(map[string]*barrierEntry)}
+}
+
+// enter records a rank's arrival and releases the barrier if complete.
+func (c *coordinator) enter(name string, from int) {
+	c.mu.Lock()
+	st := c.barriers[name]
+	if st == nil {
+		st = &barrierEntry{entered: make(map[int]bool)}
+		c.barriers[name] = st
+	}
+	st.entered[from] = true
+	c.evalLocked(name, st)
+	c.mu.Unlock()
+}
+
+// livenessChanged re-evaluates every pending barrier after a death.
+func (c *coordinator) livenessChanged() {
+	c.mu.Lock()
+	for name, st := range c.barriers {
+		c.evalLocked(name, st)
+	}
+	c.mu.Unlock()
+}
+
+// evalLocked releases the barrier when every alive rank has entered. The
+// release fan-out runs on its own goroutine: it performs network writes
+// and must not hold the coordinator lock (or, on the liveness path, the
+// watcher lock).
+func (c *coordinator) evalLocked(name string, st *barrierEntry) {
+	alive := c.n.AliveRanks()
+	if len(alive) == 0 {
+		return
+	}
+	for _, r := range alive {
+		if !st.entered[r] {
+			return
+		}
+	}
+	targets := make([]int, 0, len(st.entered))
+	for r := range st.entered {
+		targets = append(targets, r)
+	}
+	st.entered = make(map[int]bool)
+	go c.n.sendReleases(name, targets)
+}
+
+// sendReleases notifies every entered rank that the barrier released.
+// Failures are ignored: an unreachable target is either already dead (and
+// was released by the membership change) or will be marked dead by the
+// classification, re-triggering evaluation.
+func (n *Net) sendReleases(name string, targets []int) {
+	f := &Frame{Type: frameBarrierRelease, From: n.cfg.Rank, Gen: n.gen.Load(), Key: name}
+	for _, to := range targets {
+		if to == n.cfg.Rank {
+			n.barrierReleased(name)
+			continue
+		}
+		_, _ = n.peers[to].request(n, to, f, time.Now().Add(n.cfg.AckTimeout))
+	}
+}
+
+// barrierReleased bumps the local release counter for a barrier name,
+// waking any waiter.
+func (n *Net) barrierReleased(name string) {
+	n.bmu.Lock()
+	if n.releases == nil {
+		n.releases = make(map[string]uint64)
+	}
+	n.releases[name]++
+	n.bmu.Unlock()
+}
+
+func (n *Net) released(name string) uint64 {
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	return n.releases[name]
+}
+
+// Barrier implements fabric.Coordinator: it blocks until every rank this
+// transport believes alive has entered the barrier with the same name.
+// dstorm delegates its named barriers (segment creation, BSP supersteps)
+// here when the cluster spans processes. The wait polls the local release
+// counter — the control-plane analogue of one-sided completion: rank 0
+// deposits the release, the waiter discovers it by reading its own state.
+func (n *Net) Barrier(name string, rank int) error {
+	if rank != n.cfg.Rank {
+		return fmt.Errorf("tcpnet: barrier for rank %d entered on rank %d", rank, n.cfg.Rank)
+	}
+	if !n.Alive(rank) {
+		return fmt.Errorf("%w: barrier %q", fabric.ErrSenderDead, name)
+	}
+	seq := n.released(name)
+	deadline := time.Now().Add(n.cfg.BarrierTimeout)
+	if n.cfg.Rank == 0 {
+		n.coord.enter(name, 0)
+	} else if err := n.enterRemote(name, deadline); err != nil {
+		return err
+	}
+	for {
+		if n.released(name) > seq {
+			return nil
+		}
+		if !n.Alive(n.cfg.Rank) {
+			return fmt.Errorf("%w: barrier %q", fabric.ErrSenderDead, name)
+		}
+		if !n.Alive(0) {
+			return fmt.Errorf("%w: barrier %q: coordinator (rank 0) is dead", fabric.ErrUnreachable, name)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcpnet: barrier %q timed out after %v on rank %d", name, n.cfg.BarrierTimeout, n.cfg.Rank)
+		}
+		time.Sleep(200 * time.Microsecond) //maltlint:allow rawsleep -- transport-internal release poll, deadline-bounded above; below dstorm so RetryPolicy cannot apply
+	}
+}
+
+// enterRemote reports arrival to the rank-0 coordinator, retrying
+// transient failures until the barrier deadline.
+func (n *Net) enterRemote(name string, deadline time.Time) error {
+	f := &Frame{Type: frameBarrierEnter, From: n.cfg.Rank, Gen: n.gen.Load(), Key: name}
+	for {
+		ack, err := n.peers[0].request(n, 0, f, time.Now().Add(n.cfg.AckTimeout))
+		if err == nil {
+			switch ackStatus(ack) {
+			case statusOK:
+				return nil
+			case statusStaleGen:
+				return fmt.Errorf("%w: barrier %q: coordinator rejected stale generation", fabric.ErrUnreachable, name)
+			case statusDead:
+				return fmt.Errorf("%w: barrier %q: coordinator (rank 0) is dead", fabric.ErrUnreachable, name)
+			default:
+				return fmt.Errorf("tcpnet: barrier %q: unexpected coordinator reply", name)
+			}
+		}
+		if !errors.Is(err, fabric.ErrTransient) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(2 * time.Millisecond) //maltlint:allow rawsleep -- transport-internal redial backoff, deadline-bounded above; below dstorm so RetryPolicy cannot apply
+	}
+}
+
+// serveBarrierEnter handles a barrierEnter frame at rank 0.
+func (n *Net) serveBarrierEnter(f *Frame) byte {
+	if n.cfg.Rank != 0 || n.coord == nil {
+		return statusTransient // misdirected: only rank 0 coordinates
+	}
+	if !n.Alive(n.cfg.Rank) {
+		return statusDead
+	}
+	if f.Gen != n.gen.Load() {
+		return statusStaleGen
+	}
+	n.coord.enter(f.Key, f.From)
+	return statusOK
+}

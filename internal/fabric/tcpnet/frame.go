@@ -1,0 +1,256 @@
+// Package tcpnet is a real TCP backend for the fabric.Transport contract:
+// it emulates MALT's one-sided RDMA writes over persistent pooled loopback
+// (or LAN) connections between OS processes.
+//
+// What the emulation preserves from the one-sided model:
+//
+//   - The receiver's training loop never participates in a write. Each
+//     inbound connection is served by one goroutine — the moral equivalent
+//     of the NIC's DMA engine — that deposits frames directly into the
+//     registered WriteHandler ring. Receivers still discover data only by
+//     polling their own memory.
+//   - The error taxonomy: write deadlines and broken connections map onto
+//     fabric.ErrTransient, connection-refused onto fabric.ErrUnreachable,
+//     so dstorm.RetryPolicy and the K-strikes suspicion protocol run
+//     unchanged over real sockets.
+//   - Liveness: refused dials and heartbeat strike-outs drive the same
+//     OnLivenessChange watchers the simulated fabric fires, so barrier
+//     pruning and fault-monitor rebuild work across processes.
+//
+// What it does not preserve: true zero-copy RDMA (every write crosses the
+// kernel socket path and is acknowledged by the peer's receiver loop) and
+// the simulated fabric's deterministic cost model (Stats record measured
+// wall time instead). Chaos injection is a simulated-fabric feature and is
+// not supported here.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types. Data frames carry one-sided writes; the rest are the thin
+// control plane (health probes, rendezvous, barrier coordination) that a
+// real deployment would run over the same sockets.
+const (
+	frameData           = byte(1) // one-sided write: key + record batch, acked
+	frameAck            = byte(2) // response: Records[0][0] is a status byte
+	framePing           = byte(3) // health probe, acked
+	frameHello          = byte(4) // rendezvous: rank announces itself to rank 0
+	frameHelloAck       = byte(5) // rendezvous reply: Gen carries the cluster generation
+	frameProbe          = byte(6) // delegated ping: Records[0] is the u32 target rank
+	frameBarrierEnter   = byte(7) // Key names the barrier; sent to rank 0, acked
+	frameBarrierRelease = byte(8) // rank 0 → waiter; not acked
+)
+
+// Ack status bytes.
+const (
+	statusOK            = byte(0)
+	statusNotRegistered = byte(1) // no handler for the key
+	statusHandlerErr    = byte(2) // the WriteHandler returned an error
+	statusStaleGen      = byte(3) // frame from a previous cluster incarnation
+	statusDead          = byte(4) // receiver has been killed
+	statusUnreachable   = byte(5) // probe verdict: target permanently unreachable
+	statusTransient     = byte(6) // probe verdict: target inconclusive
+)
+
+// Frame is one length-prefixed protocol message. Data frames carry a
+// record batch for one registered key: a WriteBatch is a single frame, so
+// the doorbell-batched semantics of fabric.WriteBatch (one message, one
+// ack) survive on the wire.
+type Frame struct {
+	// Type is one of the frame* constants.
+	Type byte
+	// From is the sending rank.
+	From int
+	// Gen is the cluster generation assigned at the rank-0 rendezvous.
+	// Receivers reject frames from other generations, invalidating writes
+	// from zombie processes of a previous incarnation.
+	Gen uint64
+	// Key names the registered memory (data) or the barrier (control).
+	Key string
+	// Records is the payload batch; control frames use Records[0] for
+	// their operand (status byte, probe target).
+	Records [][]byte
+}
+
+// Codec limits. Oversized frames are rejected on both encode and decode:
+// a frame is a bounded unit of transfer, not a stream.
+const (
+	// MaxKeyLen bounds the registered-memory key length.
+	MaxKeyLen = 4096
+	// MaxBody bounds the encoded frame body (everything after the length
+	// prefix). 64 MiB is far above any dstorm segment write.
+	MaxBody = 64 << 20
+	// maxRecords bounds the record count of one batch.
+	maxRecords = 1 << 20
+
+	frameHeaderLen = 20 // type(1) reserved(1) keyLen(2) from(4) recCount(4) gen(8)
+)
+
+// Codec errors.
+var (
+	// ErrFrameTruncated is returned when the buffer ends before the frame.
+	ErrFrameTruncated = errors.New("tcpnet: truncated frame")
+	// ErrFrameOversize is returned when a frame exceeds the codec limits.
+	ErrFrameOversize = errors.New("tcpnet: frame exceeds size limit")
+	// ErrFrameCorrupt is returned when the frame's internal lengths are
+	// inconsistent.
+	ErrFrameCorrupt = errors.New("tcpnet: corrupt frame")
+)
+
+// encodedSize returns the body length of f, without the 4-byte prefix.
+func (f *Frame) encodedSize() int {
+	n := frameHeaderLen + len(f.Key)
+	for _, rec := range f.Records {
+		n += 4 + len(rec)
+	}
+	return n
+}
+
+// AppendFrame appends the wire encoding of f (length prefix + body) to dst
+// and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.Key) > MaxKeyLen {
+		return dst, fmt.Errorf("%w: key is %d bytes (max %d)", ErrFrameOversize, len(f.Key), MaxKeyLen)
+	}
+	if len(f.Records) > maxRecords {
+		return dst, fmt.Errorf("%w: %d records (max %d)", ErrFrameOversize, len(f.Records), maxRecords)
+	}
+	body := f.encodedSize()
+	if body > MaxBody {
+		return dst, fmt.Errorf("%w: body is %d bytes (max %d)", ErrFrameOversize, body, MaxBody)
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(body))
+	dst = append(dst, u32[:]...)
+	dst = append(dst, f.Type, 0)
+	binary.LittleEndian.PutUint16(u32[:2], uint16(len(f.Key)))
+	dst = append(dst, u32[:2]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(f.From))
+	dst = append(dst, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(f.Records)))
+	dst = append(dst, u32[:]...)
+	binary.LittleEndian.PutUint64(u64[:], f.Gen)
+	dst = append(dst, u64[:]...)
+	dst = append(dst, f.Key...)
+	for _, rec := range f.Records {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(rec)))
+		dst = append(dst, u32[:]...)
+		dst = append(dst, rec...)
+	}
+	return dst, nil
+}
+
+// EncodeFrame returns the wire encoding of f.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, 4+f.encodedSize()), f)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. A buffer that ends mid-frame yields
+// ErrFrameTruncated; length fields beyond the codec limits yield
+// ErrFrameOversize; internally inconsistent lengths yield ErrFrameCorrupt.
+// Record slices alias b.
+func DecodeFrame(b []byte) (*Frame, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrFrameTruncated
+	}
+	body := int(binary.LittleEndian.Uint32(b[:4]))
+	if body > MaxBody {
+		return nil, 0, fmt.Errorf("%w: body claims %d bytes (max %d)", ErrFrameOversize, body, MaxBody)
+	}
+	if body < frameHeaderLen {
+		return nil, 0, fmt.Errorf("%w: body claims %d bytes (min %d)", ErrFrameCorrupt, body, frameHeaderLen)
+	}
+	if len(b) < 4+body {
+		return nil, 0, ErrFrameTruncated
+	}
+	f, err := decodeBody(b[4 : 4+body])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 4 + body, nil
+}
+
+// decodeBody parses a frame body; every length must account for the body
+// exactly.
+func decodeBody(b []byte) (*Frame, error) {
+	if b[1] != 0 {
+		return nil, fmt.Errorf("%w: reserved byte is %#x", ErrFrameCorrupt, b[1])
+	}
+	keyLen := int(binary.LittleEndian.Uint16(b[2:4]))
+	recCount := int(binary.LittleEndian.Uint32(b[8:12]))
+	f := &Frame{
+		Type: b[0],
+		From: int(int32(binary.LittleEndian.Uint32(b[4:8]))),
+		Gen:  binary.LittleEndian.Uint64(b[12:20]),
+	}
+	if keyLen > MaxKeyLen {
+		return nil, fmt.Errorf("%w: key claims %d bytes (max %d)", ErrFrameOversize, keyLen, MaxKeyLen)
+	}
+	if recCount > maxRecords {
+		return nil, fmt.Errorf("%w: %d records (max %d)", ErrFrameOversize, recCount, maxRecords)
+	}
+	rest := b[frameHeaderLen:]
+	if len(rest) < keyLen {
+		return nil, fmt.Errorf("%w: key overruns body", ErrFrameCorrupt)
+	}
+	f.Key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	if recCount > 0 {
+		f.Records = make([][]byte, 0, recCount)
+		for i := 0; i < recCount; i++ {
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("%w: record %d length overruns body", ErrFrameCorrupt, i)
+			}
+			recLen := int(binary.LittleEndian.Uint32(rest[:4]))
+			rest = rest[4:]
+			if recLen > len(rest) {
+				return nil, fmt.Errorf("%w: record %d overruns body", ErrFrameCorrupt, i)
+			}
+			f.Records = append(f.Records, rest[:recLen:recLen])
+			rest = rest[recLen:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(rest))
+	}
+	return f, nil
+}
+
+// writeFrame writes the wire encoding of f to w.
+func writeFrame(w io.Writer, f *Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrame reads one frame from r. Record slices own their memory.
+func readFrame(r io.Reader) (*Frame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	body := int(binary.LittleEndian.Uint32(prefix[:]))
+	if body > MaxBody {
+		return nil, fmt.Errorf("%w: body claims %d bytes (max %d)", ErrFrameOversize, body, MaxBody)
+	}
+	if body < frameHeaderLen {
+		return nil, fmt.Errorf("%w: body claims %d bytes (min %d)", ErrFrameCorrupt, body, frameHeaderLen)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	return decodeBody(buf)
+}

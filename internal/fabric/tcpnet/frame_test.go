@@ -1,0 +1,203 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameCases spans the shapes dstorm actually sends: dense segment writes
+// (one fat record), sparse batches (many small records), empty payloads,
+// and control frames with no records at all.
+func frameCases() []*Frame {
+	dense := make([]byte, 1<<16)
+	for i := range dense {
+		dense[i] = byte(i * 31)
+	}
+	sparse := make([][]byte, 64)
+	for i := range sparse {
+		rec := make([]byte, 3+i%7)
+		for j := range rec {
+			rec[j] = byte(i + j)
+		}
+		sparse[i] = rec
+	}
+	return []*Frame{
+		{Type: frameData, From: 0, Gen: 1, Key: "w0", Records: [][]byte{dense}},
+		{Type: frameData, From: 2, Gen: 1 << 60, Key: "grad/sparse", Records: sparse},
+		{Type: frameData, From: 1, Gen: 7, Key: "k", Records: [][]byte{{}, {1}, {}}},
+		{Type: frameData, From: 5, Gen: 9, Key: "empty-batch"},
+		{Type: framePing, From: 3, Gen: 0},
+		{Type: frameAck, From: 0, Gen: 42, Records: [][]byte{{statusOK}}},
+		{Type: frameProbe, From: 1, Gen: 3, Records: [][]byte{{2, 0, 0, 0}}},
+		{Type: frameBarrierEnter, From: 2, Gen: 11, Key: "step:17"},
+		{Type: frameData, From: 0, Gen: 1, Key: string(make([]byte, MaxKeyLen)), Records: [][]byte{{9}}},
+	}
+}
+
+func framesEqual(a, b *Frame) bool {
+	if a.Type != b.Type || a.From != b.From || a.Gen != b.Gen || a.Key != b.Key {
+		return false
+	}
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		if !bytes.Equal(a.Records[i], b.Records[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for i, f := range frameCases() {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(b))
+		}
+		if !framesEqual(f, got) {
+			t.Fatalf("case %d: round trip mismatch: sent %+v got %+v", i, f, got)
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	// Several frames back to back through the io path, as a connection
+	// would see them.
+	var buf bytes.Buffer
+	cases := frameCases()
+	for i, f := range cases {
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatalf("case %d: writeFrame: %v", i, err)
+		}
+	}
+	for i, f := range cases {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("case %d: readFrame: %v", i, err)
+		}
+		if !framesEqual(f, got) {
+			t.Fatalf("case %d: stream round trip mismatch", i)
+		}
+	}
+	if _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameTruncatedRejected(t *testing.T) {
+	f := &Frame{Type: frameData, From: 1, Gen: 5, Key: "w", Records: [][]byte{{1, 2, 3}, {4, 5}}}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := DecodeFrame(b[:cut]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut at %d/%d: want ErrFrameTruncated, got %v", cut, len(b), err)
+		}
+		if _, err := readFrame(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("readFrame cut at %d/%d: want error, got nil", cut, len(b))
+		}
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	// Encode side: key and record-count limits.
+	if _, err := EncodeFrame(&Frame{Type: frameData, Key: string(make([]byte, MaxKeyLen+1))}); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversized key: want ErrFrameOversize, got %v", err)
+	}
+	if _, err := EncodeFrame(&Frame{Type: frameData, Records: make([][]byte, maxRecords+1)}); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("too many records: want ErrFrameOversize, got %v", err)
+	}
+
+	// Decode side: a hostile length prefix must be rejected before any
+	// allocation of that size.
+	huge := make([]byte, 4)
+	binary.LittleEndian.PutUint32(huge, uint32(MaxBody+1))
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("huge body prefix: want ErrFrameOversize, got %v", err)
+	}
+	if _, err := readFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("readFrame huge body prefix: want ErrFrameOversize, got %v", err)
+	}
+
+	// A body whose header claims an oversized key.
+	b, err := EncodeFrame(&Frame{Type: frameData, From: 0, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(b[4+2:], MaxKeyLen+1)
+	if _, _, err := DecodeFrame(b); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversized keyLen in header: want ErrFrameOversize, got %v", err)
+	}
+}
+
+func TestFrameCorruptRejected(t *testing.T) {
+	f := &Frame{Type: frameData, From: 1, Gen: 5, Key: "w", Records: [][]byte{{1, 2, 3}}}
+	good, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record length overrunning the body.
+	b := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(b[4+frameHeaderLen+1:], 1000)
+	if _, _, err := DecodeFrame(b); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("record overrun: want ErrFrameCorrupt, got %v", err)
+	}
+
+	// Trailing bytes the header does not account for.
+	b = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(b[4+4+2+2:], 0) // recCount = 0, record bytes now unaccounted
+	if _, _, err := DecodeFrame(b); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("trailing bytes: want ErrFrameCorrupt, got %v", err)
+	}
+
+	// Body shorter than the fixed header.
+	short := make([]byte, 4+frameHeaderLen-1)
+	binary.LittleEndian.PutUint32(short, frameHeaderLen-1)
+	if _, _, err := DecodeFrame(short); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("sub-header body: want ErrFrameCorrupt, got %v", err)
+	}
+}
+
+func FuzzFrameDecode(f *testing.F) {
+	for _, c := range frameCases() {
+		if b, err := EncodeFrame(c); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("error %v with non-nil frame", err)
+			}
+			return
+		}
+		if n < 4 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// Whatever decodes must re-encode to the exact bytes consumed:
+		// the codec has one canonical form.
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// acceptLoop owns the rank's listener: every inbound connection gets one
+// serving goroutine.
+func (n *Net) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Closed (shutdown or Kill) or fatally broken: either way this
+			// rank stops receiving, which peers observe as refused dials.
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn is the receiver-side "DMA engine": one goroutine per inbound
+// connection that deposits data frames directly into the registered
+// WriteHandler ring and answers the control plane. The rank's training
+// loop never participates — the one-sided contract.
+func (n *Net) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	if !n.trackConn(conn) {
+		return
+	}
+	defer n.untrackConn(conn)
+	br := bufio.NewReader(conn)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return // EOF, peer reset, or a corrupt stream: drop the link
+		}
+		var reply *Frame
+		switch f.Type {
+		case frameData:
+			reply = n.ackFrame(n.deposit(f))
+		case framePing:
+			// Liveness only: generation is irrelevant to "is this process
+			// up", and pings race the rendezvous during startup.
+			if !n.Alive(n.cfg.Rank) {
+				reply = n.ackFrame(statusDead)
+			} else {
+				reply = n.ackFrame(statusOK)
+			}
+		case frameProbe:
+			reply = n.ackFrame(n.serveProbe(f))
+		case frameHello:
+			ok := false
+			reply, ok = n.serveHello(f)
+			if !ok {
+				return
+			}
+		case frameBarrierEnter:
+			reply = n.ackFrame(n.serveBarrierEnter(f))
+		case frameBarrierRelease:
+			if f.Gen == n.gen.Load() {
+				n.barrierReleased(f.Key)
+			}
+		default:
+			return // unknown type: protocol error, drop the link
+		}
+		if reply != nil {
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.AckTimeout))
+			if err := writeFrame(conn, reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (n *Net) ackFrame(status byte) *Frame {
+	return &Frame{Type: frameAck, From: n.cfg.Rank, Gen: n.gen.Load(), Records: [][]byte{{status}}}
+}
+
+// deposit lands a data frame in registered memory, invoking the handler
+// once per record on this (receiver-side) goroutine.
+func (n *Net) deposit(f *Frame) byte {
+	if !n.Alive(n.cfg.Rank) {
+		return statusDead
+	}
+	if f.Gen != n.gen.Load() {
+		return statusStaleGen // zombie writer from a previous incarnation
+	}
+	n.regMu.RLock()
+	h := n.regs[f.Key]
+	n.regMu.RUnlock()
+	if h == nil {
+		return statusNotRegistered
+	}
+	status := statusOK
+	for _, rec := range f.Records {
+		if h(f.From, rec) != nil {
+			status = statusHandlerErr
+		}
+	}
+	return status
+}
+
+// serveProbe answers a delegated ping: probe the target from this rank's
+// own vantage point and report the verdict.
+func (n *Net) serveProbe(f *Frame) byte {
+	if !n.Alive(n.cfg.Rank) {
+		return statusDead
+	}
+	if len(f.Records) != 1 || len(f.Records[0]) != 4 {
+		return statusTransient
+	}
+	target := int(int32(binary.LittleEndian.Uint32(f.Records[0])))
+	if target < 0 || target >= len(n.cfg.Peers) {
+		return statusTransient
+	}
+	err := n.localPing(target)
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, fabric.ErrTransient):
+		return statusTransient
+	default:
+		return statusUnreachable
+	}
+}
+
+// serveHello handles a rendezvous announcement at rank 0: record the
+// arrival, block this connection's goroutine until the whole cluster has
+// arrived, then release the sender with the cluster generation. The false
+// return means the link must be dropped without a reply.
+func (n *Net) serveHello(f *Frame) (*Frame, bool) {
+	if n.cfg.Rank != 0 {
+		return nil, false // only rank 0 hosts the rendezvous
+	}
+	ready := n.helloArrived(f.From)
+	select {
+	case <-ready:
+		return &Frame{Type: frameHelloAck, From: n.cfg.Rank, Gen: n.gen.Load()}, true
+	case <-time.After(n.cfg.RendezvousTimeout):
+		return nil, false
+	case <-n.done:
+		return nil, false
+	}
+}

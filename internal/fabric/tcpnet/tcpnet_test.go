@@ -1,0 +1,302 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// newTestCluster builds an n-rank loopback cluster in one process: each
+// rank pre-binds a :0 listener so the full peer list is known before any
+// Net is constructed, then all ranks rendezvous concurrently.
+func newTestCluster(t *testing.T, n int) []*Net {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("rank %d: listen: %v", i, err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nets := make([]*Net, n)
+	for i := range nets {
+		nt, err := New(Config{
+			Rank:              i,
+			Peers:             addrs,
+			Listener:          lns[i],
+			DialTimeout:       time.Second,
+			AckTimeout:        2 * time.Second,
+			RendezvousTimeout: 10 * time.Second,
+			BarrierTimeout:    10 * time.Second,
+			HeartbeatInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("rank %d: New: %v", i, err)
+		}
+		nets[i] = nt
+	}
+	t.Cleanup(func() {
+		for _, nt := range nets {
+			nt.Close()
+		}
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, nt := range nets {
+		wg.Add(1)
+		go func(i int, nt *Net) {
+			defer wg.Done()
+			errs[i] = nt.Rendezvous()
+		}(i, nt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: rendezvous: %v", i, err)
+		}
+	}
+	return nets
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no peers", Config{Rank: 0}},
+		{"rank out of range", Config{Rank: 3, Peers: []string{"a:1", "b:1"}}},
+		{"negative rank", Config{Rank: -1, Peers: []string{"a:1"}}},
+		{"empty address", Config{Rank: 0, Peers: []string{"a:1", ""}}},
+		{"duplicate address", Config{Rank: 0, Peers: []string{"a:1", "a:1"}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if err := (Config{Rank: 1, Peers: []string{"a:1", "b:1"}}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRendezvousSharesGeneration(t *testing.T) {
+	nets := newTestCluster(t, 3)
+	gen := nets[0].Generation()
+	if gen == 0 {
+		t.Fatal("rank 0 has zero generation")
+	}
+	for i, nt := range nets {
+		if nt.Generation() != gen {
+			t.Fatalf("rank %d generation %d != rank 0 generation %d", i, nt.Generation(), gen)
+		}
+	}
+}
+
+func TestWriteDepositsIntoHandler(t *testing.T) {
+	nets := newTestCluster(t, 3)
+
+	type rec struct {
+		from int
+		data string
+	}
+	var mu sync.Mutex
+	var got []rec
+	if err := nets[1].Register(1, "w", func(from int, b []byte) error {
+		mu.Lock()
+		got = append(got, rec{from, string(b)})
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := nets[0].Write(0, 1, "w", []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := nets[2].WriteBatch(2, 1, "w", [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatalf("write batch: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []rec{{0, "hello"}, {2, "a"}, {2, "b"}, {2, "c"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// The batch was one frame with one ack: the coalesced counters moved.
+	if recs := nets[2].Stats().CoalescedRecords(); recs != 3 {
+		t.Fatalf("coalesced records = %d, want 3", recs)
+	}
+	if ops := nets[2].Stats().CoalescedWrites(); ops != 1 {
+		t.Fatalf("coalesced writes = %d, want 1", ops)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	nets := newTestCluster(t, 2)
+
+	if err := nets[0].Write(0, 1, "nope", []byte("x")); !errors.Is(err, fabric.ErrNotRegistered) {
+		t.Fatalf("unregistered key: want ErrNotRegistered, got %v", err)
+	}
+	if err := nets[0].Write(1, 0, "w", []byte("x")); err == nil {
+		t.Fatal("write on behalf of a remote rank: want error, got nil")
+	}
+	if err := nets[0].Register(1, "w", func(int, []byte) error { return nil }); err == nil {
+		t.Fatal("remote register: want error, got nil")
+	}
+	if err := nets[1].Register(1, "w", func(int, []byte) error { return errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 1, "w", []byte("x")); err == nil {
+		t.Fatal("handler error: want error, got nil")
+	}
+	if err := nets[1].Unregister(1, "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 1, "w", []byte("x")); !errors.Is(err, fabric.ErrNotRegistered) {
+		t.Fatalf("after unregister: want ErrNotRegistered, got %v", err)
+	}
+}
+
+func TestPingDirectAndDelegated(t *testing.T) {
+	nets := newTestCluster(t, 3)
+
+	if err := nets[0].Ping(0, 2); err != nil {
+		t.Fatalf("direct ping: %v", err)
+	}
+	// Delegated: ask rank 1 to probe rank 2 from its own vantage point —
+	// the fault monitor's cross-confirmation path.
+	if err := nets[0].Ping(1, 2); err != nil {
+		t.Fatalf("delegated ping: %v", err)
+	}
+
+	nets[2].Kill(2)
+	waitFor(t, "rank 0 sees rank 2 dead", func() bool { return !nets[0].Alive(2) })
+	if err := nets[0].Ping(0, 2); err == nil {
+		t.Fatal("ping to dead rank: want error, got nil")
+	}
+	waitFor(t, "rank 1 sees rank 2 dead", func() bool { return !nets[1].Alive(2) })
+	if err := nets[0].Ping(1, 2); err == nil {
+		t.Fatal("delegated ping to dead rank: want error, got nil")
+	}
+}
+
+func TestBarrierReleasesAllRanks(t *testing.T) {
+	nets := newTestCluster(t, 3)
+	for round := 0; round < 3; round++ {
+		name := fmt.Sprintf("step:%d", round)
+		var wg sync.WaitGroup
+		errs := make([]error, len(nets))
+		for i, nt := range nets {
+			wg.Add(1)
+			go func(i int, nt *Net) {
+				defer wg.Done()
+				errs[i] = nt.Barrier(name, nt.Rank())
+			}(i, nt)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d rank %d: %v", round, i, err)
+			}
+		}
+	}
+}
+
+func TestKillDrivesLivenessAndBarrierPruning(t *testing.T) {
+	nets := newTestCluster(t, 3)
+
+	var observed atomic.Int32
+	nets[0].OnLivenessChange(func(rank int, alive bool) {
+		if rank == 2 && !alive {
+			observed.Add(1)
+		}
+	})
+
+	// Rank 2 dies mid-run. Its own endpoint reports sender-dead; peers
+	// converge on unreachable via heartbeat strike-out (refused dials).
+	if err := nets[2].Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[2].Write(2, 0, "w", []byte("x")); !errors.Is(err, fabric.ErrSenderDead) {
+		t.Fatalf("write from killed rank: want ErrSenderDead, got %v", err)
+	}
+	waitFor(t, "rank 0 marks rank 2 dead", func() bool { return !nets[0].Alive(2) })
+	waitFor(t, "rank 1 marks rank 2 dead", func() bool { return !nets[1].Alive(2) })
+	if observed.Load() != 1 {
+		t.Fatalf("liveness watcher fired %d times for rank 2, want 1", observed.Load())
+	}
+	if err := nets[0].Write(0, 2, "w", []byte("x")); !errors.Is(err, fabric.ErrUnreachable) {
+		t.Fatalf("write to dead rank: want ErrUnreachable, got %v", err)
+	}
+
+	// Survivors still make progress: the coordinator prunes rank 2 from
+	// barrier membership.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, nt := range nets[:2] {
+		wg.Add(1)
+		go func(i int, nt *Net) {
+			defer wg.Done()
+			errs[i] = nt.Barrier("after-death", nt.Rank())
+		}(i, nt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("survivor rank %d barrier: %v", i, err)
+		}
+	}
+
+	alive := nets[0].AliveRanks()
+	if len(alive) != 2 || alive[0] != 0 || alive[1] != 1 {
+		t.Fatalf("alive ranks = %v, want [0 1]", alive)
+	}
+}
+
+func TestKillRemoteRejected(t *testing.T) {
+	nets := newTestCluster(t, 2)
+	if err := nets[0].Kill(1); err == nil {
+		t.Fatal("remote kill: want error, got nil")
+	}
+}
+
+func TestStaleGenerationRejected(t *testing.T) {
+	nets := newTestCluster(t, 2)
+	if err := nets[1].Register(1, "w", func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A zombie from a previous incarnation: same address book, wrong
+	// generation.
+	nets[0].gen.Store(nets[0].gen.Load() + 1)
+	err := nets[0].Write(0, 1, "w", []byte("x"))
+	if !errors.Is(err, fabric.ErrUnreachable) {
+		t.Fatalf("stale-generation write: want ErrUnreachable, got %v", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

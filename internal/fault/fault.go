@@ -104,18 +104,21 @@ type SuspicionStats struct {
 // the fabric, and cross-monitor probes are fabric pings so partitions and
 // death are respected).
 type Group struct {
-	fab      *fabric.Fabric
+	fab      fabric.Transport
 	monitors []*Monitor
 }
 
 // NewGroup creates one Monitor per fabric rank with default suspicion.
-func NewGroup(fab *fabric.Fabric) *Group {
+func NewGroup(fab fabric.Transport) *Group {
 	return NewGroupWith(fab, SuspicionConfig{})
 }
 
 // NewGroupWith creates one Monitor per fabric rank with the given
-// suspicion configuration.
-func NewGroupWith(fab *fabric.Fabric, cfg SuspicionConfig) *Group {
+// suspicion configuration. The transport may be the simulated fabric or a
+// networked backend: delegated health-check probes (Ping with from != the
+// monitor's rank) are part of the Transport contract, so the confirmation
+// protocol is transport-agnostic.
+func NewGroupWith(fab fabric.Transport, cfg SuspicionConfig) *Group {
 	cfg = cfg.withDefaults()
 	g := &Group{fab: fab}
 	g.monitors = make([]*Monitor, fab.Ranks())

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// IterSkew flags SetIteration calls whose argument shape cannot be
+// monotonically increasing. The iteration stamp is load-bearing: scatters
+// carry it on the wire, SSP's staleness bound compares it across ranks, and
+// the gather path uses it to order per-sender updates. A stamp that stays
+// constant (a literal, a named constant), wraps (a `%` expression), or
+// decreases (a top-level subtraction) silently defeats all three — SSP
+// never stalls because nobody appears to advance, and "new since last
+// gather" is computed against a clock that runs backwards. The analyzer
+// looks through conversions (`uint64(i % n)` is still a wrap) and flags the
+// shapes that are wrong by construction; genuinely advancing arguments
+// (`iter`, `iter+1`, `uint64(round+1)`) pass untouched.
+var IterSkew = &Analyzer{
+	Name: "iterskew",
+	Doc:  "SetIteration arguments must be able to advance: no constants, wraps (%), or subtractions",
+	Run:  runIterSkew,
+}
+
+func runIterSkew(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Name() != "SetIteration" {
+				return true
+			}
+			if pkgPath, _, ok := recvTypeName(fn); !ok || !maltPackage(pkgPath) {
+				return true
+			}
+			arg := call.Args[0]
+			switch shape := unwrapConversions(pass, unparen(arg)); {
+			case pass.Info.Types[arg].Value != nil:
+				pass.Reportf(arg.Pos(),
+					"SetIteration argument is a constant; the iteration stamp must advance every round (SSP staleness and update ordering compare it across ranks)")
+			case isBinaryOp(shape, token.REM):
+				pass.Reportf(arg.Pos(),
+					"SetIteration argument wraps (modulo); a wrapped iteration stamp runs backwards at each wrap, breaking SSP staleness and update ordering")
+			case isBinaryOp(shape, token.SUB):
+				pass.Reportf(arg.Pos(),
+					"SetIteration argument is a subtraction; a decreasing iteration stamp breaks SSP staleness and update ordering")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unwrapConversions strips type conversions (uint64(x), MyIter(x)) and
+// parentheses so the underlying argument shape is judged, not its cast.
+func unwrapConversions(pass *Pass, e ast.Expr) ast.Expr {
+	for {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return unparen(e)
+		}
+		if tv, ok := pass.Info.Types[call.Fun]; !ok || !tv.IsType() {
+			return unparen(e)
+		}
+		e = call.Args[0]
+	}
+}
+
+func isBinaryOp(e ast.Expr, op token.Token) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	return ok && b.Op == op
+}

@@ -1,7 +1,7 @@
 // Package lint is maltlint: a static-analysis suite that machine-checks the
 // invariants MALT's correctness rests on but Go's type system cannot express.
 //
-// The seven analyzers (see their files for details):
+// The eight analyzers (see their files for details):
 //
 //   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
 //     errors.Is, never == / != / switch — wrapped errors (every fabric error
@@ -27,6 +27,9 @@
 //   - queuelen: vol.Options{QueueLen: 1} pins a depth-1 receive ring that
 //     overwrites all but the newest update per sender; only ablation files
 //     (internal/bench/) may do that deliberately.
+//   - iterskew: SetIteration arguments must be able to advance — a
+//     constant, a `%` wrap, or a top-level subtraction produces an
+//     iteration stamp that SSP staleness and update ordering cannot trust.
 //
 // The framework is intentionally dependency-free: it mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
@@ -138,7 +141,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew}
 }
 
 // allowIndex maps file -> line -> analyzer names suppressed on that line.

@@ -1,0 +1,58 @@
+// Package iterskew seeds non-monotonic iteration stamps for the iterskew
+// analyzer.
+package iterskew
+
+import "malt/internal/dstorm"
+
+const warmupIter = 3
+
+func constantLiteral(seg *dstorm.Segment) {
+	seg.SetIteration(1) // want `constant`
+}
+
+func constantConverted(seg *dstorm.Segment) {
+	seg.SetIteration(uint64(42)) // want `constant`
+}
+
+func constantNamed(seg *dstorm.Segment) {
+	seg.SetIteration(warmupIter) // want `constant`
+}
+
+func wraps(seg *dstorm.Segment, iter, ring uint64) {
+	seg.SetIteration(iter % ring) // want `wraps`
+}
+
+func wrapsConverted(seg *dstorm.Segment, i, n int) {
+	seg.SetIteration(uint64(i % n)) // want `wraps`
+}
+
+func decreases(seg *dstorm.Segment, iter uint64) {
+	seg.SetIteration(iter - 1) // want `subtraction`
+}
+
+// advancing shapes are the intended usage and stay silent.
+func advancing(seg *dstorm.Segment, iter uint64, round int) {
+	seg.SetIteration(iter)
+	seg.SetIteration(iter + 1)
+	seg.SetIteration(uint64(round + 1))
+}
+
+// nested subtractions inside an advancing shape are fine: only the
+// top-level operator decides whether the stamp can advance.
+func nestedSubtraction(seg *dstorm.Segment, hi, lo uint64) {
+	seg.SetIteration(hi + (hi - lo))
+}
+
+// otherSetIteration: same method name on a non-malt type is not the
+// iteration stamp.
+type localClock struct{ iter uint64 }
+
+func (c *localClock) SetIteration(iter uint64) { c.iter = iter }
+
+func otherSetIteration(c *localClock) {
+	c.SetIteration(1)
+}
+
+func annotatedIsSuppressed(seg *dstorm.Segment) {
+	seg.SetIteration(1) //maltlint:allow iterskew -- fixture: deliberate fixed stamp
+}
