@@ -8,6 +8,11 @@
 // A chaos scenario subjects the run to a scripted hostile network:
 //
 //	maltrun -ranks 4 -sync asp -chaos "flaky=0.05;blackout=1@100ms+80ms;kill=3@300ms"
+//
+// A crashed rank rejoins a still-running tcp cluster (survivors started
+// with -publish donate it a state snapshot):
+//
+//	maltrun -transport tcp -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -rejoin -publish ...
 package main
 
 import (
@@ -53,10 +58,12 @@ func main() {
 		transport = flag.String("transport", "inproc", "interconnect: inproc (simulated fabric) or tcp (one process per rank over real sockets; svm only)")
 		listen    = flag.String("listen", "", "this rank's host:port (tcp transport)")
 		peersStr  = flag.String("peers", "", "comma-separated host:port list for every rank; this rank = position of -listen in the list (tcp transport)")
+		rejoin    = flag.Bool("rejoin", false, "rejoin a running tcp cluster after a crash instead of rendezvousing: mint a fresh membership epoch, pull a state snapshot from a publishing survivor, and resume (tcp transport, non-zero rank)")
+		publish   = flag.Bool("publish", false, "publish this rank's recoverable state (model, iteration, optimizer scalars) every batch so it can donate snapshots to rejoining peers (tcp transport)")
 	)
 	flag.Parse()
 
-	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr)
+	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr, *rejoin)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -164,12 +171,19 @@ func main() {
 		defer tnet.Close()
 		opts.Transport = tnet
 		opts.LocalRank = tspec.rank
+		opts.Rejoin = tspec.rejoin
+		opts.PublishState = *publish
 	}
 	res, err := bench.RunSVM(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	if tspec.tcp() {
+		// Each process's exit-time membership view, so an operator (or the
+		// CI smoke) can assert the whole cluster healed after a rejoin.
+		fmt.Printf("survivors: %v\n", res.Cluster.Context(tspec.rank).Monitor().Survivors())
+	}
 	if tspec.tcp() && tspec.rank != 0 {
 		// Only rank 0's process samples the curve and owns the final
 		// model; the other processes report their local phase breakdown

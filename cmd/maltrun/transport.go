@@ -13,7 +13,8 @@ type transportSpec struct {
 	kind   string // "inproc" or "tcp"
 	listen string
 	peers  []string
-	rank   int // index of listen in peers (tcp only)
+	rank   int  // index of listen in peers (tcp only)
+	rejoin bool // skip rendezvous and join a running cluster (tcp only)
 }
 
 func (s *transportSpec) tcp() bool { return s.kind == "tcp" }
@@ -21,11 +22,14 @@ func (s *transportSpec) tcp() bool { return s.kind == "tcp" }
 // validateTransportFlags checks the transport flag triple before anything
 // binds a socket or loads a dataset, so a mis-assembled cluster fails fast
 // with an actionable message on every rank.
-func validateTransportFlags(kind, listen, peers, chaosSpec string) (*transportSpec, error) {
+func validateTransportFlags(kind, listen, peers, chaosSpec string, rejoin bool) (*transportSpec, error) {
 	switch kind {
 	case "inproc":
 		if listen != "" || peers != "" {
 			return nil, fmt.Errorf("maltrun: -listen and -peers are only meaningful with -transport=tcp (got -transport=inproc)")
+		}
+		if rejoin {
+			return nil, fmt.Errorf("maltrun: -rejoin requires -transport=tcp (in-process runs rejoin via chaos join events)")
 		}
 		return &transportSpec{kind: kind}, nil
 	case "tcp":
@@ -61,15 +65,28 @@ func validateTransportFlags(kind, listen, peers, chaosSpec string) (*transportSp
 	if spec.rank < 0 {
 		return nil, fmt.Errorf("maltrun: -listen %q does not appear in -peers %q; the rank is its position in the peer list", listen, peers)
 	}
+	if rejoin {
+		if spec.rank == 0 {
+			return nil, fmt.Errorf("maltrun: -rejoin is only valid for a non-zero rank; rank 0 coordinates admission and cannot rejoin itself")
+		}
+		spec.rejoin = true
+	}
 	return spec, nil
 }
 
 // dialTCP binds this rank's listener and blocks in the rank-0 rendezvous
-// until the whole peer list has assembled.
+// until the whole peer list has assembled. In rejoin mode the rendezvous is
+// skipped: the cluster is already running, and admission happens later via
+// the epoch-stamped JOIN handshake with rank 0 (driven by cluster.Rejoin).
 func dialTCP(spec *transportSpec) (*tcpnet.Net, error) {
 	n, err := tcpnet.New(tcpnet.Config{Rank: spec.rank, Peers: spec.peers})
 	if err != nil {
 		return nil, err
+	}
+	if spec.rejoin {
+		fmt.Printf("tcp transport: rank %d of %d listening on %s; rejoining running cluster via %s\n",
+			spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
+		return n, nil
 	}
 	fmt.Printf("tcp transport: rank %d of %d listening on %s; waiting for rendezvous at %s\n",
 		spec.rank, len(spec.peers), n.Addr(), spec.peers[0])

@@ -13,6 +13,7 @@ func TestValidateTransportFlags(t *testing.T) {
 		listen  string
 		peers   string
 		chaos   string
+		rejoin  bool
 		wantErr string // substring of the error, empty = success
 		rank    int
 	}{
@@ -42,10 +43,17 @@ func TestValidateTransportFlags(t *testing.T) {
 		{name: "rank 2", kind: "tcp", listen: "127.0.0.1:7003", peers: peers, rank: 2},
 		{name: "peers with spaces", kind: "tcp", listen: "127.0.0.1:7002",
 			peers: "127.0.0.1:7001, 127.0.0.1:7002, 127.0.0.1:7003", rank: 1},
+		{name: "rejoin rank 2", kind: "tcp", listen: "127.0.0.1:7003", peers: peers,
+			rejoin: true, rank: 2},
+		{name: "rejoin rank 0", kind: "tcp", listen: "127.0.0.1:7001", peers: peers,
+			rejoin:  true,
+			wantErr: "-rejoin is only valid for a non-zero rank"},
+		{name: "rejoin inproc", kind: "inproc", rejoin: true,
+			wantErr: "-rejoin requires -transport=tcp"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			spec, err := validateTransportFlags(tc.kind, tc.listen, tc.peers, tc.chaos)
+			spec, err := validateTransportFlags(tc.kind, tc.listen, tc.peers, tc.chaos, tc.rejoin)
 			if tc.wantErr != "" {
 				if err == nil {
 					t.Fatalf("want error containing %q, got nil", tc.wantErr)
@@ -63,6 +71,9 @@ func TestValidateTransportFlags(t *testing.T) {
 			}
 			if tc.kind == "tcp" && spec.rank != tc.rank {
 				t.Fatalf("rank = %d, want %d", spec.rank, tc.rank)
+			}
+			if spec.rejoin != tc.rejoin {
+				t.Fatalf("rejoin = %v, want %v", spec.rejoin, tc.rejoin)
 			}
 		})
 	}

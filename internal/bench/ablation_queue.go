@@ -41,6 +41,11 @@ func init() {
 					r.Linef("%-8d %10d %12d %12d", depth, rounds, consumed, overwritten)
 					r.Metric(fmt.Sprintf("overwritten_q%d", depth), float64(overwritten))
 					r.Metric(fmt.Sprintf("consumed_q%d", depth), float64(consumed))
+					// Conservation invariant: every deposited update is
+					// either consumed or overwritten — never lost, never
+					// duplicated. The split between the two is timing
+					// noise; the sum is exact.
+					r.Metric(fmt.Sprintf("delivered_q%d_exact", depth), float64(consumed+overwritten))
 				}
 				r.Linef("(deeper rings lose fewer updates; MALT accepts the loss — updates are approximate)")
 				return nil

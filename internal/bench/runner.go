@@ -78,15 +78,29 @@ type SVMOpts struct {
 	Transport fabric.Transport
 	// LocalRank is this process's rank when Transport is set.
 	LocalRank int
+	// Rejoin re-admits LocalRank into an already-running multi-process
+	// cluster instead of rendezvousing: the transport mints a fresh
+	// membership epoch, a snapshot is pulled from a publishing survivor
+	// (see PublishState), and the replica resumes from it. Requires
+	// Transport; the restarted process must not have called Rendezvous.
+	Rejoin bool
 	// KillRank/KillAtIter inject a crash: the given rank dies when it
 	// reaches the given batch count (0 disables).
 	KillRank   int
 	KillAtIter uint64
 	// Chaos, when non-nil, drives the fabric through the scripted fault
 	// scenario for the duration of the run (transient drops, blackouts,
-	// stragglers, timed kills and partitions). Pending events are cancelled
-	// when training finishes first.
+	// stragglers, timed kills, rejoins and partitions). Pending events are
+	// cancelled when training finishes first. Scripted join/restart events
+	// run the full cluster-level rejoin: the rank is readmitted under a
+	// fresh epoch, pulls a state snapshot from a publishing survivor (see
+	// PublishState), and its replica goroutine is relaunched.
 	Chaos *chaos.Script
+	// PublishState makes every replica publish its recoverable state (model,
+	// iteration counter, SGD step count) after each batch, so it can donate a
+	// snapshot to a rank rejoining via a scripted join/restart event. Costs
+	// one model copy per batch.
+	PublishState bool
 	// Retry bounds per-write transient-fault retrying (zero = defaults).
 	Retry dstorm.RetryPolicy
 	// Pipeline, when non-nil, enables the per-destination send coalescer on
@@ -211,6 +225,9 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
 	}
+	if opts.Rejoin && opts.Transport == nil {
+		return nil, fmt.Errorf("bench: Rejoin requires an external transport (in-process runs rejoin via chaos join events)")
+	}
 	if opts.Chaos != nil {
 		if opts.Transport != nil {
 			return nil, fmt.Errorf("bench: chaos injection requires the simulated fabric; it is not supported on an external transport")
@@ -242,12 +259,6 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	var chaosRunner *chaos.Runner
-	if opts.Chaos != nil {
-		chaosRunner = opts.Chaos.Run(cluster.Fabric())
-		defer chaosRunner.Stop()
-	}
-
 	vtype := vol.Dense
 	if opts.Sparse {
 		vtype = vol.Sparse
@@ -278,8 +289,25 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		tailSum := make([]float64, opts.SVM.Dim)
 		tailN := 0
 		jrng := rand.New(rand.NewSource(int64(1000 + ctx.Rank())))
-		if err := ctx.Barrier(v); err != nil {
-			return err
+		iter := uint64(0)
+		startEpoch := 0
+		if resume := ctx.Resume(); resume != nil {
+			// Rejoined mid-training: seed the model, iteration counter and
+			// SGD step count from the donated snapshot instead of iteration
+			// zero, and skip ahead to the epoch the cluster is in.
+			copy(w, resume.Model)
+			iter = resume.Iter
+			tr.SetSteps(uint64(resume.Opt["steps"]))
+			if nb := (len(opts.DS.Train) / len(ctx.Survivors())) / opts.CB; nb > 0 {
+				startEpoch = int(iter) / nb
+			}
+		}
+		if !ctx.Rejoining() {
+			// A rejoining rank must not enter the startup barrier: the
+			// standing members passed it long ago and will never re-enter.
+			if err := ctx.Barrier(v); err != nil {
+				return err
+			}
 		}
 		// Rank 0 anchors the convergence-curve clock; under an external
 		// transport each process hosts one rank, so that rank stamps the
@@ -289,8 +317,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 			start = time.Now()
 			mu.Unlock()
 		}
-		iter := uint64(0)
-		for epoch := 0; epoch < opts.Epochs && !stop.Load(); epoch++ {
+		for epoch := startEpoch; epoch < opts.Epochs && !stop.Load(); epoch++ {
 			lo, hi, err := ctx.Shard(len(opts.DS.Train))
 			if err != nil {
 				return err // this rank is dead (removed from survivor list)
@@ -409,6 +436,11 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 					}
 					tailN++
 				}
+				if opts.PublishState {
+					if err := ctx.PublishState(iter, w, map[string]float64{"steps": float64(tr.Steps())}); err != nil {
+						return err
+					}
+				}
 				if err := ctx.Commit(v); err != nil {
 					return err
 				}
@@ -429,8 +461,47 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		}
 		return nil
 	}
+	// Scripted join/restart events run the full elastic-membership path:
+	// cluster-level rejoin (epoch mint, send/receive-list restore, snapshot
+	// pull from a publishing survivor) followed by a relaunch of the rank's
+	// replica goroutine, whose outcome replaces the killed incarnation's.
+	var (
+		rejoinWG  sync.WaitGroup
+		rejoinMu  sync.Mutex
+		rejoinErr = map[int]error{}
+	)
+	var chaosRunner *chaos.Runner
+	if opts.Chaos != nil {
+		opts.Chaos.HandleJoin(func(rank int) error {
+			if _, err := cluster.Rejoin(rank); err != nil {
+				return err
+			}
+			rejoinWG.Add(1)
+			go func() {
+				err := cluster.Context(rank).Monitor().Guard(func() error {
+					return replica(cluster.Context(rank))
+				})
+				rejoinMu.Lock()
+				rejoinErr[rank] = err
+				rejoinMu.Unlock()
+				rejoinWG.Done()
+			}()
+			return nil
+		})
+		chaosRunner = opts.Chaos.Run(cluster.Fabric())
+		defer chaosRunner.Stop()
+	}
 	var res *core.Result
 	if opts.Transport != nil {
+		if opts.Rejoin {
+			// Restarted process: re-admit this rank (minting a fresh
+			// membership epoch) and pull a snapshot from a publishing
+			// survivor before the replica starts. The replica observes
+			// ctx.Rejoining() and resumes instead of starting cold.
+			if _, err := cluster.Rejoin(opts.LocalRank); err != nil {
+				return nil, err
+			}
+		}
 		// Multi-process: this process hosts exactly one replica; its peers
 		// run in their own processes over the shared transport.
 		res, err = cluster.RunLocal(opts.LocalRank, replica)
@@ -441,7 +512,14 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		res = cluster.Run(replica)
 	}
 	if chaosRunner != nil {
+		// Stop first (no further joins can fire), then wait out any replica
+		// a join event relaunched and adopt its outcome in place of the
+		// killed incarnation's expected error.
 		chaosRunner.Stop()
+		rejoinWG.Wait()
+		for rank, e := range rejoinErr {
+			res.PerRank[rank].Err = e
+		}
 	}
 	if errs := res.LiveErrors(cluster.Transport().Alive); len(errs) > 0 {
 		return nil, errs[0]

@@ -1,7 +1,7 @@
 // Package chaos drives a simulated fabric through scripted, seeded fault
 // scenarios while a training run is in flight: baseline link flakiness,
-// blackout windows, stragglers, permanent kills, partitions and heals, all
-// scheduled on a wall-clock timeline. A Script is the declarative scenario;
+// blackout windows, stragglers, permanent kills, rejoins and restarts,
+// partitions and heals, all scheduled on a wall-clock timeline. A Script is the declarative scenario;
 // Run applies its baseline fault model to the fabric and starts a Runner
 // goroutine that fires the timed events in order. Because every random
 // draw inside the fabric's chaos layer comes from seeded per-link streams
@@ -52,18 +52,41 @@ type Script struct {
 	events []Event
 
 	// Validation metadata, recorded by the builders: the highest rank id any
-	// event references, each rank's earliest kill offset, and every blackout
-	// window. Validate checks these against a concrete cluster size before
-	// the script is let loose on a fabric.
+	// event references, each rank's kill/join/restart sequence, and every
+	// blackout window. Validate checks these against a concrete cluster size
+	// before the script is let loose on a fabric.
 	maxRank   int
-	kills     map[int]time.Duration
+	lifecycle []rankEvent
 	blackouts []rankWindow
+
+	// joinFn, when installed with HandleJoin, replaces the raw fabric
+	// admission that join/restart events perform.
+	joinFn func(rank int) error
 }
 
-// rankWindow is one timed per-rank window (a blackout).
+// rankWindow is one timed per-rank window (a blackout), half-open [at, end).
 type rankWindow struct {
+	rank    int
+	at, end time.Duration
+}
+
+// lifeKind distinguishes the membership events of one rank's timeline. The
+// ordering matters: when events tie on the same offset, Validate applies
+// joins before kills, so a join scheduled at exactly its kill's offset is
+// rejected (a join must strictly follow the death it heals).
+type lifeKind int
+
+const (
+	lifeJoin lifeKind = iota
+	lifeKill
+	lifeRestart
+)
+
+// rankEvent is one membership transition on a rank's timeline.
+type rankEvent struct {
 	rank int
 	at   time.Duration
+	kind lifeKind
 }
 
 // New creates an empty scenario whose injection streams derive from seed.
@@ -74,7 +97,6 @@ func New(seed int64) *Script {
 			Links: make(map[[2]int]fabric.LinkFault),
 		},
 		maxRank: -1,
-		kills:   make(map[int]time.Duration),
 	}
 }
 
@@ -136,11 +158,57 @@ func (s *Script) add(at time.Duration, desc string, apply func(*fabric.Fabric) e
 // KillAt permanently kills a rank at the given offset (fail-stop crash).
 func (s *Script) KillAt(at time.Duration, rank int) *Script {
 	s.noteRank(rank)
-	if prev, ok := s.kills[rank]; !ok || at < prev {
-		s.kills[rank] = at
-	}
+	s.lifecycle = append(s.lifecycle, rankEvent{rank: rank, at: at, kind: lifeKill})
 	return s.add(at, fmt.Sprintf("kill rank %d", rank),
 		func(f *fabric.Fabric) error { return f.Kill(rank) })
+}
+
+// JoinAt re-admits a previously-killed rank at the given offset: the
+// transport mints a fresh membership epoch, survivors rebuild their dataflow
+// lists, and the rank's old incarnation stays fenced behind the epoch check.
+// By default the event performs the raw fabric admission (Fabric.Join);
+// workloads that must also pull a state snapshot and restart the replica
+// goroutine install their cluster-level rejoin with HandleJoin.
+func (s *Script) JoinAt(at time.Duration, rank int) *Script {
+	s.noteRank(rank)
+	s.lifecycle = append(s.lifecycle, rankEvent{rank: rank, at: at, kind: lifeJoin})
+	return s.add(at, fmt.Sprintf("join rank %d", rank),
+		func(f *fabric.Fabric) error { return s.applyJoin(f, rank) })
+}
+
+// RestartAt bounces a rank at the given offset: a fail-stop kill followed
+// immediately by a rejoin under a fresh epoch — the "process restarted by a
+// supervisor" pattern compressed to one instant. Unlike JoinAt it needs no
+// prior kill in the script.
+func (s *Script) RestartAt(at time.Duration, rank int) *Script {
+	s.noteRank(rank)
+	s.lifecycle = append(s.lifecycle, rankEvent{rank: rank, at: at, kind: lifeRestart})
+	return s.add(at, fmt.Sprintf("restart rank %d", rank),
+		func(f *fabric.Fabric) error {
+			if err := f.Kill(rank); err != nil {
+				return err
+			}
+			return s.applyJoin(f, rank)
+		})
+}
+
+// HandleJoin installs the function join/restart events call to re-admit a
+// rank, replacing the default raw fabric admission. Training harnesses point
+// it at their cluster-level rejoin (snapshot pull, replica restart). Must be
+// set before Run.
+func (s *Script) HandleJoin(fn func(rank int) error) *Script {
+	s.joinFn = fn
+	return s
+}
+
+// applyJoin re-admits rank through the installed handler or, absent one,
+// the fabric's own membership join.
+func (s *Script) applyJoin(f *fabric.Fabric, rank int) error {
+	if s.joinFn != nil {
+		return s.joinFn(rank)
+	}
+	_, err := f.Join(rank)
+	return err
 }
 
 // PartitionAt splits the fabric into the given groups at the offset.
@@ -167,7 +235,7 @@ func (s *Script) HealAt(at time.Duration) *Script {
 // link renegotiation). Two events are scheduled: on and off.
 func (s *Script) BlackoutAt(at, dur time.Duration, rank int) *Script {
 	s.noteRank(rank)
-	s.blackouts = append(s.blackouts, rankWindow{rank: rank, at: at})
+	s.blackouts = append(s.blackouts, rankWindow{rank: rank, at: at, end: at + dur})
 	s.add(at, fmt.Sprintf("blackout rank %d on", rank),
 		func(f *fabric.Fabric) error { return f.SetRankBlackout(rank, true) })
 	return s.add(at+dur, fmt.Sprintf("blackout rank %d off", rank),
@@ -205,12 +273,23 @@ func setRankStraggler(f *fabric.Fabric, rank int, prob, mult float64) error {
 }
 
 // Validate checks the script against a concrete cluster size before it is
-// let loose on a fabric: every referenced rank must exist, and no blackout
-// window may start at or after the same rank's kill — blacking out a dead
-// machine is a contradiction that would otherwise surface mid-run as a
-// confusing fabric error in the chaos log. Parse catches spec-level
-// malformations (negative ranks, degenerate windows); Validate catches
-// what only the cluster size determines.
+// let loose on a fabric: every referenced rank must exist, and the script's
+// membership timeline must be coherent. It replays each rank's
+// kill/join/restart sequence in offset order and rejects the contradictions
+// that would otherwise surface mid-run as confusing fabric errors in the
+// chaos log:
+//
+//   - a blackout window starting while its rank is dead (blacking out a dead
+//     machine is a no-op that weakens the experiment);
+//   - a join of a rank that is alive at that point — including a rank the
+//     script never kills, and a second join without an intervening kill;
+//   - a join or restart inside the rank's own blackout window (a machine
+//     whose links are dark cannot complete the rejoin handshake).
+//
+// Joins must strictly follow the kill they heal; a restart carries its own
+// kill and may fire at any time. Parse catches spec-level malformations
+// (negative ranks, degenerate windows); Validate catches what only the
+// cluster size and the assembled timeline determine.
 func (s *Script) Validate(ranks int) error {
 	if ranks <= 0 {
 		return fmt.Errorf("chaos: cluster size %d must be positive", ranks)
@@ -218,13 +297,75 @@ func (s *Script) Validate(ranks int) error {
 	if s.maxRank >= ranks {
 		return fmt.Errorf("chaos: script references rank %d but the cluster has ranks 0..%d", s.maxRank, ranks-1)
 	}
+	evs := append([]rankEvent(nil), s.lifecycle...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].kind < evs[j].kind
+	})
+	// Replay the membership timeline: every rank starts alive.
+	dead := make(map[int]bool)
+	for _, ev := range evs {
+		switch ev.kind {
+		case lifeKill:
+			dead[ev.rank] = true
+		case lifeJoin:
+			if !dead[ev.rank] {
+				return fmt.Errorf("chaos: join of rank %d at %v but the rank is alive there — a join must follow a kill", ev.rank, ev.at)
+			}
+			if w, ok := s.blackoutContaining(ev.rank, ev.at); ok {
+				return fmt.Errorf("chaos: join of rank %d at %v falls inside its own blackout [%v, %v)",
+					ev.rank, ev.at, w.at, w.end)
+			}
+			dead[ev.rank] = false
+		case lifeRestart:
+			if w, ok := s.blackoutContaining(ev.rank, ev.at); ok {
+				return fmt.Errorf("chaos: restart of rank %d at %v falls inside its own blackout [%v, %v)",
+					ev.rank, ev.at, w.at, w.end)
+			}
+			dead[ev.rank] = false
+		}
+	}
+	// Blackout windows must open on a machine that is alive at that instant
+	// (a window opened before a kill may legitimately outlast it).
 	for _, b := range s.blackouts {
-		if killAt, ok := s.kills[b.rank]; ok && b.at >= killAt {
+		if at, isDead := deadAt(evs, b.rank, b.at); isDead {
 			return fmt.Errorf("chaos: blackout of rank %d at %v starts at or after its kill at %v",
-				b.rank, b.at, killAt)
+				b.rank, b.at, at)
 		}
 	}
 	return nil
+}
+
+// blackoutContaining returns the rank's blackout window containing the
+// offset, if any. The interval is half-open: a join exactly at the window's
+// end is outside it.
+func (s *Script) blackoutContaining(rank int, at time.Duration) (rankWindow, bool) {
+	for _, b := range s.blackouts {
+		if b.rank == rank && at >= b.at && at < b.end {
+			return b, true
+		}
+	}
+	return rankWindow{}, false
+}
+
+// deadAt replays the (sorted) membership timeline up to and including the
+// offset and reports whether rank is dead there, along with its most recent
+// kill offset.
+func deadAt(evs []rankEvent, rank int, at time.Duration) (killAt time.Duration, dead bool) {
+	for _, ev := range evs {
+		if ev.rank != rank || ev.at > at {
+			continue
+		}
+		switch ev.kind {
+		case lifeKill:
+			dead, killAt = true, ev.at
+		case lifeJoin, lifeRestart:
+			dead = false
+		}
+	}
+	return killAt, dead
 }
 
 // Run installs the script's baseline fault model on the fabric and starts

@@ -178,3 +178,57 @@ func TestParseEmptySpecIsCleanScript(t *testing.T) {
 		t.Fatalf("clean script injected faults: %v", err)
 	}
 }
+
+// A scripted kill→join cycle drives the fabric's membership layer: the rank
+// is readmitted under a fresh epoch and its pre-death incarnation stays
+// fenced. A restart does both halves in one event.
+func TestRunnerJoinReadmitsRank(t *testing.T) {
+	f := newFab(t, 3)
+	before := f.Epoch()
+	r := New(1).
+		KillAt(2*time.Millisecond, 2).
+		JoinAt(6*time.Millisecond, 2).
+		RestartAt(10*time.Millisecond, 1).
+		Run(f)
+	defer r.Stop()
+	r.Wait()
+	for _, ev := range r.Log() {
+		if ev.Err != nil {
+			t.Fatalf("event %q failed: %v", ev.Desc, ev.Err)
+		}
+	}
+	if !f.Alive(2) || !f.Alive(1) {
+		t.Fatalf("ranks not readmitted: alive(1)=%v alive(2)=%v", f.Alive(1), f.Alive(2))
+	}
+	// kill+join+restart = at least three epoch bumps past the starting one.
+	if got := f.Epoch(); got < before+3 {
+		t.Fatalf("epoch = %d, want >= %d", got, before+3)
+	}
+}
+
+// HandleJoin replaces the raw fabric admission: training harnesses hook the
+// cluster-level rejoin (snapshot pull, replica restart) in here.
+func TestRunnerJoinUsesInstalledHandler(t *testing.T) {
+	f := newFab(t, 2)
+	joined := make(chan int, 1)
+	s := New(1).KillAt(2*time.Millisecond, 1).JoinAt(5*time.Millisecond, 1)
+	s.HandleJoin(func(rank int) error {
+		joined <- rank
+		_, err := f.Join(rank)
+		return err
+	})
+	r := s.Run(f)
+	defer r.Stop()
+	r.Wait()
+	select {
+	case got := <-joined:
+		if got != 1 {
+			t.Fatalf("handler saw rank %d, want 1", got)
+		}
+	default:
+		t.Fatal("join event did not call the installed handler")
+	}
+	if !f.Alive(1) {
+		t.Fatal("rank 1 not alive after handled join")
+	}
+}

@@ -14,6 +14,8 @@ import (
 //	flaky=F-T:P          directed link F→T drops with probability P
 //	jitter=P:M           every op straggles (cost ×M) with probability P
 //	kill=R@T             rank R dies permanently at offset T
+//	join=R@T             previously-killed rank R rejoins at offset T
+//	restart=R@T          rank R dies and immediately rejoins at offset T
 //	blackout=R@T+D       rank R's links fail transiently for [T, T+D)
 //	straggler=R:M@T+D    rank R's links cost ×M for [T, T+D)
 //	partition=A,B|C,D@T  split into groups {A,B} and {C,D} at offset T
@@ -112,6 +114,25 @@ func (p *parser) clause(clause string) error {
 			return err
 		}
 		s.KillAt(at, rank)
+		return nil
+	case "join", "restart":
+		rankStr, atStr, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("%s wants R@T", key)
+		}
+		rank, err := parseRank(rankStr)
+		if err != nil {
+			return err
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return err
+		}
+		if key == "join" {
+			s.JoinAt(at, rank)
+		} else {
+			s.RestartAt(at, rank)
+		}
 		return nil
 	case "blackout":
 		rankStr, win, ok := strings.Cut(val, "@")

@@ -3,6 +3,7 @@ package chaos
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // Parse cannot know the cluster size, but negative ids are invalid for
@@ -68,6 +69,38 @@ func TestParseRejectsDegenerateWindows(t *testing.T) {
 		"blackout=1@100ms+0s",    // zero duration
 		"blackout=1@100ms+-50ms", // negative duration
 		"straggler=2:4@50ms+0s",  // zero duration (shared window parser)
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+// join/restart clauses parse into timeline events and share the rank/offset
+// syntax (and its error handling) with kill.
+func TestParseJoinAndRestart(t *testing.T) {
+	s, err := Parse("kill=2@100ms;join=2@250ms;restart=1@300ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	if evs[1].Desc != "join rank 2" || evs[1].At != 250*time.Millisecond {
+		t.Fatalf("join event = %+v", evs[1])
+	}
+	if evs[2].Desc != "restart rank 1" || evs[2].At != 300*time.Millisecond {
+		t.Fatalf("restart event = %+v", evs[2])
+	}
+	for _, spec := range []string{
+		"join=2",          // missing @T
+		"join=x@1s",       // bad rank
+		"join=-1@100ms",   // negative rank
+		"join=2@notatime", // bad offset
+		"restart=1",       // missing @T
+		"restart=-3@50ms", // negative rank
+		"restart=1@bogus", // bad offset
 	} {
 		if _, err := Parse(spec, 1); err == nil {
 			t.Errorf("spec %q parsed without error", spec)

@@ -100,3 +100,89 @@ func TestValidateClusterSizeAndEmptyScript(t *testing.T) {
 		t.Fatal("rank-1 script on 1-rank cluster accepted")
 	}
 }
+
+// A join must heal a death: joining a rank that is alive at that point of
+// the timeline — never killed, or already rejoined — is a contradiction.
+// Kills and joins may alternate; a restart carries its own kill.
+func TestValidateJoinRules(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		ok   bool
+	}{
+		{"kill=1@100ms;join=1@200ms", true},
+		{"join=1@100ms", false},                                       // never killed
+		{"join=1@100ms;kill=1@200ms", false},                          // join precedes kill
+		{"kill=1@100ms;join=1@100ms", false},                          // join must be strictly later
+		{"kill=1@100ms;join=1@200ms;join=1@300ms", false},             // double join
+		{"kill=1@100ms;join=1@200ms;kill=1@300ms;join=1@400ms", true}, // alternation
+		{"kill=1@100ms;join=2@200ms", false},                          // wrong rank joined
+		{"restart=1@100ms", true},                                     // restart needs no prior kill
+		{"restart=1@100ms;restart=1@200ms", true},
+		{"kill=1@100ms;restart=1@200ms;join=1@300ms", false}, // restart leaves the rank alive
+	} {
+		s, err := Parse(tc.spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		err = s.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("Validate rejected %q: %v", tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Validate accepted incoherent %q", tc.spec)
+		}
+	}
+}
+
+// A machine whose links are dark cannot complete the rejoin handshake, so a
+// join (or a restart's implicit join) inside the rank's own blackout window
+// is rejected. The window is half-open: joining exactly at its end is fine,
+// as is joining during another rank's blackout.
+func TestValidateJoinDuringOwnBlackout(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		ok   bool
+	}{
+		{"blackout=1@50ms+200ms;kill=1@100ms;join=1@150ms", false},
+		{"blackout=1@50ms+100ms;kill=1@100ms;join=1@150ms", true}, // at window end
+		{"blackout=2@50ms+200ms;kill=1@100ms;join=1@150ms", true}, // other rank dark
+		{"blackout=1@50ms+200ms;restart=1@100ms", false},
+		{"blackout=1@50ms+200ms;restart=1@250ms", true},
+	} {
+		s, err := Parse(tc.spec, 1)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		err = s.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("Validate rejected %q: %v", tc.spec, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("Validate accepted join-in-blackout %q", tc.spec)
+			} else if !strings.Contains(err.Error(), "blackout") {
+				t.Errorf("Validate on %q: unexpected error %v", tc.spec, err)
+			}
+		}
+	}
+}
+
+// The blackout-of-a-dead-machine rule is timeline-aware: a rank that has
+// rejoined may black out again, while a blackout between its kill and its
+// join is still the old contradiction.
+func TestValidateBlackoutAroundRejoin(t *testing.T) {
+	s, err := Parse("kill=1@100ms;join=1@200ms;blackout=1@300ms+50ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("blackout after rejoin rejected: %v", err)
+	}
+	s, err = Parse("kill=1@100ms;join=1@300ms;blackout=1@200ms+50ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err == nil || !strings.Contains(err.Error(), "at or after its kill") {
+		t.Fatalf("blackout while dead accepted (err=%v)", err)
+	}
+}

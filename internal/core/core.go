@@ -145,6 +145,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.dsc.Node(r).SetRetryPolicy(cfg.Retry)
 		c.contexts[r] = c.newContext(r)
 	}
+	// Elastic membership: transport-level admissions flow into every local
+	// monitor, whose OnJoin callbacks then restore the rank in send/receive
+	// lists — the inverse of the OnDeath rebuild.
+	if m, ok := fab.(fabric.Membership); ok {
+		m.OnJoin(func(rank int, epoch uint64) {
+			for _, ctx := range c.contexts {
+				if ctx.rank != rank {
+					ctx.monitor.AdmitJoin(rank)
+				}
+			}
+		})
+	}
 	return c, nil
 }
 
@@ -314,6 +326,14 @@ type Context struct {
 	mu      sync.Mutex
 	vectors []*vol.Vector
 	iter    uint64
+
+	// Elastic-membership state (see snapshot.go).
+	snapMu    sync.Mutex
+	snap      *Snapshot      // latest state published for donors
+	snapSvc   bool           // snapshot-request service registered
+	snapCh    chan *Snapshot // rejoin landing channel
+	resume    *Snapshot      // snapshot adopted at rejoin
+	rejoining bool           // vector creation skips the creation barrier
 }
 
 func (c *Cluster) newContext(rank int) *Context {
@@ -338,6 +358,16 @@ func (c *Cluster) newContext(rank int) *Context {
 		ctx.mu.Unlock()
 		for _, v := range vecs {
 			v.RemovePeer(dead)
+		}
+	})
+	// Elastic recovery: a re-admitted peer returns to the send/receive
+	// lists at its original dataflow position, with fresh receive rings.
+	ctx.monitor.OnJoin(func(joined int) {
+		ctx.mu.Lock()
+		vecs := append([]*vol.Vector(nil), ctx.vectors...)
+		ctx.mu.Unlock()
+		for _, v := range vecs {
+			v.RestorePeer(joined)
 		}
 	})
 	return ctx
@@ -387,6 +417,11 @@ func (ctx *Context) CreateVectorOpts(name string, typ vol.Type, dim int, opts vo
 	}
 	if opts.FoldChunk == 0 {
 		opts.FoldChunk = ctx.cluster.cfg.FoldChunk
+	}
+	if ctx.Rejoining() {
+		// The standing members passed this vector's creation barrier long
+		// ago; a rejoining rank registers and proceeds.
+		opts.SkipCreationBarrier = true
 	}
 	v, err := vol.Create(ctx.node, name, typ, dim, ctx.cluster.graph, opts)
 	if err != nil {

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"malt/internal/consistency"
+	"malt/internal/fabric"
+	"malt/internal/fault"
+	"malt/internal/vol"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	in := &Snapshot{
+		Epoch: 42,
+		Iter:  7,
+		Model: []float64{1.5, -2.25, 0, math.Pi},
+		Opt:   map[string]float64{"steps": 9, "lr": 0.125},
+	}
+	out, err := DecodeSnapshot(EncodeSnapshot(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if _, err := DecodeSnapshot([]byte("bogus")); err == nil {
+		t.Fatal("corrupt snapshot decoded without error")
+	}
+	// Empty model and no scalars survive too.
+	min := &Snapshot{Model: []float64{}, Opt: map[string]float64{}}
+	if out, err = DecodeSnapshot(EncodeSnapshot(min)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Iter != 0 || len(out.Model) != 0 || len(out.Opt) != 0 {
+		t.Fatalf("minimal round trip: got %+v", out)
+	}
+}
+
+// createAll collectively creates the named vector on every live context.
+func createAll(t *testing.T, c *Cluster, name string, dim int, ranks []int) map[int]*vol.Vector {
+	t.Helper()
+	var mu sync.Mutex
+	out := make(map[int]*vol.Vector, len(ranks))
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v, err := c.Context(r).CreateVector(name, vol.Dense, dim)
+			if err != nil {
+				t.Errorf("rank %d: CreateVector: %v", r, err)
+				return
+			}
+			mu.Lock()
+			out[r] = v
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+func TestRejoinAdoptsSnapshotAndRestoresPeers(t *testing.T) {
+	c, err := NewCluster(Config{
+		Ranks:     3,
+		Sync:      consistency.ASP,
+		Suspicion: fault.SuspicionConfig{Strikes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	vecs := createAll(t, c, "w", 3, []int{0, 1, 2})
+
+	// Rank 0 has trained for a while and published its recoverable state.
+	if err := c.Context(0).PublishState(11, []float64{1, 2, 3}, map[string]float64{"steps": 11}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 2 dies; survivors confirm and rebuild.
+	if err := c.Fabric().Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		c.Context(r).Monitor().ReportFailedWrites([]int{2})
+	}
+	for r := 0; r < 2; r++ {
+		for _, p := range vecs[r].Segment().SendPeers() {
+			if p == 2 {
+				t.Fatalf("rank %d still sends to dead rank 2", r)
+			}
+		}
+	}
+
+	// A zombie of the old incarnation (revived but not re-admitted) is
+	// fenced by the epoch check, not silently accepted.
+	if err := c.Fabric().Revive(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fabric().Write(2, 0, "dstorm/vol/w", []byte("poison")); !errors.Is(err, fabric.ErrStaleEpoch) {
+		t.Fatalf("zombie write: want ErrStaleEpoch, got %v", err)
+	}
+	if c.Fabric().StaleEpochRejected() == 0 {
+		t.Fatal("zombie write was not counted as fenced")
+	}
+
+	// The rank properly rejoins: new epoch, snapshot from the designated
+	// donor (lowest live rank with published state — rank 0).
+	snap, err := c.Rejoin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("rejoin returned no snapshot despite a published donor state")
+	}
+	if snap.Iter != 11 || snap.Opt["steps"] != 11 {
+		t.Fatalf("snapshot = %+v, want iter 11, steps 11", snap)
+	}
+	if !reflect.DeepEqual(snap.Model, []float64{1, 2, 3}) {
+		t.Fatalf("snapshot model = %v", snap.Model)
+	}
+	if got := c.Context(2).Resume(); got == nil || got.Iter != 11 {
+		t.Fatalf("Resume() = %+v, want the adopted snapshot", got)
+	}
+
+	// Survivors restored rank 2 in their send lists at its dataflow spot.
+	for r := 0; r < 2; r++ {
+		found := false
+		for _, p := range vecs[r].Segment().SendPeers() {
+			if p == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d did not restore rank 2 after rejoin", r)
+		}
+	}
+
+	// The rejoined rank recreates its vector without a creation barrier
+	// (the survivors will never re-enter it) and traffic flows again.
+	v2, err := c.Context(2).CreateVector("w", vol.Dense, 3)
+	if err != nil {
+		t.Fatalf("rejoined CreateVector: %v", err)
+	}
+	copy(v2.Data(), []float64{9, 9, 9})
+	if err := c.Context(2).Scatter(v2); err != nil {
+		t.Fatalf("rejoined scatter: %v", err)
+	}
+	stats, err := c.Context(0).Gather(vecs[0], vol.AverageIncoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updates == 0 {
+		t.Fatal("rank 0 gathered nothing from the rejoined rank")
+	}
+
+	// And the survivors' scatters land on the rejoined rank's fresh rings.
+	copy(vecs[0].Data(), []float64{4, 4, 4})
+	if err := c.Context(0).Scatter(vecs[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats, err = c.Context(2).Gather(v2, vol.AverageIncoming)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Updates > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejoined rank never received survivor scatters")
+		}
+	}
+}
+
+func TestRejoinWithoutPublishedStateStartsFresh(t *testing.T) {
+	c, err := NewCluster(Config{
+		Ranks:     2,
+		Sync:      consistency.ASP,
+		Suspicion: fault.SuspicionConfig{Strikes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	createAll(t, c, "w", 2, []int{0, 1})
+	if err := c.Fabric().Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Context(0).Monitor().ReportFailedWrites([]int{1})
+	snap, err := c.Rejoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("rejoin with no donors returned %+v, want nil", snap)
+	}
+	if c.Context(1).Resume() != nil {
+		t.Fatal("Resume() non-nil after fresh rejoin")
+	}
+}
+
+func TestRejoinRequiresMembershipTransport(t *testing.T) {
+	c, err := NewCluster(Config{Ranks: 2, Transport: noMembershipTransport{mustFabric(t, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rejoin(1); !errors.Is(err, ErrNoMembership) {
+		t.Fatalf("want ErrNoMembership, got %v", err)
+	}
+}
+
+func mustFabric(t *testing.T, ranks int) *fabric.Fabric {
+	t.Helper()
+	f, err := fabric.New(fabric.Config{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// noMembershipTransport hides the simulated fabric's Membership extension
+// behind the bare Transport interface (method promotion through an embedded
+// interface value only exposes the interface's own methods).
+type noMembershipTransport struct{ fabric.Transport }

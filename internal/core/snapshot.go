@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// Elastic membership: live state transfer for rejoining ranks.
+//
+// A rank that re-enters a running cluster (Cluster.Rejoin) needs more than
+// transport admission — it needs the model. Every training replica
+// publishes its recoverable state (model vector, iteration counter,
+// optimizer scalars) with Context.PublishState; the first publish also
+// registers a snapshot-request service in the rank's remotely writable
+// memory. A joiner asks the lowest-ranked live survivor (the designated
+// donor) for a snapshot by writing into that service, and the donor streams
+// the encoded snapshot back over the same one-sided write path the training
+// data uses. The joiner adopts it (Context.Resume) and enters at the next
+// barrier.
+
+// Fabric keys of the snapshot service.
+const (
+	// snapReqKey is the request doorbell registered by every publisher:
+	// a write into it from rank j means "rank j wants a snapshot".
+	snapReqKey = "malt/join/snapreq"
+	// snapKey is the joiner-side landing zone for the donor's reply.
+	snapKey = "malt/join/snapshot"
+)
+
+// snapDonorWait bounds how long a joiner waits for one donor's snapshot
+// before asking the next survivor.
+const snapDonorWait = 5 * time.Second
+
+// ErrNoMembership is returned by Rejoin when the cluster's transport does
+// not implement fabric.Membership.
+var ErrNoMembership = errors.New("core: transport does not support elastic membership")
+
+// Snapshot is the recoverable state of one training replica: everything a
+// rejoining rank needs to resume mid-training instead of restarting from
+// iteration zero.
+type Snapshot struct {
+	// Epoch is the membership epoch at which the snapshot was taken (0 when
+	// the transport has no membership extension).
+	Epoch uint64
+	// Iter is the donor's iteration counter.
+	Iter uint64
+	// Model is the model vector.
+	Model []float64
+	// Opt holds named optimizer scalars (step counts, learning-rate state).
+	Opt map[string]float64
+}
+
+// Clone deep-copies the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{Epoch: s.Epoch, Iter: s.Iter}
+	out.Model = append([]float64(nil), s.Model...)
+	if s.Opt != nil {
+		out.Opt = make(map[string]float64, len(s.Opt))
+		for k, v := range s.Opt {
+			out.Opt[k] = v
+		}
+	}
+	return out
+}
+
+const snapMagic = uint32(0x4d534e50) // "MSNP"
+
+// EncodeSnapshot renders a snapshot into the one-sided-write wire form:
+// magic, epoch, iter, model length + values, then sorted optimizer scalars.
+func EncodeSnapshot(s *Snapshot) []byte {
+	keys := make([]string, 0, len(s.Opt))
+	for k := range s.Opt {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	size := 4 + 8 + 8 + 4 + 8*len(s.Model) + 4
+	for _, k := range keys {
+		size += 2 + len(k) + 8
+	}
+	b := make([]byte, 0, size)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], snapMagic)
+	b = append(b, u32[:]...)
+	binary.LittleEndian.PutUint64(u64[:], s.Epoch)
+	b = append(b, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], s.Iter)
+	b = append(b, u64[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(s.Model)))
+	b = append(b, u32[:]...)
+	for _, v := range s.Model {
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+		b = append(b, u64[:]...)
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(keys)))
+	b = append(b, u32[:]...)
+	for _, k := range keys {
+		binary.LittleEndian.PutUint16(u32[:2], uint16(len(k)))
+		b = append(b, u32[:2]...)
+		b = append(b, k...)
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(s.Opt[k]))
+		b = append(b, u64[:]...)
+	}
+	return b
+}
+
+// DecodeSnapshot parses the wire form produced by EncodeSnapshot.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	const fixed = 4 + 8 + 8 + 4
+	if len(b) < fixed {
+		return nil, errors.New("core: snapshot too short")
+	}
+	if binary.LittleEndian.Uint32(b[:4]) != snapMagic {
+		return nil, errors.New("core: snapshot has wrong magic")
+	}
+	s := &Snapshot{
+		Epoch: binary.LittleEndian.Uint64(b[4:12]),
+		Iter:  binary.LittleEndian.Uint64(b[12:20]),
+	}
+	dim := int(binary.LittleEndian.Uint32(b[20:24]))
+	rest := b[24:]
+	if len(rest) < 8*dim+4 {
+		return nil, errors.New("core: snapshot model overruns payload")
+	}
+	s.Model = make([]float64, dim)
+	for i := range s.Model {
+		s.Model[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	rest = rest[8*dim:]
+	nOpt := int(binary.LittleEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	s.Opt = make(map[string]float64, nOpt)
+	for i := 0; i < nOpt; i++ {
+		if len(rest) < 2 {
+			return nil, errors.New("core: snapshot scalar overruns payload")
+		}
+		kl := int(binary.LittleEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < kl+8 {
+			return nil, errors.New("core: snapshot scalar overruns payload")
+		}
+		key := string(rest[:kl])
+		s.Opt[key] = math.Float64frombits(binary.LittleEndian.Uint64(rest[kl : kl+8]))
+		rest = rest[kl+8:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: snapshot has %d trailing bytes", len(rest))
+	}
+	return s, nil
+}
+
+// PublishState records the replica's recoverable state so this rank can act
+// as a snapshot donor for rejoining peers. The first call registers the
+// rank's snapshot-request service; subsequent calls just swap the state.
+// Call it at every point training could resume from (typically once per
+// mini-batch, after the model update). The model slice is copied.
+func (ctx *Context) PublishState(iter uint64, model []float64, opt map[string]float64) error {
+	s := &Snapshot{Iter: iter}
+	if m, ok := ctx.cluster.fab.(fabric.Membership); ok {
+		s.Epoch = m.Epoch()
+	}
+	s.Model = append([]float64(nil), model...)
+	if opt != nil {
+		s.Opt = make(map[string]float64, len(opt))
+		for k, v := range opt {
+			s.Opt[k] = v
+		}
+	}
+	ctx.snapMu.Lock()
+	ctx.snap = s
+	registered := ctx.snapSvc
+	ctx.snapSvc = true
+	ctx.snapMu.Unlock()
+	if registered {
+		return nil
+	}
+	return ctx.cluster.fab.Register(ctx.rank, snapReqKey, func(from int, _ []byte) error {
+		// A rejoining rank knocked. Answer off this goroutine: the handler
+		// runs on a fabric delivery path and must not issue nested writes.
+		go ctx.donateSnapshot(from)
+		return nil
+	})
+}
+
+// donateSnapshot streams this rank's latest published state to a joiner
+// over the one-sided write path. Failures are the joiner's problem — it
+// retries against the next survivor.
+func (ctx *Context) donateSnapshot(to int) {
+	ctx.snapMu.Lock()
+	s := ctx.snap
+	ctx.snapMu.Unlock()
+	if s == nil || to == ctx.rank {
+		return
+	}
+	_ = ctx.cluster.fab.Write(ctx.rank, to, snapKey, EncodeSnapshot(s))
+}
+
+// Resume returns the snapshot this rank adopted when it rejoined the
+// cluster, or nil when the rank started fresh. Training functions consult
+// it once at startup: a non-nil snapshot means "seed the model and counters
+// from here and skip initial synchronization".
+func (ctx *Context) Resume() *Snapshot {
+	ctx.snapMu.Lock()
+	defer ctx.snapMu.Unlock()
+	return ctx.resume
+}
+
+// Rejoining reports whether this context re-entered a running cluster.
+// Vector creation skips the collective creation barrier while true (the
+// standing members will never re-enter it).
+func (ctx *Context) Rejoining() bool {
+	ctx.snapMu.Lock()
+	defer ctx.snapMu.Unlock()
+	return ctx.rejoining
+}
+
+// Rejoin re-admits rank into a running cluster: the transport mints a fresh
+// membership epoch (fencing the rank's previous incarnation everywhere),
+// survivors rebuild their send/receive lists, and the joiner pulls a state
+// snapshot from the lowest-ranked live survivor that has published one.
+// The returned snapshot is also available as Context.Resume; it is nil when
+// no survivor had published state (the joiner then starts fresh).
+//
+// On a multi-process transport call Rejoin instead of Rendezvous, from the
+// restarted process, before RunLocal.
+func (c *Cluster) Rejoin(rank int) (*Snapshot, error) {
+	mem, ok := c.fab.(fabric.Membership)
+	if !ok {
+		return nil, ErrNoMembership
+	}
+	if rank < 0 || rank >= c.cfg.Ranks {
+		return nil, fmt.Errorf("core: rejoin rank %d out of range [0,%d)", rank, c.cfg.Ranks)
+	}
+	ctx := c.contexts[rank]
+	ctx.snapMu.Lock()
+	ctx.rejoining = true
+	ctx.resume = nil
+	if ctx.snapCh == nil {
+		ctx.snapCh = make(chan *Snapshot, 1)
+	}
+	snapCh := ctx.snapCh
+	ctx.snapMu.Unlock()
+	// Land zone first: the donor's reply must have somewhere to go before
+	// anyone is asked.
+	if err := c.fab.Register(rank, snapKey, func(from int, payload []byte) error {
+		s, err := DecodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		select {
+		case snapCh <- s:
+		default: // a slower donor lost the race; first snapshot wins
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := mem.Join(rank); err != nil {
+		return nil, err
+	}
+	snap, err := c.pullSnapshot(ctx, rank, snapCh)
+	if err != nil {
+		return nil, err
+	}
+	ctx.snapMu.Lock()
+	ctx.resume = snap
+	ctx.snapMu.Unlock()
+	return snap.Clone(), nil
+}
+
+// pullSnapshot asks each live survivor, lowest rank first, for a state
+// snapshot. A survivor without the request service registered has not
+// published state and is skipped; if none has, the joiner starts fresh
+// (nil, nil).
+func (c *Cluster) pullSnapshot(ctx *Context, rank int, snapCh chan *Snapshot) (*Snapshot, error) {
+	var lastErr error
+	for _, donor := range c.fab.AliveRanks() {
+		if donor == rank {
+			continue
+		}
+		if err := c.fab.Write(rank, donor, snapReqKey, nil); err != nil {
+			if errors.Is(err, fabric.ErrNotRegistered) {
+				continue // donor has never published state
+			}
+			lastErr = err
+			continue
+		}
+		select {
+		case s := <-snapCh:
+			return s, nil
+		case <-time.After(snapDonorWait):
+			lastErr = fmt.Errorf("core: snapshot from rank %d timed out", donor)
+		}
+	}
+	return nil, lastErr
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"malt/internal/dataflow"
@@ -163,6 +164,25 @@ func (s *AddSegment) RemovePeer(rank int) {
 		}
 	}
 	s.send = out
+}
+
+// RestorePeer re-admits a rejoined rank to the send list at its original
+// dataflow position. The inverse of RemovePeer; idempotent.
+func (s *AddSegment) RestorePeer(rank int) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	for _, p := range s.graph.SendPeers(s.node.rank) {
+		if p != rank {
+			continue
+		}
+		for _, q := range s.send {
+			if q == rank {
+				return
+			}
+		}
+		s.send = append(s.send, rank)
+		sort.Ints(s.send)
+	}
 }
 
 // Barrier blocks until every live rank reaches it, draining this node's

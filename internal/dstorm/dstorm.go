@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"malt/internal/dataflow"
@@ -64,6 +65,12 @@ type SegmentOptions struct {
 	// deposit. Defaults to DefaultChunkSize. Set negative for fully atomic
 	// writes (disables torn reads entirely; used in ablations).
 	ChunkSize int
+	// SkipCreationBarrier registers the segment without waiting for the
+	// collective creation barrier. Only the elastic-membership rejoin path
+	// sets it: the surviving ranks created the segment long ago and will
+	// never re-enter its creation barrier, so a rejoining rank registers
+	// its receive rings and proceeds straight to the next data barrier.
+	SkipCreationBarrier bool
 }
 
 func (o *SegmentOptions) setDefaults() error {
@@ -247,9 +254,13 @@ func (n *Node) CreateSegment(name string, opts SegmentOptions) (*Segment, error)
 	if err := n.cluster.fab.Register(n.rank, segKey(name), s.handleWrite); err != nil {
 		return nil, err
 	}
-	// Creation barrier: all live ranks must have registered.
-	if err := n.cluster.creationBarrier(name, n.rank); err != nil {
-		return nil, err
+	// Creation barrier: all live ranks must have registered. A rejoining
+	// rank skips it — the standing members passed this barrier when the
+	// segment was first created.
+	if !opts.SkipCreationBarrier {
+		if err := n.cluster.creationBarrier(name, n.rank); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -638,6 +649,38 @@ func (s *Segment) RemovePeer(rank int) {
 	s.send = out
 	s.allowed = nil // invalidate the ScatterTo membership cache
 	delete(s.queues, rank)
+}
+
+// RestorePeer re-admits a rejoined rank: it returns to the send list (in
+// sorted order, at its original dataflow position) and gets a fresh receive
+// queue — the old incarnation's queued updates were discarded at RemovePeer
+// and must not resurface. Membership follows the original dataflow graph;
+// a rank the graph never connected to this one stays absent. Idempotent.
+func (s *Segment) RestorePeer(rank int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.graph.SendPeers(s.node.rank) {
+		if p != rank {
+			continue
+		}
+		present := false
+		for _, q := range s.send {
+			if q == rank {
+				present = true
+				break
+			}
+		}
+		if !present {
+			s.send = append(s.send, rank)
+			sort.Ints(s.send)
+			s.allowed = nil // invalidate the ScatterTo membership cache
+		}
+	}
+	for _, p := range s.graph.RecvPeers(s.node.rank) {
+		if p == rank && s.queues[rank] == nil {
+			s.queues[rank] = newQueue(s.opts.QueueLen, s.opts.ObjectSize)
+		}
+	}
 }
 
 // Barrier blocks until every live rank in the cluster has reached the

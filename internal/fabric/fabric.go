@@ -46,6 +46,11 @@ var (
 	// ErrSenderDead is returned when a dead rank attempts an operation;
 	// fault injectors use it to make a "killed" replica inert.
 	ErrSenderDead = errors.New("fabric: sender is dead")
+	// ErrStaleEpoch is returned when a rank whose admission predates its
+	// last confirmed death attempts an operation: a zombie that came back
+	// without rejoining through the membership protocol. Receivers fence
+	// such traffic so a rejoining rank can never poison in-flight gathers.
+	ErrStaleEpoch = errors.New("fabric: stale membership epoch")
 )
 
 // WriteHandler receives a one-sided write into registered memory. It runs
@@ -105,11 +110,20 @@ type Fabric struct {
 	cfg   Config
 	stats *Stats
 
+	// epoch is the membership epoch: monotonically increasing, minted on
+	// every confirmed death and every join. Kept out of Stats so the
+	// Snapshot determinism contract (8 counters per link) is unchanged.
+	epoch         atomic.Uint64
+	staleRejected atomic.Uint64 // zombie operations fenced by the epoch check
+
 	mu       sync.RWMutex
 	regs     []map[string]WriteHandler // per-rank registered memory
 	dead     []bool
-	group    []int // partition group id per rank; writes cross groups fail
+	admitted []uint64 // admitted[r]: epoch at r's last admission
+	fenced   []uint64 // fenced[r]: epoch minted when r last died
+	group    []int    // partition group id per rank; writes cross groups fail
 	liveness []func(rank int, alive bool)
+	joined   []func(rank int, epoch uint64)
 	chaos    *chaosState // non-nil while transient-fault injection is on
 
 	tcp *tcpFabric // non-nil in TCP transport mode
@@ -123,14 +137,18 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	cfg.setDefaults()
 	f := &Fabric{
-		cfg:   cfg,
-		stats: NewStats(cfg.Ranks),
-		regs:  make([]map[string]WriteHandler, cfg.Ranks),
-		dead:  make([]bool, cfg.Ranks),
-		group: make([]int, cfg.Ranks),
+		cfg:      cfg,
+		stats:    NewStats(cfg.Ranks),
+		regs:     make([]map[string]WriteHandler, cfg.Ranks),
+		dead:     make([]bool, cfg.Ranks),
+		admitted: make([]uint64, cfg.Ranks),
+		fenced:   make([]uint64, cfg.Ranks),
+		group:    make([]int, cfg.Ranks),
 	}
+	f.epoch.Store(1)
 	for i := range f.regs {
 		f.regs[i] = make(map[string]WriteHandler)
+		f.admitted[i] = 1
 	}
 	if cfg.Chaos != nil {
 		f.chaos = newChaosState(cfg.Ranks, *cfg.Chaos)
@@ -204,12 +222,16 @@ func (f *Fabric) Write(from, to int, key string, payload []byte) error {
 	}
 	f.mu.RLock()
 	senderDead := f.dead[from]
+	senderStale := f.admitted[from] < f.fenced[from]
 	reachable := !f.dead[to] && f.group[from] == f.group[to]
 	h := f.regs[to][key]
 	f.mu.RUnlock()
 
 	if senderDead {
 		return ErrSenderDead
+	}
+	if senderStale {
+		return f.rejectStale(from)
 	}
 	if !reachable {
 		f.stats.AddFailed(from, to)
@@ -253,12 +275,16 @@ func (f *Fabric) WriteBatch(from, to int, key string, records [][]byte) error {
 	}
 	f.mu.RLock()
 	senderDead := f.dead[from]
+	senderStale := f.admitted[from] < f.fenced[from]
 	reachable := !f.dead[to] && f.group[from] == f.group[to]
 	h := f.regs[to][key]
 	f.mu.RUnlock()
 
 	if senderDead {
 		return ErrSenderDead
+	}
+	if senderStale {
+		return f.rejectStale(from)
 	}
 	if !reachable {
 		f.stats.AddFailed(from, to)
@@ -307,10 +333,14 @@ func (f *Fabric) Ping(from, to int) error {
 	}
 	f.mu.RLock()
 	senderDead := f.dead[from]
+	senderStale := f.admitted[from] < f.fenced[from]
 	ok := !f.dead[to] && f.group[from] == f.group[to]
 	f.mu.RUnlock()
 	if senderDead {
 		return ErrSenderDead
+	}
+	if senderStale {
+		return f.rejectStale(from)
 	}
 	cost := 2 * f.cfg.Latency
 	if ok {
@@ -332,15 +362,18 @@ func (f *Fabric) Ping(from, to int) error {
 	return nil
 }
 
-// Kill marks rank dead. Subsequent writes to it fail; writes from it return
-// ErrSenderDead. Liveness watchers are notified.
+// Kill marks rank dead and mints a new membership epoch fencing it.
+// Subsequent writes to it fail; writes from it return ErrSenderDead, and —
+// should it come back without Join — ErrStaleEpoch. Liveness watchers are
+// notified.
 func (f *Fabric) Kill(rank int) error {
 	return f.setDead(rank, true)
 }
 
-// Revive marks rank alive again (a machine rejoining after repair). MALT's
-// recovery protocol guards against such zombies by re-registering segments;
-// tests use Revive to exercise that path.
+// Revive marks rank alive again (a machine rejoining after repair) WITHOUT
+// re-admitting it: its admission epoch still predates the epoch its death
+// minted, so its writes and pings are fenced with ErrStaleEpoch until it
+// goes through Join. Tests use Revive to exercise exactly that zombie path.
 func (f *Fabric) Revive(rank int) error {
 	return f.setDead(rank, false)
 }
@@ -352,6 +385,9 @@ func (f *Fabric) setDead(rank int, dead bool) error {
 	f.mu.Lock()
 	changed := f.dead[rank] != dead
 	f.dead[rank] = dead
+	if changed && dead {
+		f.fenced[rank] = f.epoch.Add(1)
+	}
 	watchers := append([]func(int, bool){}, f.liveness...)
 	f.mu.Unlock()
 	if changed {
@@ -360,6 +396,62 @@ func (f *Fabric) setDead(rank int, dead bool) error {
 		}
 	}
 	return nil
+}
+
+// Epoch returns the current membership epoch. It starts at 1 and increases
+// on every confirmed death and every join.
+func (f *Fabric) Epoch() uint64 { return f.epoch.Load() }
+
+// Join (re-)admits rank into the cluster: a new epoch is minted, the rank's
+// admission is stamped with it (clearing any zombie fence), it is marked
+// alive, and liveness + join watchers fire. Returns the minted epoch.
+func (f *Fabric) Join(rank int) (uint64, error) {
+	if err := f.checkRank(rank); err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	e := f.epoch.Add(1)
+	f.admitted[rank] = e
+	wasDead := f.dead[rank]
+	f.dead[rank] = false
+	watchers := append([]func(int, bool){}, f.liveness...)
+	joiners := append([]func(int, uint64){}, f.joined...)
+	f.mu.Unlock()
+	if wasDead {
+		for _, w := range watchers {
+			w(rank, true)
+		}
+	}
+	for _, j := range joiners {
+		j(rank, e)
+	}
+	return e, nil
+}
+
+// OnJoin registers a callback invoked whenever a rank is admitted through
+// Join. Join watchers are separate from liveness watchers: Partition/Heal
+// re-announce every rank's aliveness, which must not look like admissions.
+// Callbacks run on the goroutine that called Join and must not call back
+// into membership mutation.
+func (f *Fabric) OnJoin(fn func(rank int, epoch uint64)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined = append(f.joined, fn)
+}
+
+// StaleEpochRejected returns how many operations the epoch fence rejected
+// (zombie writes and pings from ranks revived without Join). Kept separate
+// from Stats so the per-link Snapshot shape is unchanged.
+func (f *Fabric) StaleEpochRejected() uint64 { return f.staleRejected.Load() }
+
+// rejectStale counts and reports one fenced zombie operation.
+func (f *Fabric) rejectStale(from int) error {
+	f.staleRejected.Add(1)
+	f.mu.RLock()
+	adm, fen := f.admitted[from], f.fenced[from]
+	f.mu.RUnlock()
+	return fmt.Errorf("%w: rank %d admitted at epoch %d but fenced at epoch %d; rejoin required",
+		ErrStaleEpoch, from, adm, fen)
 }
 
 // Alive reports whether rank is alive.

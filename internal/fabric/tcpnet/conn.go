@@ -31,15 +31,15 @@ func expectsAck(t byte) bool { return t != frameBarrierRelease }
 // request performs one round trip to peer to: dial if needed, write f,
 // read the ack (unless fire-and-forget). Errors are classified into the
 // fabric taxonomy; a refused connection additionally marks the peer dead
-// (except during the rendezvous hello, when the peer may simply not be up
-// yet).
+// (except during the rendezvous hello and the rejoin handshake, when the
+// peer may simply not be up yet).
 func (p *peerConn) request(n *Net, to int, f *Frame, deadline time.Time) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c, br, err := p.conn(n, to, deadline)
 	if err != nil {
 		cerr := classify("dial", to, err)
-		if errors.Is(cerr, fabric.ErrUnreachable) && f.Type != frameHello {
+		if errors.Is(cerr, fabric.ErrUnreachable) && f.Type != frameHello && f.Type != frameJoin {
 			n.markDead(to)
 		}
 		return nil, cerr

@@ -154,8 +154,8 @@ func (n *Net) enterRemote(name string, deadline time.Time) error {
 			switch ackStatus(ack) {
 			case statusOK:
 				return nil
-			case statusStaleGen:
-				return fmt.Errorf("%w: barrier %q: coordinator rejected stale generation", fabric.ErrUnreachable, name)
+			case statusStaleEpoch:
+				return fmt.Errorf("%w: barrier %q: coordinator fenced this rank's epoch; rejoin required", fabric.ErrStaleEpoch, name)
 			case statusDead:
 				return fmt.Errorf("%w: barrier %q: coordinator (rank 0) is dead", fabric.ErrUnreachable, name)
 			default:
@@ -177,8 +177,9 @@ func (n *Net) serveBarrierEnter(f *Frame) byte {
 	if !n.Alive(n.cfg.Rank) {
 		return statusDead
 	}
-	if f.Gen != n.gen.Load() {
-		return statusStaleGen
+	if f.Gen < n.admittedOf(f.From) {
+		n.staleRejected.Add(1)
+		return statusStaleEpoch
 	}
 	n.coord.enter(f.Key, f.From)
 	return statusOK

@@ -35,14 +35,17 @@ import (
 // control plane (health probes, rendezvous, barrier coordination) that a
 // real deployment would run over the same sockets.
 const (
-	frameData           = byte(1) // one-sided write: key + record batch, acked
-	frameAck            = byte(2) // response: Records[0][0] is a status byte
-	framePing           = byte(3) // health probe, acked
-	frameHello          = byte(4) // rendezvous: rank announces itself to rank 0
-	frameHelloAck       = byte(5) // rendezvous reply: Gen carries the cluster generation
-	frameProbe          = byte(6) // delegated ping: Records[0] is the u32 target rank
-	frameBarrierEnter   = byte(7) // Key names the barrier; sent to rank 0, acked
-	frameBarrierRelease = byte(8) // rank 0 → waiter; not acked
+	frameData           = byte(1)  // one-sided write: key + record batch, acked
+	frameAck            = byte(2)  // response: Records[0][0] is a status byte
+	framePing           = byte(3)  // health probe, acked
+	frameHello          = byte(4)  // rendezvous: rank announces itself to rank 0
+	frameHelloAck       = byte(5)  // rendezvous reply: Gen carries the cluster generation
+	frameProbe          = byte(6)  // delegated ping: Records[0] is the u32 target rank
+	frameBarrierEnter   = byte(7)  // Key names the barrier; sent to rank 0, acked
+	frameBarrierRelease = byte(8)  // rank 0 → waiter; not acked
+	frameJoin           = byte(9)  // rejoin request to rank 0; From is the joiner
+	frameJoinAck        = byte(10) // join reply: Gen is the minted epoch, Records[0] the base generation, Records[1] the alive member list (u32 each)
+	frameJoinAnnounce   = byte(11) // rank 0 → survivor: Records[0] is the u32 joiner, Gen its admission epoch; acked
 )
 
 // Ack status bytes.
@@ -50,7 +53,7 @@ const (
 	statusOK            = byte(0)
 	statusNotRegistered = byte(1) // no handler for the key
 	statusHandlerErr    = byte(2) // the WriteHandler returned an error
-	statusStaleGen      = byte(3) // frame from a previous cluster incarnation
+	statusStaleEpoch    = byte(3) // frame epoch predates the sender's last admission (zombie)
 	statusDead          = byte(4) // receiver has been killed
 	statusUnreachable   = byte(5) // probe verdict: target permanently unreachable
 	statusTransient     = byte(6) // probe verdict: target inconclusive
@@ -65,9 +68,11 @@ type Frame struct {
 	Type byte
 	// From is the sending rank.
 	From int
-	// Gen is the cluster generation assigned at the rank-0 rendezvous.
-	// Receivers reject frames from other generations, invalidating writes
-	// from zombie processes of a previous incarnation.
+	// Gen is the sender's membership epoch. The rank-0 rendezvous mints
+	// the base generation every member adopts; rank 0 then mints a higher
+	// epoch on every confirmed death and every join. Receivers reject
+	// frames whose epoch predates the sender's last admission, fencing
+	// writes from zombie processes of a previous incarnation.
 	Gen uint64
 	// Key names the registered memory (data) or the barrier (control).
 	Key string

@@ -1,0 +1,181 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// This file is the elastic-membership side of the transport: the JOIN
+// protocol a restarted rank runs against rank 0 instead of the full-cluster
+// rendezvous, and the announce fan-out that tells survivors to re-admit it.
+//
+// Epoch rules (fabric.Membership):
+//
+//   - The rendezvous generation is the base epoch every member adopts.
+//   - Rank 0 mints a strictly higher epoch on every confirmed death and
+//     every join; survivors keep stamping their adopted epoch, which stays
+//     valid because receivers fence on the *sender's admission* epoch, not
+//     on global equality — a lagging survivor is never rejected.
+//   - A joiner is admitted at the minted epoch. Its old incarnation's
+//     frames carry the base epoch, which is now below its admission, so
+//     every receiver fences them: a rejoining rank cannot poison in-flight
+//     gathers.
+
+// Epoch returns the current membership epoch (the rendezvous generation
+// until a death or join mints a higher one). Implements fabric.Membership.
+func (n *Net) Epoch() uint64 { return n.gen.Load() }
+
+// StaleEpochRejected counts inbound frames this endpoint fenced because
+// their epoch predated the sender's admission.
+func (n *Net) StaleEpochRejected() uint64 { return n.staleRejected.Load() }
+
+// OnJoin registers a watcher for admissions (local or announced). Watchers
+// run serialized with liveness watchers under the same callback mutex.
+func (n *Net) OnJoin(fn func(rank int, epoch uint64)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.joinedCb = append(n.joinedCb, fn)
+}
+
+// Join runs the rejoin handshake for the local rank: dial rank 0 with a
+// JOIN frame, adopt the minted epoch + base generation + member list from
+// the ack, and start heartbeating. Call it on a fresh Net instead of
+// Rendezvous when re-entering an already-running cluster. Implements
+// fabric.Membership; only the local, non-coordinator rank can join.
+func (n *Net) Join(rank int) (uint64, error) {
+	if err := n.checkRank(rank); err != nil {
+		return 0, err
+	}
+	if rank != n.cfg.Rank {
+		return 0, fmt.Errorf("tcpnet: rank %d cannot join on behalf of rank %d (only the local rank)", n.cfg.Rank, rank)
+	}
+	if rank == 0 {
+		return 0, errors.New("tcpnet: rank 0 hosts the membership service and cannot rejoin")
+	}
+	deadline := time.Now().Add(n.cfg.RendezvousTimeout)
+	join := &Frame{Type: frameJoin, From: rank}
+	for {
+		ack, err := n.peers[0].request(n, 0, join, time.Now().Add(n.cfg.AckTimeout))
+		if err == nil && ack.Type == frameJoinAck {
+			epoch, aerr := n.adoptJoinAck(ack)
+			if aerr != nil {
+				return 0, aerr
+			}
+			n.startHeartbeat()
+			return epoch, nil
+		}
+		if err == nil {
+			switch ackStatus(ack) {
+			case statusDead:
+				return 0, fmt.Errorf("%w: join: coordinator (rank 0) is dead", fabric.ErrUnreachable)
+			default:
+				err = fmt.Errorf("tcpnet: join: unexpected coordinator reply type %d", ack.Type)
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("tcpnet: join with rank 0 (%s) timed out after %v: %w",
+				n.cfg.Peers[0], n.cfg.RendezvousTimeout, err)
+		}
+		select {
+		case <-n.done:
+			return 0, errors.New("tcpnet: closed during join")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// adoptJoinAck installs the membership view a joinAck carries: Gen is this
+// rank's admission epoch, Records[0] the base generation (the admission
+// floor of every standing member), Records[1] the alive member list.
+func (n *Net) adoptJoinAck(ack *Frame) (uint64, error) {
+	if len(ack.Records) != 2 || len(ack.Records[0]) != 8 || len(ack.Records[1])%4 != 0 {
+		return 0, errors.New("tcpnet: join: malformed join ack")
+	}
+	base := binary.LittleEndian.Uint64(ack.Records[0])
+	alive := make(map[int]bool, len(n.cfg.Peers))
+	for off := 0; off < len(ack.Records[1]); off += 4 {
+		alive[int(int32(binary.LittleEndian.Uint32(ack.Records[1][off:])))] = true
+	}
+	n.gen.Store(ack.Gen)
+	n.base.Store(base)
+	n.mu.Lock()
+	for r := range n.admitted {
+		n.admitted[r] = base
+	}
+	n.admitted[n.cfg.Rank] = ack.Gen
+	n.mu.Unlock()
+	// Ranks rank 0 no longer counts alive died while we were gone; adopt
+	// those deaths through the normal watcher path so monitors see them.
+	for r := range n.cfg.Peers {
+		if r != n.cfg.Rank && !alive[r] {
+			n.markDead(r)
+		}
+	}
+	return ack.Gen, nil
+}
+
+// serveJoin handles a JOIN frame at rank 0: mint the next epoch, admit the
+// joiner locally, announce it to every survivor (synchronously, so no
+// survivor acks the joiner's admission after its first scatter), and reply
+// with epoch + base generation + member list.
+func (n *Net) serveJoin(f *Frame) *Frame {
+	if n.cfg.Rank != 0 || n.coord == nil {
+		return n.ackFrame(statusTransient) // misdirected: only rank 0 admits
+	}
+	if !n.Alive(n.cfg.Rank) {
+		return n.ackFrame(statusDead)
+	}
+	j := f.From
+	if j <= 0 || j >= len(n.cfg.Peers) {
+		return n.ackFrame(statusTransient)
+	}
+	epoch := n.gen.Add(1)
+	n.admitJoin(j, epoch)
+	n.announceJoin(j, epoch)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], n.base.Load())
+	alive := n.AliveRanks()
+	members := make([]byte, 0, 4*len(alive))
+	for _, r := range alive {
+		var b4 [4]byte
+		binary.LittleEndian.PutUint32(b4[:], uint32(r))
+		members = append(members, b4[:]...)
+	}
+	return &Frame{Type: frameJoinAck, From: n.cfg.Rank, Gen: epoch, Records: [][]byte{b8[:], members}}
+}
+
+// announceJoin tells every standing member about an admission. Failures
+// are tolerated: an unreachable member is on its way to being marked dead,
+// and the epoch fence never depends on the announce (the joiner's frames
+// carry an epoch at or above every receiver's floor for it).
+func (n *Net) announceJoin(j int, epoch uint64) {
+	var rec [4]byte
+	binary.LittleEndian.PutUint32(rec[:], uint32(j))
+	f := &Frame{Type: frameJoinAnnounce, From: n.cfg.Rank, Gen: epoch, Records: [][]byte{rec[:]}}
+	for _, to := range n.AliveRanks() {
+		if to == n.cfg.Rank || to == j {
+			continue
+		}
+		_, _ = n.peers[to].request(n, to, f, time.Now().Add(n.cfg.AckTimeout))
+	}
+}
+
+// serveJoinAnnounce handles rank 0's admission announce on a survivor.
+func (n *Net) serveJoinAnnounce(f *Frame) byte {
+	if !n.Alive(n.cfg.Rank) {
+		return statusDead
+	}
+	if f.From != 0 || len(f.Records) != 1 || len(f.Records[0]) != 4 {
+		return statusTransient
+	}
+	j := int(int32(binary.LittleEndian.Uint32(f.Records[0])))
+	if j < 0 || j >= len(n.cfg.Peers) {
+		return statusTransient
+	}
+	n.admitJoin(j, f.Gen)
+	return statusOK
+}

@@ -66,9 +66,15 @@ func (n *Net) serveConn(conn net.Conn) {
 		case frameBarrierEnter:
 			reply = n.ackFrame(n.serveBarrierEnter(f))
 		case frameBarrierRelease:
-			if f.Gen == n.gen.Load() {
+			// Rank 0's epoch only grows, so any release at or above the
+			// coordinator's admission floor is current.
+			if f.Gen >= n.admittedOf(f.From) {
 				n.barrierReleased(f.Key)
 			}
+		case frameJoin:
+			reply = n.serveJoin(f)
+		case frameJoinAnnounce:
+			reply = n.ackFrame(n.serveJoinAnnounce(f))
 		default:
 			return // unknown type: protocol error, drop the link
 		}
@@ -91,8 +97,11 @@ func (n *Net) deposit(f *Frame) byte {
 	if !n.Alive(n.cfg.Rank) {
 		return statusDead
 	}
-	if f.Gen != n.gen.Load() {
-		return statusStaleGen // zombie writer from a previous incarnation
+	if f.Gen < n.admittedOf(f.From) {
+		// Zombie writer: the frame's epoch predates the sender's last
+		// admission, so it was stamped by a previous incarnation.
+		n.staleRejected.Add(1)
+		return statusStaleEpoch
 	}
 	n.regMu.RLock()
 	h := n.regs[f.Key]

@@ -15,6 +15,7 @@ import (
 var (
 	_ fabric.Transport   = (*Net)(nil)
 	_ fabric.Coordinator = (*Net)(nil)
+	_ fabric.Membership  = (*Net)(nil)
 )
 
 // Defaults for Config timeouts.
@@ -113,16 +114,24 @@ type Net struct {
 	cfg Config
 	ln  net.Listener
 
-	gen   atomic.Uint64 // cluster generation; set at rendezvous (rank 0: at New)
-	stats *fabric.Stats
-	coord *coordinator // rank 0 only
+	// gen is the membership epoch this rank stamps on outgoing frames.
+	// The rendezvous base generation seeds it; rank 0 mints a higher epoch
+	// on every confirmed death and every join, and a joiner adopts the
+	// epoch its admission minted.
+	gen           atomic.Uint64 // set at rendezvous or join (rank 0: at New)
+	base          atomic.Uint64 // rendezvous base generation (pre-join admission floor)
+	staleRejected atomic.Uint64 // frames fenced by the epoch check
+	stats         *fabric.Stats
+	coord         *coordinator // rank 0 only
 
 	regMu sync.RWMutex
 	regs  map[string]fabric.WriteHandler
 
 	mu       sync.Mutex
 	dead     []bool
+	admitted []uint64 // admitted[r]: epoch at r's last admission; frames below it are fenced
 	liveness []func(rank int, alive bool)
+	joinedCb []func(rank int, epoch uint64)
 	peers    []*peerConn
 	hbMiss   []int // consecutive heartbeat failures per peer
 
@@ -159,14 +168,15 @@ func New(cfg Config) (*Net, error) {
 	}
 	cfg = cfg.withDefaults()
 	n := &Net{
-		cfg:    cfg,
-		regs:   make(map[string]fabric.WriteHandler),
-		stats:  fabric.NewStats(len(cfg.Peers)),
-		dead:   make([]bool, len(cfg.Peers)),
-		peers:  make([]*peerConn, len(cfg.Peers)),
-		hbMiss: make([]int, len(cfg.Peers)),
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		regs:     make(map[string]fabric.WriteHandler),
+		stats:    fabric.NewStats(len(cfg.Peers)),
+		dead:     make([]bool, len(cfg.Peers)),
+		admitted: make([]uint64, len(cfg.Peers)),
+		peers:    make([]*peerConn, len(cfg.Peers)),
+		hbMiss:   make([]int, len(cfg.Peers)),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
 	}
 	for i := range n.peers {
 		n.peers[i] = &peerConn{}
@@ -174,7 +184,7 @@ func New(cfg Config) (*Net, error) {
 	n.rdv.arrived = map[int]bool{cfg.Rank: true}
 	n.rdv.ready = make(chan struct{})
 	if n.cfg.Rank == 0 {
-		n.gen.Store(uint64(time.Now().UnixNano()))
+		n.adoptBase(uint64(time.Now().UnixNano()))
 		n.coord = newCoordinator(n)
 		n.OnLivenessChange(func(rank int, alive bool) { n.coord.livenessChanged() })
 		if len(cfg.Peers) == 1 {
@@ -202,8 +212,32 @@ func (n *Net) Rank() int { return n.cfg.Rank }
 func (n *Net) Addr() string { return n.ln.Addr().String() }
 
 // Generation returns the cluster generation (0 before rendezvous on
-// non-zero ranks).
+// non-zero ranks). Since the elastic-membership change this is the current
+// membership epoch; Epoch is the canonical accessor.
 func (n *Net) Generation() uint64 { return n.gen.Load() }
+
+// adoptBase installs the rendezvous base generation: the epoch this rank
+// stamps on frames and the admission floor for every member.
+func (n *Net) adoptBase(gen uint64) {
+	n.gen.Store(gen)
+	n.base.Store(gen)
+	n.mu.Lock()
+	for i := range n.admitted {
+		n.admitted[i] = gen
+	}
+	n.mu.Unlock()
+}
+
+// admittedOf returns the admission epoch of a rank; frames from it with a
+// lower epoch are fenced. Out-of-range ranks fence everything.
+func (n *Net) admittedOf(r int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if r < 0 || r >= len(n.admitted) {
+		return ^uint64(0)
+	}
+	return n.admitted[r]
+}
 
 // Rendezvous performs the rank-0 handshake that forms the cluster: every
 // rank announces itself to rank 0 and blocks until rank 0 has heard from
@@ -229,7 +263,7 @@ func (n *Net) Rendezvous() error {
 	for {
 		ack, err := n.peers[0].request(n, 0, hello, deadline)
 		if err == nil && ack.Type == frameHelloAck {
-			n.gen.Store(ack.Gen)
+			n.adoptBase(ack.Gen)
 			n.startHeartbeat()
 			return nil
 		}
@@ -360,8 +394,8 @@ func (n *Net) write(from, to int, key string, records [][]byte, batch bool) erro
 		return fmt.Errorf("%w: %q on rank %d", fabric.ErrNotRegistered, key, to)
 	case statusHandlerErr:
 		return fmt.Errorf("tcpnet: write handler for %q on rank %d failed", key, to)
-	case statusStaleGen:
-		return fmt.Errorf("%w: rank %d rejected stale generation", fabric.ErrUnreachable, to)
+	case statusStaleEpoch:
+		return fmt.Errorf("%w: rank %d fenced this sender's epoch; rejoin required", fabric.ErrStaleEpoch, to)
 	case statusDead:
 		n.stats.AddFailed(from, to)
 		return fmt.Errorf("%w: rank %d is dead", fabric.ErrUnreachable, to)
@@ -533,7 +567,10 @@ func (n *Net) OnLivenessChange(fn func(rank int, alive bool)) {
 	n.liveness = append(n.liveness, fn)
 }
 
-// markDead records a death observation and fires the watchers once.
+// markDead records a death observation and fires the watchers once. Rank 0
+// — the membership authority — additionally mints a new epoch on every
+// confirmed peer death, so a later rejoin of the same rank is admitted at
+// an epoch strictly above anything its old incarnation ever stamped.
 func (n *Net) markDead(rank int) {
 	n.mu.Lock()
 	if rank < 0 || rank >= len(n.dead) || n.dead[rank] {
@@ -541,11 +578,46 @@ func (n *Net) markDead(rank int) {
 		return
 	}
 	n.dead[rank] = true
+	if n.cfg.Rank == 0 && rank != n.cfg.Rank {
+		n.gen.Add(1)
+	}
 	watchers := append([]func(int, bool){}, n.liveness...)
 	n.mu.Unlock()
 	n.cbMu.Lock()
 	for _, w := range watchers {
 		w(rank, false)
+	}
+	n.cbMu.Unlock()
+}
+
+// admitJoin installs a rank's (re-)admission at the given epoch: its
+// admission floor rises to the epoch, it is marked alive with heartbeat
+// strikes cleared, and liveness + join watchers fire (serialized with
+// markDead's under cbMu). Idempotent per epoch, so a retried announce is
+// harmless.
+func (n *Net) admitJoin(rank int, epoch uint64) {
+	n.mu.Lock()
+	if rank < 0 || rank >= len(n.dead) || (n.admitted[rank] >= epoch && !n.dead[rank]) {
+		n.mu.Unlock()
+		return
+	}
+	if n.admitted[rank] < epoch {
+		n.admitted[rank] = epoch
+	}
+	wasDead := n.dead[rank]
+	n.dead[rank] = false
+	n.hbMiss[rank] = 0
+	watchers := append([]func(int, bool){}, n.liveness...)
+	joiners := append([]func(int, uint64){}, n.joinedCb...)
+	n.mu.Unlock()
+	n.cbMu.Lock()
+	if wasDead {
+		for _, w := range watchers {
+			w(rank, true)
+		}
+	}
+	for _, j := range joiners {
+		j(rank, epoch)
 	}
 	n.cbMu.Unlock()
 }

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -276,17 +277,26 @@ func TestKillRemoteRejected(t *testing.T) {
 	}
 }
 
-func TestStaleGenerationRejected(t *testing.T) {
+func TestStaleEpochRejected(t *testing.T) {
 	nets := newTestCluster(t, 2)
 	if err := nets[1].Register(1, "w", func(int, []byte) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	// A zombie from a previous incarnation: same address book, wrong
-	// generation.
-	nets[0].gen.Store(nets[0].gen.Load() + 1)
+	// A zombie from a previous incarnation stamps an epoch below the
+	// sender's admission floor at the receiver.
+	nets[0].gen.Store(nets[0].gen.Load() - 1)
 	err := nets[0].Write(0, 1, "w", []byte("x"))
-	if !errors.Is(err, fabric.ErrUnreachable) {
-		t.Fatalf("stale-generation write: want ErrUnreachable, got %v", err)
+	if !errors.Is(err, fabric.ErrStaleEpoch) {
+		t.Fatalf("stale-epoch write: want ErrStaleEpoch, got %v", err)
+	}
+	if got := nets[1].StaleEpochRejected(); got != 1 {
+		t.Fatalf("receiver StaleEpochRejected() = %d, want 1", got)
+	}
+	// Epochs only move forward: a frame stamped above the admission floor
+	// (a lagging receiver, a fresher sender) must still land.
+	nets[0].gen.Store(nets[0].gen.Load() + 2)
+	if err := nets[0].Write(0, 1, "w", []byte("x")); err != nil {
+		t.Fatalf("ahead-of-floor write: %v", err)
 	}
 }
 
@@ -298,5 +308,176 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// rejoinRank builds a fresh Net for a previously-killed rank on the same
+// address book — the restarted process — and runs the Join handshake.
+func rejoinRank(t *testing.T, nets []*Net, rank int) *Net {
+	t.Helper()
+	addrs := nets[0].cfg.Peers
+	nt, err := New(Config{
+		Rank:              rank,
+		Peers:             addrs,
+		DialTimeout:       time.Second,
+		AckTimeout:        2 * time.Second,
+		RendezvousTimeout: 10 * time.Second,
+		BarrierTimeout:    10 * time.Second,
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("rank %d: New (rejoin): %v", rank, err)
+	}
+	t.Cleanup(func() { nt.Close() })
+	if _, err := nt.Join(rank); err != nil {
+		t.Fatalf("rank %d: Join: %v", rank, err)
+	}
+	return nt
+}
+
+func TestJoinReadmitsKilledRank(t *testing.T) {
+	nets := newTestCluster(t, 3)
+	base := nets[0].Generation()
+
+	var joinRank atomic.Int64
+	var joinEpoch atomic.Uint64
+	nets[1].OnJoin(func(rank int, epoch uint64) {
+		joinRank.Store(int64(rank))
+		joinEpoch.Store(epoch)
+	})
+
+	if err := nets[2].Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rank 0 sees rank 2 dead", func() bool { return !nets[0].Alive(2) })
+	waitFor(t, "rank 1 sees rank 2 dead", func() bool { return !nets[1].Alive(2) })
+
+	// The confirmed death minted an epoch at the membership authority.
+	if e := nets[0].Epoch(); e <= base {
+		t.Fatalf("epoch after death = %d, want > base %d", e, base)
+	}
+
+	nt2 := rejoinRank(t, nets, 2)
+	epoch := nt2.Epoch()
+	if epoch <= base {
+		t.Fatalf("joiner epoch = %d, want > base %d", epoch, base)
+	}
+	// The announce ran before the join ack, so survivors already admit it.
+	if !nets[0].Alive(2) || !nets[1].Alive(2) {
+		t.Fatalf("survivors alive view of rank 2 = %v/%v, want true/true",
+			nets[0].Alive(2), nets[1].Alive(2))
+	}
+	if joinRank.Load() != 2 || joinEpoch.Load() != epoch {
+		t.Fatalf("rank 1 join watcher saw (%d, %d), want (2, %d)",
+			joinRank.Load(), joinEpoch.Load(), epoch)
+	}
+
+	// Traffic flows both ways with the new incarnation.
+	got := make(chan string, 1)
+	if err := nt2.Register(2, "w2", func(from int, b []byte) error {
+		got <- string(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 2, "w2", []byte("welcome back")); err != nil {
+		t.Fatalf("write to rejoined rank: %v", err)
+	}
+	if msg := <-got; msg != "welcome back" {
+		t.Fatalf("rejoined rank received %q", msg)
+	}
+	if err := nets[1].Register(1, "w1", func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := nt2.Write(2, 1, "w1", []byte("alive")); err != nil {
+		t.Fatalf("write from rejoined rank: %v", err)
+	}
+
+	// The old incarnation's frames carry the base epoch, which is now below
+	// rank 2's admission everywhere: a raw zombie write is fenced.
+	zc, err := net.Dial("tcp", nets[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zc.Close()
+	zombie := &Frame{Type: frameData, From: 2, Gen: base, Key: "w1", Records: [][]byte{[]byte("poison")}}
+	if err := writeFrame(zc, zombie); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := readFrame(bufio.NewReader(zc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackStatus(ack) != statusStaleEpoch {
+		t.Fatalf("zombie write status = %d, want statusStaleEpoch", ackStatus(ack))
+	}
+	if nets[1].StaleEpochRejected() == 0 {
+		t.Fatal("receiver did not count the fenced zombie write")
+	}
+}
+
+func TestJoinRules(t *testing.T) {
+	nets := newTestCluster(t, 2)
+	if _, err := nets[0].Join(0); err == nil {
+		t.Fatal("rank 0 join: want error, got nil")
+	}
+	if _, err := nets[1].Join(0); err == nil {
+		t.Fatal("join on behalf of another rank: want error, got nil")
+	}
+	if _, err := nets[1].Join(7); err == nil {
+		t.Fatal("out-of-range join: want error, got nil")
+	}
+}
+
+// TestBarrierReleasesDuringJoinAndDeath is the elastic-membership barrier
+// contract: a rank joining while a barrier is pending extends membership,
+// and a rank dying inside the same barrier window still releases every
+// transport-alive member.
+func TestBarrierReleasesDuringJoinAndDeath(t *testing.T) {
+	nets := newTestCluster(t, 4)
+
+	if err := nets[3].Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		waitFor(t, "survivor sees rank 3 dead", func() bool { return !nets[r].Alive(3) })
+	}
+
+	// Ranks 0 and 2 enter and block: rank 1 is alive but absent.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for _, r := range []int{0, 2} {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = nets[r].Barrier("mid", r)
+		}(r)
+	}
+	waitFor(t, "ranks 0 and 2 pending at the coordinator", func() bool {
+		nets[0].coord.mu.Lock()
+		defer nets[0].coord.mu.Unlock()
+		st := nets[0].coord.barriers["mid"]
+		return st != nil && st.entered[0] && st.entered[2]
+	})
+
+	// Rank 3 rejoins mid-barrier: membership grows to {0,1,2,3}.
+	nt3 := rejoinRank(t, nets, 3)
+
+	// Rank 1 dies inside the barrier window without ever entering, and the
+	// joiner enters. Alive membership is {0,2,3} — all entered — so every
+	// transport-alive member must release.
+	if err := nets[1].Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[3] = nt3.Barrier("mid", 3)
+	}()
+	wg.Wait()
+	for _, r := range []int{0, 2, 3} {
+		if errs[r] != nil {
+			t.Fatalf("rank %d barrier: %v", r, errs[r])
+		}
 	}
 }

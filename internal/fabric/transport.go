@@ -71,4 +71,31 @@ type Coordinator interface {
 	Barrier(name string, rank int) error
 }
 
-var _ Transport = (*Fabric)(nil)
+// Membership is an optional extension a Transport may implement when it
+// supports elastic membership: a monotonically-increasing epoch minted on
+// every confirmed death and every join, with stale-epoch traffic fenced so
+// a rejoining rank can never poison in-flight gathers.
+//
+// Error taxonomy addition: ErrStaleEpoch marks an operation from (or
+// rejected by) a rank whose admission predates the current epoch. It is
+// permanent — the zombie must Join again — and is never retried.
+type Membership interface {
+	// Epoch returns the current membership epoch (starts at 1, or at the
+	// transport's rendezvous generation).
+	Epoch() uint64
+	// Join (re-)admits rank: mints a new epoch, stamps the rank's
+	// admission with it, marks it alive, and fires join watchers. Returns
+	// the minted epoch.
+	Join(rank int) (uint64, error)
+	// OnJoin registers a callback invoked on every admission. Join
+	// watchers are separate from liveness watchers because topology
+	// changes re-announce aliveness without any admission happening.
+	OnJoin(fn func(rank int, epoch uint64))
+	// StaleEpochRejected counts operations fenced by the epoch check.
+	StaleEpochRejected() uint64
+}
+
+var (
+	_ Transport  = (*Fabric)(nil)
+	_ Membership = (*Fabric)(nil)
+)

@@ -150,9 +150,11 @@ type Monitor struct {
 	lastStrike map[int]time.Time
 	sstats     SuspicionStats
 	onDeath    []func(rank int)
+	onJoin     []func(rank int)
 
-	// cbMu serializes OnDeath callback execution between the Watch
-	// watchdog goroutine and training-loop reporters (see package doc).
+	// cbMu serializes OnDeath and OnJoin callback execution between the
+	// Watch watchdog goroutine, training-loop reporters, and membership
+	// admissions (see package doc).
 	cbMu sync.Mutex
 }
 
@@ -167,6 +169,37 @@ func (m *Monitor) OnDeath(fn func(rank int)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.onDeath = append(m.onDeath, fn)
+}
+
+// OnJoin registers a callback invoked (serialized with OnDeath callbacks of
+// this monitor) after AdmitJoin re-admits a rank. Callbacks restore the rank
+// in send/receive lists — the inverse of the OnDeath rebuild.
+func (m *Monitor) OnJoin(fn func(rank int)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onJoin = append(m.onJoin, fn)
+}
+
+// AdmitJoin re-admits a rank after an elastic-membership join: the rank
+// leaves the confirmed-dead set, its accumulated suspicion is reset (the
+// new incarnation must earn its own strikes — epoch-aware suspicion reset),
+// and the OnJoin callbacks fire, serialized with OnDeath so rebuild code
+// never sees a join and a death concurrently. Returns true when the rank
+// transitioned from confirmed-dead to alive in this monitor's view.
+func (m *Monitor) AdmitJoin(rank int) bool {
+	m.mu.Lock()
+	wasDead := m.dead[rank]
+	delete(m.dead, rank)
+	delete(m.strikes, rank)
+	delete(m.lastStrike, rank)
+	callbacks := append([]func(int){}, m.onJoin...)
+	m.mu.Unlock()
+	m.cbMu.Lock()
+	for _, fn := range callbacks {
+		fn(rank)
+	}
+	m.cbMu.Unlock()
+	return wasDead
 }
 
 // Alive reports this monitor's view of a rank (for consistency policies and

@@ -229,3 +229,50 @@ func TestWatchdogExitsWhenSelfDies(t *testing.T) {
 	// safe to call (covered by the deferred stop).
 	time.Sleep(10 * time.Millisecond)
 }
+
+func TestAdmitJoinRestoresRankAndResetsSuspicion(t *testing.T) {
+	f, g := newGroup(t, 3)
+	if err := f.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	m := g.Monitor(0)
+	var joins []int
+	m.OnJoin(func(r int) { joins = append(joins, r) })
+	if confirmed := m.ReportFailedWrites([]int{2}); len(confirmed) != 1 {
+		t.Fatalf("confirmed = %v", confirmed)
+	}
+
+	// The rank rejoins the fabric at a fresh epoch, then the monitor admits
+	// it: confirmed-dead status and all accumulated suspicion are gone.
+	if _, err := f.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.AdmitJoin(2) {
+		t.Fatal("AdmitJoin of a confirmed-dead rank: want transition true")
+	}
+	if !m.Alive(2) {
+		t.Fatal("rank 2 should be alive after AdmitJoin")
+	}
+	if got := m.Suspicion(2); got != 0 {
+		t.Fatalf("suspicion after AdmitJoin = %d, want 0", got)
+	}
+	if len(joins) != 1 || joins[0] != 2 {
+		t.Fatalf("join callbacks = %v, want [2]", joins)
+	}
+	if surv := m.Survivors(); len(surv) != 3 {
+		t.Fatalf("Survivors = %v, want all three", surv)
+	}
+	// The new incarnation earns its own strikes from scratch.
+	if confirmed := m.ReportFailedWrites([]int{2}); confirmed != nil {
+		t.Fatalf("healthy rejoined rank confirmed dead: %v", confirmed)
+	}
+
+	// Admitting an already-alive rank is a no-op transition but still
+	// fires the callbacks (idempotent consumers).
+	if m.AdmitJoin(2) {
+		t.Fatal("AdmitJoin of an alive rank: want transition false")
+	}
+	if len(joins) != 2 {
+		t.Fatalf("join callbacks after second admit = %v", joins)
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochCmp guards the membership-epoch arithmetic that elastic membership
+// rests on. Epochs are monotonically-increasing uint64 fence values: every
+// frame carries one, receivers reject traffic below the sender's admission,
+// and a rejoining rank is fenced from poisoning in-flight gathers only as
+// long as epoch comparisons are exact and fresh. Two shapes defeat that
+// silently:
+//
+//   - Narrowing or signing an Epoch()/Generation() value (int(e), uint32(e),
+//     int64(e)): a truncated or sign-flipped epoch can compare below an
+//     admission floor it actually exceeds, resurrecting zombie frames.
+//   - Comparing an epoch captured *before* a blocking membership operation
+//     (Barrier, Advance, Drain, Wait, Gather, GatherLatest, Commit,
+//     Rendezvous, Join): any of these can span a death or a join, either of
+//     which mints a new epoch, so the captured value is stale by the time
+//     the comparison runs.
+//
+// Fresh comparisons (`n.Epoch() == want`) and full-width captures that are
+// compared before any blocking call pass untouched.
+var EpochCmp = &Analyzer{
+	Name: "epochcmp",
+	Doc:  "membership epochs must stay uint64 and must not be compared across blocking membership operations",
+	Run:  runEpochCmp,
+}
+
+// epochBlocking are the malt methods that can span a death or a join (and
+// therefore an epoch mint) while the caller is parked in them.
+var epochBlocking = map[string]bool{
+	"Barrier": true, "Advance": true, "Drain": true, "Wait": true,
+	"Gather": true, "GatherLatest": true, "Commit": true,
+	"Rendezvous": true, "Join": true,
+}
+
+func runEpochCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEpochFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkEpochFunc(pass *Pass, body *ast.BlockStmt) {
+	// First sweep: narrowing conversions, epoch captures, blocking calls.
+	captured := map[types.Object]token.Pos{} // epoch-valued local -> capture pos
+	var blocking []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if dst, ok := conversionTarget(pass, n); ok {
+				if isEpochCall(pass, unparen(n.Args[0])) && !isUint64(dst) {
+					pass.Reportf(n.Pos(),
+						"membership epoch converted to %s; epochs are monotonically-increasing uint64 fences, and narrowing or signing one can resurrect stale-epoch traffic", dst)
+				}
+				return true
+			}
+			if fn := funcFor(pass.Info, n); fn != nil && epochBlocking[fn.Name()] {
+				if pkgPath, _, ok := recvTypeName(fn); ok && maltPackage(pkgPath) {
+					blocking = append(blocking, n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isEpochCall(pass, unparen(rhs)) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						captured[obj] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(captured) == 0 || len(blocking) == 0 {
+		return
+	}
+	// Second sweep: comparisons of a captured epoch after a blocking call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparisonOp(cmp.Op) {
+			return true
+		}
+		for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+			id, ok := unparen(side).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			capturedAt, ok := captured[pass.Info.ObjectOf(id)]
+			if !ok {
+				continue
+			}
+			for _, b := range blocking {
+				if capturedAt < b && b < cmp.Pos() {
+					pass.Reportf(cmp.Pos(),
+						"epoch %s was captured before a blocking membership operation; a death or join may have minted a new epoch since — re-read Epoch() after the call", id.Name)
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isEpochCall reports whether e is a call to Epoch() or Generation() on a
+// malt type (concrete transport or the fabric.Membership interface).
+func isEpochCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	fn := funcFor(pass.Info, call)
+	if fn == nil || (fn.Name() != "Epoch" && fn.Name() != "Generation") {
+		return false
+	}
+	pkgPath, _, ok := recvTypeName(fn)
+	return ok && maltPackage(pkgPath)
+}
+
+// conversionTarget returns the destination type when call is a type
+// conversion with exactly one argument.
+func conversionTarget(pass *Pass, call *ast.CallExpr) (types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return tv.Type, true
+	}
+	return nil, false
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint64 || b.Kind() == types.Uintptr)
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}

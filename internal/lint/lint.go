@@ -1,7 +1,7 @@
 // Package lint is maltlint: a static-analysis suite that machine-checks the
 // invariants MALT's correctness rests on but Go's type system cannot express.
 //
-// The eight analyzers (see their files for details):
+// The nine analyzers (see their files for details):
 //
 //   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
 //     errors.Is, never == / != / switch — wrapped errors (every fabric error
@@ -30,6 +30,11 @@
 //   - iterskew: SetIteration arguments must be able to advance — a
 //     constant, a `%` wrap, or a top-level subtraction produces an
 //     iteration stamp that SSP staleness and update ordering cannot trust.
+//   - epochcmp: membership epochs (Epoch()/Generation()) must stay uint64 —
+//     narrowing or signing one can resurrect stale-epoch traffic — and must
+//     not be captured on one side of a blocking membership operation
+//     (Barrier, Join, Rendezvous, ...) and compared on the other, where a
+//     death or join may have minted a newer epoch.
 //
 // The framework is intentionally dependency-free: it mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
@@ -141,7 +146,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew, EpochCmp}
 }
 
 // allowIndex maps file -> line -> analyzer names suppressed on that line.

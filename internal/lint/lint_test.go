@@ -19,6 +19,7 @@ func TestRawSleep(t *testing.T)      { linttest.Run(t, lint.RawSleep, "rawsleep"
 func TestGatherDrop(t *testing.T)    { linttest.Run(t, lint.GatherDrop, "gatherdrop") }
 func TestQueueLen(t *testing.T)      { linttest.Run(t, lint.QueueLen, "queuelen") }
 func TestIterSkew(t *testing.T)      { linttest.Run(t, lint.IterSkew, "iterskew") }
+func TestEpochCmp(t *testing.T)      { linttest.Run(t, lint.EpochCmp, "epochcmp") }
 
 // TestAll ensures the suite registry stays complete: cmd/maltlint and CI
 // run All(), so an analyzer missing from it would silently stop gating.
@@ -26,7 +27,7 @@ func TestAll(t *testing.T) {
 	want := map[string]bool{
 		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
 		"foldpurity": true, "rawsleep": true, "gatherdrop": true,
-		"queuelen": true, "iterskew": true,
+		"queuelen": true, "iterskew": true, "epochcmp": true,
 	}
 	got := lint.All()
 	if len(got) != len(want) {

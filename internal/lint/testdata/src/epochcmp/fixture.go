@@ -1,0 +1,77 @@
+// Package epochcmp seeds narrowed and stale membership-epoch comparisons
+// for the epochcmp analyzer.
+package epochcmp
+
+import (
+	"sync"
+
+	"malt/internal/fabric"
+	"malt/internal/fabric/tcpnet"
+)
+
+func narrowedInt(f *fabric.Fabric) int {
+	return int(f.Epoch()) // want `converted to int`
+}
+
+func narrowedUint32(f *fabric.Fabric) uint32 {
+	return uint32(f.Epoch()) // want `converted to uint32`
+}
+
+func signedGeneration(n *tcpnet.Net) int64 {
+	return int64(n.Generation()) // want `converted to int64`
+}
+
+// A same-width unsigned conversion loses nothing and stays silent.
+func fullWidth(f *fabric.Fabric) uint64 {
+	return uint64(f.Epoch())
+}
+
+func staleAcrossJoin(f *fabric.Fabric, rank int) bool {
+	e := f.Epoch()
+	_, _ = f.Join(rank)
+	return e == f.Epoch() // want `captured before a blocking`
+}
+
+func staleAcrossRendezvous(n *tcpnet.Net) bool {
+	g := n.Generation()
+	_ = n.Rendezvous()
+	return g < n.Generation() // want `captured before a blocking`
+}
+
+// Comparing before the blocking call is fine: the capture is still fresh.
+func freshBeforeBlocking(f *fabric.Fabric, rank int) {
+	e := f.Epoch()
+	if e == 0 {
+		return
+	}
+	_, _ = f.Join(rank)
+}
+
+// Re-reading the epoch on both sides needs no capture at all.
+func freshBothSides(f *fabric.Fabric, rank int) bool {
+	_, _ = f.Join(rank)
+	return f.Epoch() == f.Epoch()
+}
+
+// Blocking on a non-malt receiver (a WaitGroup) mints no epoch.
+func nonMaltWait(f *fabric.Fabric) bool {
+	e := f.Epoch()
+	var wg sync.WaitGroup
+	wg.Wait()
+	return e == f.Epoch()
+}
+
+// Epoch methods on non-malt types are not the membership epoch.
+type fakeClock struct{}
+
+func (fakeClock) Epoch() uint64 { return 0 }
+
+func otherEpoch(c fakeClock) int {
+	return int(c.Epoch())
+}
+
+func annotatedIsSuppressed(f *fabric.Fabric, rank int) bool {
+	e := f.Epoch()
+	_, _ = f.Join(rank)
+	return e == f.Epoch() //maltlint:allow epochcmp -- fixture: deliberate stale compare
+}

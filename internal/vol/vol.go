@@ -52,6 +52,10 @@ type Options struct {
 	// fold.go); 0 means DefaultFoldChunk. Only consulted when the owning
 	// node's parallel-gather pool is enabled.
 	FoldChunk int
+	// SkipCreationBarrier forwards to
+	// dstorm.SegmentOptions.SkipCreationBarrier: register without the
+	// collective creation barrier (elastic-membership rejoin only).
+	SkipCreationBarrier bool
 }
 
 // GatherStats summarizes one gather call.
@@ -164,10 +168,11 @@ func Create(node *dstorm.Node, name string, typ Type, dim int, graph *dataflow.G
 		return nil, fmt.Errorf("vol: unknown vector type %d", typ)
 	}
 	seg, err := node.CreateSegment("vol/"+name, dstorm.SegmentOptions{
-		ObjectSize: objSize,
-		QueueLen:   opts.QueueLen,
-		Graph:      graph,
-		ChunkSize:  opts.ChunkSize,
+		ObjectSize:          objSize,
+		QueueLen:            opts.QueueLen,
+		Graph:               graph,
+		ChunkSize:           opts.ChunkSize,
+		SkipCreationBarrier: opts.SkipCreationBarrier,
 	})
 	if err != nil {
 		return nil, err
@@ -452,6 +457,11 @@ func (v *Vector) Flush() { v.seg.Node().Flush() }
 
 // RemovePeer drops a failed rank from the vector's send/receive lists.
 func (v *Vector) RemovePeer(rank int) { v.seg.RemovePeer(rank) }
+
+// RestorePeer re-admits a rejoined rank to the vector's send/receive lists
+// (at its original dataflow position, with a fresh receive queue). The
+// inverse of RemovePeer; idempotent.
+func (v *Vector) RestorePeer(rank int) { v.seg.RestorePeer(rank) }
 
 // Close releases the underlying segment.
 func (v *Vector) Close() error { return v.seg.Close() }

@@ -131,6 +131,22 @@ type SuspicionStats = fault.SuspicionStats
 // Config.Retry; only permanent failures reach the fault monitor.
 var ErrTransient = fabric.ErrTransient
 
+// ErrStaleEpoch marks an operation fenced by the membership-epoch check: it
+// was issued by (or to) a zombie incarnation of a rank whose admission has
+// been superseded. Permanent — the rank must rejoin (Cluster.Rejoin).
+var ErrStaleEpoch = fabric.ErrStaleEpoch
+
+// Snapshot is the recoverable state of one replica (model vector,
+// iteration counter, optimizer scalars), published with
+// Context.PublishState and adopted by a rejoining rank via Cluster.Rejoin /
+// Context.Resume.
+type Snapshot = core.Snapshot
+
+// Membership is the optional elastic-membership extension of a transport:
+// a monotonically-increasing epoch minted on every confirmed death and
+// every join, with stale-epoch traffic fenced.
+type Membership = fabric.Membership
+
 // Vector wire representations.
 const (
 	// Dense sends the full float64 vector on every scatter.
