@@ -1,0 +1,27 @@
+.PHONY: all build test race lint fmt bench
+
+all: build lint test
+
+build:
+	go build ./...
+
+test:
+	go test -shuffle=on ./...
+
+race:
+	go test -race ./...
+
+# lint mirrors the CI gate: gofmt must be clean, go vet must pass, and
+# maltlint (the project's own facts-based analyzers, including _test.go
+# variants) must exit 0. Run `go run ./cmd/maltlint -json ./...` for
+# machine-readable findings.
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	go run ./cmd/maltlint ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	go test -run='^$$' -bench=. -benchtime=1x ./...

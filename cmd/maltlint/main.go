@@ -2,22 +2,35 @@
 // the named packages and reports every invariant violation. It is this
 // repository's machine-checked code review for the invariants the Go type
 // system cannot express: errors.Is on sentinels, no scatters under locks,
-// no mixed atomic/plain field access, pure fold/hook closures, and no raw
-// sleeps in retry loops.
+// no mixed atomic/plain field access, pure fold/hook closures, no raw
+// sleeps in retry loops, donated scatter buffers left untouched until the
+// drain, and barrier entry that never depends on the caller's rank.
+//
+// Packages are analyzed in dependency order so cross-package facts ("this
+// helper transitively scatters") flow from callee to caller, and every
+// package's test units — the in-package _test.go variant and the external
+// _test package — are analyzed too.
 //
 // Usage:
 //
 //	go run ./cmd/maltlint ./...
 //	go run ./cmd/maltlint -only erriscmp,rawsleep ./internal/...
+//	go run ./cmd/maltlint -json ./... | jq .
+//	go run ./cmd/maltlint -github ./...   # GitHub Actions annotations
 //
 // Exit status is 1 when any diagnostic is reported, 2 on operational
 // failure. Suppress a finding with an audited annotation on or above the
 // flagged line:
 //
 //	//maltlint:allow <analyzer> -- <reason>
+//
+// The reason is mandatory; a malformed annotation (unknown analyzer name,
+// missing `--`, empty reason) is itself reported as an error and
+// suppresses nothing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +39,23 @@ import (
 	"malt/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	noTests := flag.Bool("notests", false, "skip _test.go analysis units")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: maltlint [-only a,b] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: maltlint [-only a,b] [-list] [-json|-github] [-notests] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,7 +63,7 @@ func main() {
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -65,30 +90,57 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	targets, err := loader.Targets(patterns...)
+	runner := lint.NewRunner(loader, analyzers)
+	runner.SkipTests = *noTests
+	diags, err := runner.Run(patterns...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	found := 0
-	for _, path := range targets {
-		pkg, err := loader.LoadPackage(path)
-		if err != nil {
+	switch {
+	case *jsonOut:
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			fatalf("%v", err)
 		}
-		diags, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fatalf("%v", err)
+	case *github:
+		for _, d := range diags {
+			// ::error's message field terminates at a newline or a raw
+			// comma in the properties; the messages contain commas, so
+			// escape per the workflow-command rules.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=maltlint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
 		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
-			found++
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "maltlint: %d violation(s)\n", found)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "maltlint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// githubEscape encodes a workflow-command message per GitHub's rules: %
+// first, then newlines (message data also needs no comma escaping, unlike
+// properties, but CR/LF must go).
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func fatalf(format string, args ...any) {

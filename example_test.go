@@ -19,6 +19,7 @@ func ExampleRun() {
 			// Each replica proposes its rank number; averaging converges
 			// every replica to the same mean.
 			v.Data()[0] = float64(ctx.Rank())
+			//maltlint:allow iterskew -- doc example runs a single BSP round; there is no second iteration to advance to
 			ctx.SetIteration(1)
 			if err := ctx.Scatter(v); err != nil { // g.scatter(ALL)
 				return err

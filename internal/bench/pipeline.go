@@ -108,6 +108,7 @@ func runPipeTrial(ranks, ops, size, batch int) (pipeTrial, error) {
 			defer wg.Done()
 			payload := make([]byte, size)
 			for i := 0; i < ops; i++ {
+				//maltlint:allow bufretain -- steady-state benchmark deliberately re-posts one read-only buffer; reuse is the workload under measurement
 				if _, err := segs[r].Scatter(payload, uint64(i+1)); err != nil {
 					errs[r] = err
 					return

@@ -56,6 +56,7 @@ func TestRunnerBlackoutWindowOpensAndCloses(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("blackout never opened")
 		}
+		//maltlint:allow rawsleep -- bounded poll for the chaos schedule to open a fault window; no fabric retry is involved
 		time.Sleep(time.Millisecond)
 	}
 	r.Wait()

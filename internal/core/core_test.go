@@ -200,6 +200,7 @@ func TestFailureRecoveryMidTraining(t *testing.T) {
 			if _, err := ctx.Gather(v, vol.Average); err != nil {
 				return err
 			}
+			//maltlint:allow rawsleep -- paces the async convergence loop so peers interleave; not a retry/backoff site
 			time.Sleep(time.Millisecond)
 		}
 		lo, hi, err := ctx.Shard(90)
@@ -287,6 +288,7 @@ func TestShardOverSurvivors(t *testing.T) {
 func TestIterationRoundTrip(t *testing.T) {
 	c, _ := NewCluster(Config{Ranks: 1})
 	ctx := c.Context(0)
+	//maltlint:allow iterskew -- round-trip test pins one stamp to assert storage, not an SSP loop
 	ctx.SetIteration(7)
 	if ctx.Iteration() != 7 {
 		t.Fatal("iteration not stored")
@@ -447,6 +449,7 @@ func TestZombieWritesBounceAfterRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	vecs[2].Data()[0] = 666
+	//maltlint:allow iterskew -- rejoin test stamps one distinctive iteration to trace the post-revival update
 	c.Context(2).SetIteration(99)
 	if err := c.Context(2).Scatter(vecs[2]); err != nil {
 		t.Fatal(err)

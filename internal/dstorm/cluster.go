@@ -257,6 +257,7 @@ func (n *Node) DisableAsyncSend() {
 func (n *Node) drainSends(q chan sendReq, done chan struct{}) {
 	defer close(done)
 	for req := range q {
+		//maltlint:allow bufretain -- each queued request owns its payload (write copies before enqueueing), so successive iterations post distinct buffers
 		if err := n.writeWithRetry(req.to, req.key, req.payload); err != nil {
 			n.noteAsyncFailure(req.to)
 		}
@@ -327,6 +328,7 @@ func (n *Node) writeMulti(peers []int, key string, payload []byte) (failed []int
 		// Pipeline raced with DisablePipeline; fall through to direct sends.
 	}
 	for _, to := range peers {
+		//maltlint:allow bufretain -- fan-out re-posts the same read-only payload; write copies it in async mode and completes before returning in sync mode
 		if err := n.write(to, key, payload); err != nil {
 			failed = append(failed, to)
 		}

@@ -99,11 +99,17 @@ func TestScatterRespectsDataflow(t *testing.T) {
 	if _, err := segs[0].Scatter([]byte("x"), 1); err != nil {
 		t.Fatal(err)
 	}
-	ups, _ := segs[1].Gather(GatherAllNew)
+	ups, err := segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 || ups[0].From != 0 {
 		t.Fatalf("rank 1 updates = %+v", ups)
 	}
-	ups, _ = segs[2].Gather(GatherAllNew)
+	ups, err = segs[2].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 0 {
 		t.Fatalf("rank 2 should receive nothing from rank 0, got %+v", ups)
 	}
@@ -114,11 +120,17 @@ func TestScatterToSubset(t *testing.T) {
 	if _, err := segs[0].ScatterTo([]int{2}, []byte("only2"), 1); err != nil {
 		t.Fatal(err)
 	}
-	ups, _ := segs[2].Gather(GatherAllNew)
+	ups, err := segs[2].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 || string(ups[0].Data) != "only2" {
 		t.Fatalf("rank 2 updates = %+v", ups)
 	}
-	ups, _ = segs[1].Gather(GatherAllNew)
+	ups, err = segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 0 {
 		t.Fatalf("rank 1 should have nothing, got %+v", ups)
 	}
@@ -126,7 +138,10 @@ func TestScatterToSubset(t *testing.T) {
 	if _, err := segs[0].Scatter([]byte("all"), 2); err != nil {
 		t.Fatal(err)
 	}
-	ups, _ = segs[3].Gather(GatherAllNew)
+	ups, err = segs[3].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 {
 		t.Fatalf("send list not restored: rank 3 got %+v", ups)
 	}
@@ -171,7 +186,10 @@ func TestGatherLatestSkipsOld(t *testing.T) {
 		t.Fatalf("GatherLatest = %+v", ups)
 	}
 	// The older items are considered consumed.
-	ups, _ = segs[1].Gather(GatherAllNew)
+	ups, err = segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 0 {
 		t.Fatalf("items resurfaced after GatherLatest: %+v", ups)
 	}
@@ -197,7 +215,10 @@ func TestPeerIters(t *testing.T) {
 		t.Fatalf("PeerIters[2] = %d, want 0 (nothing arrived)", iters[2])
 	}
 	// Peeking does not consume.
-	ups, _ := segs[0].Gather(GatherAllNew)
+	ups, err := segs[0].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 {
 		t.Fatalf("gather after peek = %+v", ups)
 	}
@@ -216,7 +237,10 @@ func TestScatterReportsFailedPeers(t *testing.T) {
 		t.Fatalf("failed = %v, want [2]", failed)
 	}
 	// Rank 1 still received the update.
-	ups, _ := segs[1].Gather(GatherAllNew)
+	ups, err := segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 {
 		t.Fatalf("live peer missed the update: %+v", ups)
 	}
@@ -236,7 +260,10 @@ func TestRemovePeer(t *testing.T) {
 	if _, err := segs[2].Scatter([]byte("zombie"), 1); err != nil {
 		t.Fatal(err)
 	}
-	ups, _ := segs[0].Gather(GatherAllNew)
+	ups, err := segs[0].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, u := range ups {
 		if u.From == 2 {
 			t.Fatal("gathered update from removed peer")
@@ -529,11 +556,15 @@ func TestClosedSegment(t *testing.T) {
 
 func TestIterationStamping(t *testing.T) {
 	_, segs := newTestCluster(t, 2, SegmentOptions{ObjectSize: 8})
+	//maltlint:allow iterskew -- single-round test pins one distinctive stamp to assert it rides the wire
 	segs[0].SetIteration(42)
 	if _, err := segs[0].Scatter([]byte("x"), 0); err != nil { // 0 = use stored iter
 		t.Fatal(err)
 	}
-	ups, _ := segs[1].Gather(GatherAllNew)
+	ups, err := segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 1 || ups[0].Iter != 42 {
 		t.Fatalf("ups = %+v, want iter 42", ups)
 	}
@@ -546,7 +577,10 @@ func TestSequenceNumbersMonotonic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ups, _ := segs[1].Gather(GatherAllNew)
+	ups, err := segs[1].Gather(GatherAllNew)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ups) != 10 {
 		t.Fatalf("gathered %d", len(ups))
 	}

@@ -210,8 +210,10 @@ func (p *pipeline) enqueue(peers []int, key string, rec []byte) bool {
 		p.stats.notePeak(uint64(p.pendingRecs))
 		switch {
 		case b.bytes >= p.cfg.MaxBatchBytes:
+			//maltlint:allow lockedscatter -- flushLocked only hands the batch to a worker channel; the fabric write runs on the pool goroutine after p.mu is released
 			p.flushLocked(k, b, flushBytes)
 		case len(b.recs) >= p.cfg.MaxBatchCount:
+			//maltlint:allow lockedscatter -- flushLocked only hands the batch to a worker channel; the fabric write runs on the pool goroutine after p.mu is released
 			p.flushLocked(k, b, flushCount)
 		}
 	}
@@ -227,6 +229,7 @@ func (p *pipeline) flushIfGen(k pendKey, gen uint64) {
 		return
 	}
 	if b := p.pending[k]; b != nil && b.gen == gen {
+		//maltlint:allow lockedscatter -- flushLocked only hands the batch to a worker channel; the fabric write runs on the pool goroutine after p.mu is released
 		p.flushLocked(k, b, flushDeadline)
 	}
 }
@@ -261,6 +264,7 @@ func (p *pipeline) flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.closed {
+		//maltlint:allow lockedscatter -- batches are handed to worker channels under p.mu by design; delivery happens on pool goroutines
 		p.flushAllLocked(flushExplicit)
 	}
 }
@@ -282,6 +286,7 @@ func (p *pipeline) drain() {
 func (p *pipeline) stop() {
 	p.mu.Lock()
 	p.closed = true
+	//maltlint:allow lockedscatter -- closing flush hands remaining batches to worker channels; delivery happens on pool goroutines after p.mu is released
 	p.flushAllLocked(flushExplicit)
 	p.mu.Unlock()
 	p.pool.Close()

@@ -90,7 +90,9 @@ func TestAsyncSendBackPressure(t *testing.T) {
 	const sends = 50
 	start := time.Now()
 	for i := 1; i <= sends; i++ {
+		//maltlint:allow bufretain -- async send copies the payload before queueing; mutate-then-repost is the overwrite pressure under test
 		payload[0] = byte(i)
+		//maltlint:allow bufretain -- async send copies the payload before queueing; mutate-then-repost is the overwrite pressure under test
 		if _, err := segs[0].Scatter(payload, uint64(i)); err != nil {
 			t.Fatal(err)
 		}

@@ -113,6 +113,7 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 					if from == to {
 						continue
 					}
+					//maltlint:allow bufretain -- chaos sweep re-posts one read-only buffer; the fabric copies on deposit
 					err := f.Write(from, to, "sink", payload)
 					schedule = append(schedule, fmt.Sprintf("%d->%d:%v", from, to, err))
 					perr := f.Ping(from, to)

@@ -307,6 +307,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
+		//maltlint:allow rawsleep -- bounded poll helper for membership convergence; no fabric retry involved
 		time.Sleep(2 * time.Millisecond)
 	}
 }
@@ -359,6 +360,7 @@ func TestJoinReadmitsKilledRank(t *testing.T) {
 
 	nt2 := rejoinRank(t, nets, 2)
 	epoch := nt2.Epoch()
+	//maltlint:allow epochcmp -- the stale base is deliberate: the assertion is that the rejoin minted a strictly newer epoch
 	if epoch <= base {
 		t.Fatalf("joiner epoch = %d, want > base %d", epoch, base)
 	}

@@ -28,6 +28,7 @@ func TestConfirmDeathOnKilledRank(t *testing.T) {
 	}
 	m := g.Monitor(0)
 	var deaths []int
+	//maltlint:allow foldpurity -- ReportFailedWrites invokes hooks on the caller's goroutine; nothing else touches deaths in this test
 	m.OnDeath(func(r int) { deaths = append(deaths, r) })
 	confirmed := m.ReportFailedWrites([]int{3})
 	if len(confirmed) != 1 || confirmed[0] != 3 {

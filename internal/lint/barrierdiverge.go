@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BarrierDiverge flags rank-divergent barrier entry. A cluster barrier
+// releases only when every live rank of the group enters it, so any code
+// path where entering the barrier depends on the caller's rank wedges the
+// whole cluster: the ranks that entered wait forever for the ranks that
+// never will. Three shapes are reported:
+//
+//   - a barrier-reaching call (directly, or through a callee carrying a
+//     BarriersFact) under one arm of a rank-conditional branch with no
+//     barrier on the sibling arm — unless that arm leaves the function,
+//     in which case the rank is visibly gone rather than waiting elsewhere;
+//   - rank-conditional arms that both reach barriers but with different
+//     constant name sets — the ranks split across distinct barriers and
+//     neither completes;
+//   - a named-barrier call whose name argument is itself rank-dependent,
+//     which puts every rank in a barrier of its own.
+//
+// Rank-dependence is syntactic: the branch condition (or name expression)
+// mentions an identifier, field, or method whose name contains "rank".
+var BarrierDiverge = &Analyzer{
+	Name: "barrierdiverge",
+	Doc:  "barrier entry must not depend on the caller's rank: every live rank must reach the same barrier",
+	Run:  runBarrierDiverge,
+}
+
+func runBarrierDiverge(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				checkRankBranch(pass, n)
+			case *ast.CallExpr:
+				checkRankName(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// barrierSite is one barrier-reaching call found inside a branch arm.
+type barrierSite struct {
+	pos    token.Pos
+	callee string
+	names  []string // constant barrier names known for this site
+}
+
+// checkRankBranch analyzes one if statement whose condition is
+// rank-dependent for asymmetric or divergently-named barrier entry.
+func checkRankBranch(pass *Pass, ifs *ast.IfStmt) {
+	if !rankDependent(pass.Info, ifs.Cond) {
+		return
+	}
+	thenSites := barrierSitesIn(pass, ifs.Body)
+	var elseSites []barrierSite
+	var elseNode ast.Stmt = ifs.Else
+	if elseNode != nil {
+		elseSites = barrierSitesIn(pass, elseNode)
+	}
+
+	switch {
+	case len(thenSites) > 0 && len(elseSites) == 0:
+		// Skip when either arm leaves the function: a rank that exits is
+		// visibly gone rather than waiting elsewhere, and when the barrier
+		// arm itself returns the other ranks may pair with a barrier past
+		// the if — cross-statement pairing is out of scope.
+		if (elseNode == nil || !terminates(elseNode)) && !terminates(ifs.Body) {
+			for _, s := range thenSites {
+				pass.Reportf(s.pos,
+					"barrier entry via %s depends on a rank condition (%s); ranks taking the other path never enter it and the barrier wedges — hoist the barrier out of the rank branch",
+					s.callee, condString(pass, ifs.Cond))
+			}
+		}
+	case len(elseSites) > 0 && len(thenSites) == 0:
+		if !terminates(ifs.Body) && !terminates(elseNode) {
+			for _, s := range elseSites {
+				pass.Reportf(s.pos,
+					"barrier entry via %s depends on a rank condition (%s); ranks taking the other path never enter it and the barrier wedges — hoist the barrier out of the rank branch",
+					s.callee, condString(pass, ifs.Cond))
+			}
+		}
+	case len(thenSites) > 0 && len(elseSites) > 0:
+		tn, en := siteNames(thenSites), siteNames(elseSites)
+		if len(tn) > 0 && len(en) > 0 && !sameStrings(tn, en) {
+			pass.Reportf(ifs.Pos(),
+				"rank-conditional branches enter barriers with different names (%s vs %s); the ranks split across distinct barriers and neither completes",
+				strings.Join(tn, ","), strings.Join(en, ","))
+		}
+	}
+}
+
+// checkRankName flags a direct named-barrier call whose name argument is
+// rank-dependent and non-constant.
+func checkRankName(pass *Pass, call *ast.CallExpr) {
+	fn := funcFor(pass.Info, call)
+	if fn == nil || !barrierNames[fn.Name()] || fn.Pkg() == nil || !maltPackage(fn.Pkg().Path()) {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Params().Len() == 0 || len(call.Args) == 0 {
+		return
+	}
+	if b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	if _, isConst := constStringArg(pass.Info, call, 0); isConst {
+		return
+	}
+	if rankDependent(pass.Info, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(),
+			"barrier name is rank-dependent; every rank enters a barrier of its own and none completes — use one name shared by all ranks")
+	}
+}
+
+// barrierSitesIn collects the barrier-reaching calls inside a branch arm,
+// skipping goroutine and deferred closures (they run off this rank's
+// barrier path) and nested rank-conditionals (reported on their own).
+func barrierSitesIn(pass *Pass, arm ast.Stmt) []barrierSite {
+	var sites []barrierSite
+	inspectSkippingAsync(arm, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := funcFor(pass.Info, call)
+		if fn == nil {
+			return
+		}
+		names, via, ok := barriersFn(fn, pass.Facts)
+		if !ok {
+			return
+		}
+		set := map[string]bool{}
+		for _, nm := range names {
+			set[nm] = true
+		}
+		if nm, isConst := constStringArg(pass.Info, call, 0); isConst && barrierNames[fn.Name()] {
+			set = map[string]bool{nm: true} // the call site's own literal is exact
+		}
+		sorted := make([]string, 0, len(set))
+		for nm := range set {
+			sorted = append(sorted, nm)
+		}
+		sort.Strings(sorted)
+		sites = append(sites, barrierSite{pos: call.Pos(), callee: shortKey(via), names: sorted})
+	})
+	return sites
+}
+
+// siteNames unions the constant names across sites; empty when any site
+// has no known names (then the comparison would be guesswork).
+func siteNames(sites []barrierSite) []string {
+	set := map[string]bool{}
+	for _, s := range sites {
+		if len(s.names) == 0 {
+			return nil
+		}
+		for _, nm := range s.names {
+			set[nm] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for nm := range set {
+		out = append(out, nm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rankDependent reports whether the expression mentions the caller's rank:
+// an identifier, field, or method whose name contains "rank".
+func rankDependent(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "rank") {
+				found = true
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// terminates reports whether a branch arm always leaves the enclosing
+// scope — ends in return, panic, or an unconditional branch statement. A
+// rank taking such an arm is visibly gone, not silently waiting elsewhere.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return terminatesAll(s)
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && terminates(s.Else)
+	}
+	return false
+}
+
+func terminatesAll(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return terminates(b.List[len(b.List)-1])
+}
+
+// condString renders a branch condition compactly for diagnostics.
+func condString(pass *Pass, e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// shortKey trims the module prefix from an object key for readability:
+// "malt/internal/dstorm.Cluster.Barrier" -> "dstorm.Cluster.Barrier".
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

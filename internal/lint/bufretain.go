@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufRetain enforces the one-sided donation contract: a slice handed to
+// the fabric — directly via fabric.Write/WriteBatch, through a Scatter, or
+// through ANY callee the facts pass marked as retaining that parameter —
+// is the transport's to read until the enclosing Drain/Flush/Barrier. The
+// paper's receiver never runs code, and with the async send pipeline the
+// sender's transport may serialize the buffer microseconds after the call
+// returns; today's simulated fabric happens to copy eagerly, but the
+// contract (like a real RDMA post) does not promise it. In the donation
+// window the analyzer flags:
+//
+//   - mutation: an element store (buf[i] = x), copy(buf, ...), or an
+//     append through the buffer, any of which can interleave with the
+//     transport's read and serialize a torn update;
+//   - re-scatter: donating the same buffer again (including around a loop
+//     back edge) without an intervening drain — every queued write then
+//     races the next one's reuse;
+//   - returning the buffer, which hands a live wire buffer to a caller
+//     that has no way to know it must not touch it.
+//
+// A Drain, Flush, or Barrier on any malt value closes the window (the
+// pipeline's explicit flush points and the BSP barrier both guarantee the
+// fabric is done with every queued buffer). The analysis is per-function
+// and flow-ordered like lockedscatter: branches are tracked separately and
+// merged, loop bodies are walked twice so a donation reaching the back
+// edge meets its own next iteration, and closures are their own functions.
+var BufRetain = &Analyzer{
+	Name: "bufretain",
+	Doc:  "a slice handed to the fabric must not be mutated, re-scattered, or returned before the enclosing Drain/Flush/Barrier",
+	Run:  runBufRetain,
+}
+
+// drainNames close every open donation window when invoked on a malt
+// value: all of them guarantee the transport has consumed queued buffers.
+var drainNames = map[string]bool{
+	"Drain": true, "Flush": true, "Barrier": true, "creationBarrier": true,
+}
+
+func runBufRetain(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w := &retainWalker{pass: pass, reported: map[token.Pos]bool{}}
+					w.block(n.Body.List, donationSet{})
+				}
+			case *ast.FuncLit:
+				w := &retainWalker{pass: pass, reported: map[token.Pos]bool{}}
+				w.block(n.Body.List, donationSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// donationSet maps a donated buffer's base object to where it was donated.
+type donationSet map[types.Object]token.Pos
+
+func (ds donationSet) clone() donationSet {
+	out := make(donationSet, len(ds))
+	for k, v := range ds {
+		out[k] = v
+	}
+	return out
+}
+
+type retainWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool // dedup across the second loop-body walk
+}
+
+func (w *retainWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+// block walks stmts in source order threading the donation set through.
+func (w *retainWalker) block(stmts []ast.Stmt, donated donationSet) donationSet {
+	for _, s := range stmts {
+		donated = w.stmt(s, donated)
+	}
+	return donated
+}
+
+func (w *retainWalker) stmt(s ast.Stmt, donated donationSet) donationSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X, donated)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, donated)
+		}
+		for i, lhs := range s.Lhs {
+			w.checkWrite(lhs, donated)
+			// Reassigning the variable itself re-points it: the donated
+			// memory stays live inside the fabric, but this name no longer
+			// aliases it — unless the RHS appends through it, which may
+			// write the donated backing array in place (already reported
+			// by scan). Either way the name stops being tracked.
+			if obj := baseObject(w.pass.Info, lhs); obj != nil {
+				if _, ok := donated[obj]; ok && isWholeVar(lhs) && i < len(s.Rhs) {
+					delete(donated, obj)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, donated)
+			if obj := baseObject(w.pass.Info, e); obj != nil && isWholeVar(e) {
+				if pos, ok := donated[obj]; ok {
+					w.reportf(e.Pos(),
+						"%s was handed to the fabric at %s and is returned before a Drain/Flush/Barrier; the transport may still serialize it — drain first or return a copy",
+						objName(obj), w.pass.Fset.Position(pos))
+				}
+			}
+		}
+		return donated
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at return time, spawned goroutines on their
+		// own schedule; their closure bodies are walked separately.
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scan(e, donated)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, donated)
+	case *ast.BlockStmt:
+		return w.block(s.List, donated)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			donated = w.stmt(s.Init, donated)
+		}
+		w.scan(s.Cond, donated)
+		bodyOut := w.block(s.Body.List, donated.clone())
+		elseOut := donated.clone()
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, donated.clone())
+		}
+		// Conservative union: a donation open on either path is open after.
+		merged := bodyOut
+		for k, v := range elseOut {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+		return merged
+	case *ast.ForStmt:
+		if s.Init != nil {
+			donated = w.stmt(s.Init, donated)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, donated)
+		}
+		donated = w.loopBody(s, s.Body, donated)
+	case *ast.RangeStmt:
+		w.scan(s.X, donated)
+		donated = w.loopBody(s, s.Body, donated)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			donated = w.stmt(s.Init, donated)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, donated)
+		}
+		return w.clauses(s.Body, donated)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(s.Body, donated)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, donated)
+	case *ast.SendStmt:
+		w.scan(s.Chan, donated)
+		w.scan(s.Value, donated)
+	case *ast.IncDecStmt:
+		w.checkWrite(s.X, donated)
+	}
+	return donated
+}
+
+// loopBody walks a loop body, then walks it once more when donations
+// survive to the bottom: a buffer donated on iteration N is still live
+// when iteration N+1 mutates or re-donates it, and only the second walk
+// sees that back edge. Donations rooted in variables the loop itself
+// declares (the range variable, a per-iteration local) do not ride the
+// back edge — the next iteration rebinds them to fresh values. Reports
+// are deduplicated by position.
+func (w *retainWalker) loopBody(loop ast.Node, body *ast.BlockStmt, donated donationSet) donationSet {
+	out := w.block(body.List, donated.clone())
+	back := donationSet{}
+	for obj, pos := range out {
+		if obj.Pos() < loop.Pos() || obj.Pos() > loop.End() {
+			back[obj] = pos
+		}
+	}
+	if len(back) > 0 {
+		w.block(body.List, back)
+	}
+	for k, v := range donated {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (w *retainWalker) clauses(body *ast.BlockStmt, donated donationSet) donationSet {
+	merged := donated.clone()
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		out := w.block(stmts, donated.clone())
+		for k, v := range out {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	return merged
+}
+
+// checkWrite flags element stores through a donated buffer.
+func (w *retainWalker) checkWrite(target ast.Expr, donated donationSet) {
+	e := unparen(target)
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	obj := baseObject(w.pass.Info, idx.X)
+	if obj == nil {
+		return
+	}
+	if pos, ok := donated[obj]; ok {
+		w.reportf(target.Pos(),
+			"%s was handed to the fabric at %s and is mutated before a Drain/Flush/Barrier; the transport may serialize a torn update — drain first or write into a fresh buffer",
+			objName(obj), w.pass.Fset.Position(pos))
+	}
+}
+
+// scan inspects one expression for donations, drains, and mutating calls,
+// without descending into closure literals.
+func (w *retainWalker) scan(e ast.Expr, donated donationSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtins that write through their slice argument.
+		if id, isIdent := unparen(call.Fun).(*ast.Ident); isIdent {
+			if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "copy":
+					if len(call.Args) > 0 {
+						w.checkMutatingArg(call.Args[0], donated, "copy writes through it")
+					}
+				case "append":
+					if len(call.Args) > 0 {
+						w.checkMutatingArg(call.Args[0], donated, "append may write its spare capacity in place")
+					}
+				}
+				return true
+			}
+		}
+		fn := funcFor(w.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		// A drain point closes every open window.
+		if drainNames[fn.Name()] && fn.Pkg() != nil && maltPackage(fn.Pkg().Path()) {
+			for k := range donated {
+				delete(donated, k)
+			}
+			return true
+		}
+		// A donating call: arguments at retained positions enter the
+		// window; if one is already in it, that is a re-scatter.
+		for _, j := range retainedParams(fn, w.pass.Facts) {
+			if j >= len(call.Args) {
+				continue
+			}
+			obj := baseObject(w.pass.Info, call.Args[j])
+			if obj == nil {
+				continue
+			}
+			if pos, open := donated[obj]; open {
+				w.reportf(call.Args[j].Pos(),
+					"%s was already handed to the fabric at %s and is re-scattered via %s before a Drain/Flush/Barrier; queued writes race the reuse — drain between posts or double-buffer",
+					objName(obj), w.pass.Fset.Position(pos), fn.Name())
+			} else {
+				donated[obj] = call.Args[j].Pos()
+			}
+		}
+		return true
+	})
+}
+
+func (w *retainWalker) checkMutatingArg(arg ast.Expr, donated donationSet, how string) {
+	obj := baseObject(w.pass.Info, arg)
+	if obj == nil {
+		return
+	}
+	if pos, ok := donated[obj]; ok {
+		w.reportf(arg.Pos(),
+			"%s was handed to the fabric at %s and is mutated before a Drain/Flush/Barrier (%s); the transport may serialize a torn update",
+			objName(obj), w.pass.Fset.Position(pos), how)
+	}
+}
+
+// baseObject resolves the variable a slice expression is rooted in: the
+// object behind `buf`, `buf[a:b]`, or `s.buf` (the field object). It
+// returns nil for anything else — fresh call results, composite literals,
+// conversions — which are untrackable and therefore never flagged.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	e = unparen(e)
+	for {
+		switch t := e.(type) {
+		case *ast.SliceExpr:
+			e = unparen(t.X)
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	switch t := e.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return nil
+		}
+		if v, ok := info.ObjectOf(t).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(t.Sel).(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isWholeVar reports whether e denotes a whole variable (possibly
+// parenthesized), as opposed to an element, slice, or field of one.
+func isWholeVar(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		_, ok = unparen(e).(*ast.SelectorExpr)
+	}
+	return ok
+}
+
+func objName(obj types.Object) string {
+	return obj.Name()
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Runner drives whole-module analysis: it resolves target patterns, walks
+// the malt dependency closure in topological order, runs the built-in facts
+// pass on every package (so downstream packages can import facts about
+// their dependencies), runs the analyzers on the targets, and finally
+// analyzes every target's test units — the in-package _test.go variant and
+// the external _test package — against the completed fact universe.
+//
+// Dependencies outside the target set contribute facts only; diagnostics
+// are reported for target packages (and their test files) alone.
+type Runner struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	// Facts accumulates every fact exported during the run. It is created
+	// on first use and can be inspected afterwards (tests assert on it).
+	Facts *FactStore
+	// SkipTests disables the test-variant and external-test units —
+	// linttest uses this to build a facts-only universe cheaply.
+	SkipTests bool
+}
+
+// NewRunner returns a Runner over the loader with the given analyzers.
+func NewRunner(l *Loader, analyzers []*Analyzer) *Runner {
+	return &Runner{Loader: l, Analyzers: analyzers, Facts: NewFactStore()}
+}
+
+// Run analyzes the packages matched by patterns plus, facts-only, their
+// malt dependency closure, and returns the surviving diagnostics sorted by
+// position.
+func (r *Runner) Run(patterns ...string) ([]Diagnostic, error) {
+	if r.Facts == nil {
+		r.Facts = NewFactStore()
+	}
+	targets, err := r.Loader.Targets(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, t := range targets {
+		isTarget[t] = true
+	}
+	order, err := r.dependencyOrder(targets)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	run := func(pkg *Package) error {
+		ds, err := Run(pkg, r.Analyzers, r.Facts)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+		return nil
+	}
+
+	// Phase 1: base packages in dependency order. Every package gets the
+	// facts pass (Run calls ComputeFacts); only targets get analyzed.
+	for _, path := range order {
+		pkg, err := r.Loader.LoadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		if isTarget[path] {
+			if err := run(pkg); err != nil {
+				return nil, err
+			}
+		} else {
+			ComputeFacts(pkg, r.Facts)
+		}
+	}
+
+	// Phase 2: test units. They come after every base package — test code
+	// may import any package in the module — and nothing imports them, so
+	// their facts have no consumers and their order is irrelevant.
+	if !r.SkipTests {
+		for _, path := range targets {
+			inPkg, external := r.Loader.HasTests(path)
+			if inPkg {
+				pkg, err := r.Loader.LoadPackageTest(path)
+				if err != nil {
+					return nil, err
+				}
+				if err := run(pkg); err != nil {
+					return nil, err
+				}
+			}
+			if external {
+				pkg, err := r.Loader.LoadXTest(path)
+				if err != nil {
+					return nil, err
+				}
+				if err := run(pkg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// dependencyOrder returns the targets plus their in-module dependency
+// closure, topologically sorted so every package follows its imports.
+func (r *Runner) dependencyOrder(targets []string) ([]string, error) {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(chain, path), " -> "))
+		}
+		state[path] = visiting
+		for _, imp := range r.Loader.Imports(path) {
+			if samePackageUniverse(path, imp) {
+				if err := visit(imp, append(chain, path)); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, t := range targets {
+		if err := visit(t, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// samePackageUniverse reports whether imp belongs to the same module
+// universe as path — for the malt module proper, any malt package; for a
+// foreign module under test (the loader also serves temp fixtures), any
+// import sharing the first path element.
+func samePackageUniverse(path, imp string) bool {
+	if maltPackage(path) {
+		return maltPackage(imp)
+	}
+	root, _, _ := strings.Cut(path, "/")
+	iroot, _, _ := strings.Cut(imp, "/")
+	return root != "" && root == iroot
+}

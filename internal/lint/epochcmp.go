@@ -30,14 +30,6 @@ var EpochCmp = &Analyzer{
 	Run:  runEpochCmp,
 }
 
-// epochBlocking are the malt methods that can span a death or a join (and
-// therefore an epoch mint) while the caller is parked in them.
-var epochBlocking = map[string]bool{
-	"Barrier": true, "Advance": true, "Drain": true, "Wait": true,
-	"Gather": true, "GatherLatest": true, "Commit": true,
-	"Rendezvous": true, "Join": true,
-}
-
 func runEpochCmp(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -65,8 +57,11 @@ func checkEpochFunc(pass *Pass, body *ast.BlockStmt) {
 				}
 				return true
 			}
-			if fn := funcFor(pass.Info, n); fn != nil && epochBlocking[fn.Name()] {
-				if pkgPath, _, ok := recvTypeName(fn); ok && maltPackage(pkgPath) {
+			// Blocking detection is interprocedural: blessed membership
+			// method names on malt types, plus any callee the facts pass
+			// marked as transitively blocking (BlocksFact).
+			if fn := funcFor(pass.Info, n); fn != nil {
+				if _, blocks := blocksFn(fn, pass.Facts); blocks {
 					blocking = append(blocking, n.Pos())
 				}
 			}

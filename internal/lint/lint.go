@@ -1,7 +1,7 @@
 // Package lint is maltlint: a static-analysis suite that machine-checks the
 // invariants MALT's correctness rests on but Go's type system cannot express.
 //
-// The nine analyzers (see their files for details):
+// The eleven analyzers (see their files for details):
 //
 //   - erriscmp: sentinel fabric/dstorm/fault errors must be classified with
 //     errors.Is, never == / != / switch — wrapped errors (every fabric error
@@ -34,20 +34,38 @@
 //     narrowing or signing one can resurrect stale-epoch traffic — and must
 //     not be captured on one side of a blocking membership operation
 //     (Barrier, Join, Rendezvous, ...) and compared on the other, where a
-//     death or join may have minted a newer epoch.
+//     death or join may have minted a newer epoch. Blocking is recognized
+//     interprocedurally through BlocksFact.
+//   - bufretain: a slice handed to the fabric (fabric.Write/WriteBatch, a
+//     Scatter, or any callee fact-marked as retaining it) is live until the
+//     enclosing Drain/Flush/Barrier — mutating, re-scattering, or returning
+//     it in that window lets the transport serialize a torn update.
+//   - barrierdiverge: barrier reachability must be rank-symmetric — a
+//     barrier (direct or via a fact-marked callee) under a rank-conditional
+//     branch with no matching barrier on the other ranks' path, divergent
+//     constant barrier names across the branches, or a barrier name computed
+//     from the rank are the static signatures of a cross-rank wedge.
 //
 // The framework is intentionally dependency-free: it mirrors the shape of
-// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top of the
-// standard library's go/ast + go/types, because this repository builds
-// without third-party modules.
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) — including
+// its modular facts architecture (see facts.go) — on top of the standard
+// library's go/ast + go/types, because this repository builds without
+// third-party modules. Packages are analyzed in dependency order (see
+// Runner in engine.go); each analysis both consumes facts about its imports
+// and exports facts for its dependents, so interprocedural checks cross
+// package boundaries without whole-program analysis. Test variants
+// (in-package _test.go files and external _test packages) are loaded and
+// analyzed too.
 //
 // False positives are suppressed with an explicit, audited annotation:
 //
 //	//maltlint:allow <analyzer>[,<analyzer>...] -- <reason>
 //
-// placed on the flagged line or the line directly above it. The reason is
-// mandatory by convention (reviewers reject bare allows); the analyzer name
-// "all" suppresses every check for that line.
+// placed on the flagged line or the line directly above it. The analyzer
+// name "all" suppresses every check for that line. Malformed annotations —
+// an unknown analyzer name, or a missing "-- reason" clause — are hard
+// maltlint errors and suppress nothing: a silently honored typo would
+// disable the very check it names.
 package lint
 
 import (
@@ -91,14 +109,36 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the cross-package fact store shared by the whole run. The
+	// built-in facts pass has already populated it for this package and
+	// every malt dependency by the time an analyzer runs.
+	Facts *FactStore
 
-	diags *[]Diagnostic
-	allow allowIndex
+	reportFiles map[string]bool // nil = report everywhere
+	diags       *[]Diagnostic
+	allow       allowIndex
 }
 
-// Reportf records a finding at pos unless an allow annotation suppresses it.
+// ImportObjectFact copies the stored fact of fact's concrete type about obj
+// into fact, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.Facts.Import(obj, fact)
+}
+
+// ExportObjectFact records fact about obj for downstream packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Facts.Export(obj, fact)
+}
+
+// Reportf records a finding at pos unless an allow annotation suppresses it
+// or the position falls in a file this pass only re-analyzes for context
+// (non-test files of a test-variant unit, already reported by the base
+// unit's pass).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	if p.reportFiles != nil && !p.reportFiles[position.Filename] {
+		return
+	}
 	if p.allow.allows(position, p.Analyzer.Name) {
 		return
 	}
@@ -110,19 +150,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies every analyzer to the package and returns the surviving
-// diagnostics sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allow := buildAllowIndex(pkg.Fset, pkg.Files)
-	var diags []Diagnostic
+// diagnostics sorted by position. facts carries analysis state across
+// packages; nil gets a fresh store. The package's own facts are (re)derived
+// first, so intra-package interprocedural checks work even in single-package
+// runs, and malformed //maltlint:allow annotations are reported as hard
+// errors.
+func Run(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	ComputeFacts(pkg, facts)
+	allow, diags := buildAllowIndex(pkg.Fset, pkg.Files)
+	if pkg.ReportFiles != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if pkg.ReportFiles[d.Pos.Filename] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
-			allow:    allow,
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			Info:        pkg.Info,
+			Facts:       facts,
+			reportFiles: pkg.ReportFiles,
+			diags:       &diags,
+			allow:       allow,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -146,7 +204,16 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew, EpochCmp}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew, EpochCmp, BufRetain, BarrierDiverge}
+}
+
+// analyzerNames returns the set of names an allow annotation may use.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // allowIndex maps file -> line -> analyzer names suppressed on that line.
@@ -169,8 +236,27 @@ func (ai allowIndex) allows(pos token.Position, analyzer string) bool {
 
 const allowPrefix = "//maltlint:allow"
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// allowDiagName is the pseudo-analyzer name malformed-annotation errors are
+// reported under. It is not itself suppressible.
+const allowDiagName = "allow"
+
+// buildAllowIndex parses every //maltlint:allow annotation, returning the
+// suppression index plus a hard-error diagnostic for each malformed
+// annotation. Only well-formed annotations — every name known, a "--"
+// separator, a non-empty reason — suppress anything: a typoed analyzer name
+// or a bare allow silently honored would disable the very check it names
+// with no audit trail.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
 	ai := allowIndex{}
+	var diags []Diagnostic
+	valid := analyzerNames()
+	badAllow := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+			Analyzer: allowDiagName,
+		})
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -178,8 +264,30 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
-				names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
 				pos := fset.Position(c.Pos())
+				names, reason, hasReason := strings.Cut(strings.TrimSpace(rest), "--")
+				names = strings.TrimSpace(names)
+				reason = strings.TrimSpace(reason)
+				if names == "" {
+					badAllow(pos, "malformed //maltlint:allow: no analyzer names; write `//maltlint:allow <analyzer> -- <reason>`")
+					continue
+				}
+				if !hasReason || reason == "" {
+					badAllow(pos, "suppression without an audited reason: `//maltlint:allow %s` is missing the `-- <reason>` clause", names)
+					continue
+				}
+				parsed, bad := []string{}, false
+				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					if !valid[name] {
+						badAllow(pos, "//maltlint:allow names unknown analyzer %q (known: run `maltlint -list`); the suppression is NOT honored", name)
+						bad = true
+						continue
+					}
+					parsed = append(parsed, name)
+				}
+				if bad || len(parsed) == 0 {
+					continue
+				}
 				lines := ai[pos.Filename]
 				if lines == nil {
 					lines = map[int]map[string]bool{}
@@ -190,15 +298,13 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 					set = map[string]bool{}
 					lines[pos.Line] = set
 				}
-				for _, name := range strings.Split(names, ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						set[name] = true
-					}
+				for _, name := range parsed {
+					set[name] = true
 				}
 			}
 		}
 	}
-	return ai
+	return ai, diags
 }
 
 // maltPackage reports whether path is this module or one of its packages.

@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"malt/internal/lint"
@@ -11,15 +13,22 @@ import (
 // expectations) and stay silent on the fixture's negative cases — the
 // analysistest contract, enforced by linttest.
 
-func TestErrIsCmp(t *testing.T)      { linttest.Run(t, lint.ErrIsCmp, "erriscmp") }
-func TestLockedScatter(t *testing.T) { linttest.Run(t, lint.LockedScatter, "lockedscatter") }
-func TestAtomicMix(t *testing.T)     { linttest.Run(t, lint.AtomicMix, "atomicmix") }
-func TestFoldPurity(t *testing.T)    { linttest.Run(t, lint.FoldPurity, "foldpurity") }
-func TestRawSleep(t *testing.T)      { linttest.Run(t, lint.RawSleep, "rawsleep") }
-func TestGatherDrop(t *testing.T)    { linttest.Run(t, lint.GatherDrop, "gatherdrop") }
-func TestQueueLen(t *testing.T)      { linttest.Run(t, lint.QueueLen, "queuelen") }
-func TestIterSkew(t *testing.T)      { linttest.Run(t, lint.IterSkew, "iterskew") }
-func TestEpochCmp(t *testing.T)      { linttest.Run(t, lint.EpochCmp, "epochcmp") }
+func TestErrIsCmp(t *testing.T)       { linttest.Run(t, lint.ErrIsCmp, "erriscmp") }
+func TestLockedScatter(t *testing.T)  { linttest.Run(t, lint.LockedScatter, "lockedscatter") }
+func TestAtomicMix(t *testing.T)      { linttest.Run(t, lint.AtomicMix, "atomicmix") }
+func TestFoldPurity(t *testing.T)     { linttest.Run(t, lint.FoldPurity, "foldpurity") }
+func TestRawSleep(t *testing.T)       { linttest.Run(t, lint.RawSleep, "rawsleep") }
+func TestGatherDrop(t *testing.T)     { linttest.Run(t, lint.GatherDrop, "gatherdrop") }
+func TestQueueLen(t *testing.T)       { linttest.Run(t, lint.QueueLen, "queuelen") }
+func TestIterSkew(t *testing.T)       { linttest.Run(t, lint.IterSkew, "iterskew") }
+func TestEpochCmp(t *testing.T)       { linttest.Run(t, lint.EpochCmp, "epochcmp") }
+func TestBufRetain(t *testing.T)      { linttest.Run(t, lint.BufRetain, "bufretain") }
+func TestBarrierDiverge(t *testing.T) { linttest.Run(t, lint.BarrierDiverge, "barrierdiverge") }
+
+// TestAllow runs an arbitrary analyzer over the allow fixture: well-formed
+// annotations must suppress, malformed ones must surface as hard "allow"
+// errors while the underlying finding still reports.
+func TestAllow(t *testing.T) { linttest.Run(t, lint.RawSleep, "allow") }
 
 // TestAll ensures the suite registry stays complete: cmd/maltlint and CI
 // run All(), so an analyzer missing from it would silently stop gating.
@@ -28,6 +37,7 @@ func TestAll(t *testing.T) {
 		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
 		"foldpurity": true, "rawsleep": true, "gatherdrop": true,
 		"queuelen": true, "iterskew": true, "epochcmp": true,
+		"bufretain": true, "barrierdiverge": true,
 	}
 	got := lint.All()
 	if len(got) != len(want) {
@@ -40,5 +50,114 @@ func TestAll(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %q missing Doc or Run", a.Name)
 		}
+	}
+}
+
+// TestFactsCrossPackage is the facts round-trip check over the real
+// module: only the fabric primitives are intrinsic scatterers, so a
+// ScattersFact on vol.Vector.Scatter proves vol consumed dstorm's derived
+// facts, and one on core.Context.Scatter proves core consumed vol's — an
+// export-in-A, consume-in-B chain across two real package boundaries.
+func TestFactsCrossPackage(t *testing.T) {
+	_, facts := linttest.Universe(t)
+
+	chain := []string{
+		"malt/internal/dstorm.Segment.Scatter",
+		"malt/internal/vol.Vector.Scatter",
+		"malt/internal/core.Context.Scatter",
+	}
+	for _, key := range chain {
+		var sf lint.ScattersFact
+		if !facts.ImportKey(key, &sf) {
+			t.Errorf("no ScattersFact derived for %s", key)
+			continue
+		}
+		if sf.Via == "" {
+			t.Errorf("ScattersFact for %s has empty Via", key)
+		}
+	}
+
+	// Blocking and retention facts propagate the same way.
+	var bf lint.BlocksFact
+	if !facts.ImportKey("malt/internal/core.Context.Barrier", &bf) {
+		t.Error("no BlocksFact derived for core.Context.Barrier")
+	}
+	// writeBatchWithRetry is not in the intrinsic table; its RetainsFact
+	// exists only because its payload parameter flows into the fabric
+	// batch primitive.
+	var rf lint.RetainsFact
+	if !facts.ImportKey("malt/internal/dstorm.Node.writeBatchWithRetry", &rf) {
+		t.Error("no RetainsFact derived for dstorm.Node.writeBatchWithRetry")
+	} else if len(rf.Params) == 0 {
+		t.Error("RetainsFact for dstorm.Node.writeBatchWithRetry has no params")
+	}
+}
+
+// TestTestFilesAnalyzed is the regression guard for _test.go coverage: a
+// violation seeded in an in-package test file and one in an external test
+// package must both be reported by a Runner over a scratch module.
+func TestTestFilesAnalyzed(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module scratch\n\ngo 1.22\n")
+	writeFile("scratch.go", `package scratch
+
+func Ready() bool { return true }
+`)
+	writeFile("scratch_test.go", `package scratch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoll(t *testing.T) {
+	for !Ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+`)
+	writeFile("scratch_x_test.go", `package scratch_test
+
+import (
+	"testing"
+	"time"
+
+	"scratch"
+)
+
+func TestPollExternal(t *testing.T) {
+	for !scratch.Ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+`)
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	runner := lint.NewRunner(loader, []*lint.Analyzer{lint.RawSleep})
+	diags, err := runner.Run("./...")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := map[string]int{}
+	for _, d := range diags {
+		found[filepath.Base(d.Pos.Filename)]++
+	}
+	if found["scratch_test.go"] != 1 {
+		t.Errorf("in-package test file: got %d rawsleep findings, want 1 (diags: %v)", found["scratch_test.go"], diags)
+	}
+	if found["scratch_x_test.go"] != 1 {
+		t.Errorf("external test package: got %d rawsleep findings, want 1 (diags: %v)", found["scratch_x_test.go"], diags)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want exactly 2: %v", len(diags), diags)
 	}
 }

@@ -31,13 +31,16 @@ import (
 var (
 	loaderOnce sync.Once
 	loader     *lint.Loader
+	facts      *lint.FactStore
 	loaderErr  error
 )
 
-// sharedLoader builds one loader for the whole test binary: go list and
-// export-data loading are the expensive part, and every fixture shares the
-// same dependency universe.
-func sharedLoader(t *testing.T) *lint.Loader {
+// sharedLoader builds one loader and one fact universe for the whole test
+// binary: go list and export-data loading are the expensive part, and a
+// facts-only pass over the malt module lets fixtures exercise derived
+// facts (a fixture calling vol.Vector.Scatter sees the same ScattersFact
+// the real tool derives). Every fixture shares both.
+func sharedLoader(t *testing.T) (*lint.Loader, *lint.FactStore) {
 	t.Helper()
 	loaderOnce.Do(func() {
 		root, err := moduleRoot()
@@ -46,11 +49,29 @@ func sharedLoader(t *testing.T) *lint.Loader {
 			return
 		}
 		loader, loaderErr = lint.NewLoader(root)
+		if loaderErr != nil {
+			return
+		}
+		r := lint.NewRunner(loader, nil)
+		r.SkipTests = true
+		if _, err := r.Run("./..."); err != nil {
+			loaderErr = fmt.Errorf("building fact universe: %w", err)
+			return
+		}
+		facts = r.Facts
 	})
 	if loaderErr != nil {
 		t.Fatalf("linttest: building loader: %v", loaderErr)
 	}
-	return loader
+	return loader, facts
+}
+
+// Universe returns the shared loader and the fact store built by the
+// facts-only pass over the whole malt module. Tests use it to assert on
+// derived cross-package facts without re-running the analysis.
+func Universe(t *testing.T) (*lint.Loader, *lint.FactStore) {
+	t.Helper()
+	return sharedLoader(t)
 }
 
 // moduleRoot walks up from the working directory to the go.mod.
@@ -88,14 +109,14 @@ func Run(t *testing.T, analyzer *lint.Analyzer, fixture string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l := sharedLoader(t)
+	l, universe := sharedLoader(t)
 	pkg, err := l.LoadDir(dir, "fixture/"+fixture)
 	if err != nil {
 		t.Fatalf("linttest: loading fixture %s: %v", fixture, err)
 	}
 	expectations := collectWants(t, pkg)
 
-	diags, err := lint.Run(pkg, []*lint.Analyzer{analyzer})
+	diags, err := lint.Run(pkg, []*lint.Analyzer{analyzer}, universe)
 	if err != nil {
 		t.Fatalf("linttest: running %s: %v", analyzer.Name, err)
 	}
@@ -131,10 +152,15 @@ func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
+				// The marker usually starts the comment, but may follow
+				// other text — a malformed //maltlint:allow annotation is
+				// itself the diagnostic site, so its expectation has to ride
+				// inside the same comment.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
 					continue
 				}
+				rest := c.Text[idx+len("// want "):]
 				pos := pkg.Fset.Position(c.Pos())
 				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
 					raw := m[1]

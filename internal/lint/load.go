@@ -18,28 +18,42 @@ import (
 	"sync"
 )
 
-// Package is one parsed, type-checked package ready for analysis.
+// Package is one parsed, type-checked analysis unit. A module package
+// yields up to three units: the plain package, its test variant (non-test
+// plus in-package _test.go files, compiled as one package the way `go
+// test` does), and its external _test package.
 type Package struct {
-	// Path is the import path ("malt/internal/fabric").
+	// Path is the import path ("malt/internal/fabric"); external test
+	// packages carry the conventional "_test" suffix.
 	Path string
 	// Dir is the package directory on disk.
 	Dir string
 	// Fset maps positions for Files.
 	Fset *token.FileSet
-	// Files are the parsed non-test Go files.
+	// Files are the parsed Go files of this unit.
 	Files []*ast.File
 	// Types is the type-checked package.
 	Types *types.Package
 	// Info holds the type information the analyzers consume.
 	Info *types.Info
+	// Test marks test units (the in-package variant or an external _test
+	// package).
+	Test bool
+	// ReportFiles, when non-nil, restricts diagnostics to these files
+	// (keyed by full filename). The test variant re-type-checks the plain
+	// files for context but only its _test.go findings are new.
+	ReportFiles map[string]bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	Imports      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
 }
 
 // Loader type-checks packages of the enclosing module without any module
@@ -91,7 +105,7 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // list runs `go list` and folds the results into l.meta. With deps it adds
 // -deps -export so every transitive dependency gets export data.
 func (l *Loader) list(patterns []string, deps bool) error {
-	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles"}
+	args := []string{"list", "-json=ImportPath,Dir,Export,GoFiles,Imports,TestGoFiles,XTestGoFiles"}
 	if deps {
 		args = append(args, "-deps", "-export")
 	}
@@ -180,25 +194,110 @@ func (l *Loader) exportFor(path string) (*listedPackage, error) {
 
 // LoadPackage parses and type-checks one module package by import path.
 func (l *Loader) LoadPackage(importPath string) (*Package, error) {
-	l.mu.Lock()
-	meta, ok := l.meta[importPath]
-	l.mu.Unlock()
-	if !ok {
-		if err := l.list([]string{importPath}, true); err != nil {
-			return nil, err
-		}
-		l.mu.Lock()
-		meta, ok = l.meta[importPath]
-		l.mu.Unlock()
-		if !ok {
-			return nil, fmt.Errorf("lint: unknown package %q", importPath)
-		}
+	meta, err := l.metaFor(importPath)
+	if err != nil {
+		return nil, err
 	}
 	files := make([]string, len(meta.GoFiles))
 	for i, f := range meta.GoFiles {
 		files[i] = filepath.Join(meta.Dir, f)
 	}
 	return l.load(importPath, meta.Dir, files)
+}
+
+// meta returns the loader's metadata for an import path, listing it on
+// demand.
+func (l *Loader) metaFor(importPath string) (*listedPackage, error) {
+	l.mu.Lock()
+	m, ok := l.meta[importPath]
+	l.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	if err := l.list([]string{importPath}, true); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	m, ok = l.meta[importPath]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %q", importPath)
+	}
+	return m, nil
+}
+
+// HasTests reports whether the package has in-package and/or external
+// _test.go files.
+func (l *Loader) HasTests(importPath string) (inPackage, external bool) {
+	if m, err := l.metaFor(importPath); err == nil {
+		return len(m.TestGoFiles) > 0, len(m.XTestGoFiles) > 0
+	}
+	return false, false
+}
+
+// Imports returns the import paths the package depends on.
+func (l *Loader) Imports(importPath string) []string {
+	if m, err := l.metaFor(importPath); err == nil {
+		return m.Imports
+	}
+	return nil
+}
+
+// LoadPackageTest parses and type-checks a package's test variant: the
+// plain Go files plus the in-package _test.go files, compiled together the
+// way `go test` builds them. Imports (including test-only imports) resolve
+// against export data. ReportFiles is set to the _test.go files — the
+// plain files were already analyzed as the base unit.
+func (l *Loader) LoadPackageTest(importPath string) (*Package, error) {
+	meta, err := l.metaFor(importPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.TestGoFiles) == 0 {
+		return nil, fmt.Errorf("lint: %s has no in-package test files", importPath)
+	}
+	files := make([]string, 0, len(meta.GoFiles)+len(meta.TestGoFiles))
+	report := make(map[string]bool, len(meta.TestGoFiles))
+	for _, f := range meta.GoFiles {
+		files = append(files, filepath.Join(meta.Dir, f))
+	}
+	for _, f := range meta.TestGoFiles {
+		name := filepath.Join(meta.Dir, f)
+		files = append(files, name)
+		report[name] = true
+	}
+	pkg, err := l.load(importPath, meta.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Test = true
+	pkg.ReportFiles = report
+	return pkg, nil
+}
+
+// LoadXTest parses and type-checks a package's external test package (the
+// "pkg_test" compilation unit). Its import of the base package resolves
+// against the base package's export data; external test files that reach
+// for test-variant-only identifiers (export_test.go helpers) are not
+// supported by this loader and fail to type-check with a clear error.
+func (l *Loader) LoadXTest(importPath string) (*Package, error) {
+	meta, err := l.metaFor(importPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.XTestGoFiles) == 0 {
+		return nil, fmt.Errorf("lint: %s has no external test files", importPath)
+	}
+	files := make([]string, 0, len(meta.XTestGoFiles))
+	for _, f := range meta.XTestGoFiles {
+		files = append(files, filepath.Join(meta.Dir, f))
+	}
+	pkg, err := l.load(importPath+"_test", meta.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Test = true
+	return pkg, nil
 }
 
 // LoadDir parses and type-checks every .go file in dir as a single package

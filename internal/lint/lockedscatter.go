@@ -22,28 +22,16 @@ import (
 // not propagated outward, unlocks in early-return branches do not leak,
 // and closure bodies are analyzed with their own empty lock set (a closure
 // runs later, on an unknown goroutine).
+//
+// Scatter recognition is interprocedural: a callee counts when it is a
+// fabric write intrinsic or carries a ScattersFact derived by the facts
+// pass — so a helper two packages away that eventually funnels into
+// fabric.Write is caught under a lock just like a direct Segment.Scatter,
+// with no hand-maintained method table.
 var LockedScatter = &Analyzer{
 	Name: "lockedscatter",
 	Doc:  "one-sided scatters/writes must not run while a locally acquired mutex is held",
 	Run:  runLockedScatter,
-}
-
-// scatterMethods are the one-sided send entry points, keyed
-// "pkgpath.Type.Method". Node.write / writeWithRetry are the internal
-// funnels every scatter drains into; checking them keeps dstorm itself
-// honest, not just its callers.
-var scatterMethods = map[string]bool{
-	"malt/internal/fabric.Fabric.Write":        true,
-	"malt/internal/dstorm.Segment.Scatter":     true,
-	"malt/internal/dstorm.Segment.ScatterTo":   true,
-	"malt/internal/dstorm.AddSegment.Scatter":  true,
-	"malt/internal/dstorm.Node.write":          true,
-	"malt/internal/dstorm.Node.writeWithRetry": true,
-	"malt/internal/vol.Vector.Scatter":         true,
-	"malt/internal/vol.Vector.ScatterTo":       true,
-	"malt/internal/vol.Vector.ScatterSparse":   true,
-	"malt/internal/core.Context.Scatter":       true,
-	"malt/internal/core.Context.Commit":        true,
 }
 
 func runLockedScatter(pass *Pass) error {
@@ -234,12 +222,21 @@ func (w *lockWalker) scan(e ast.Expr, held lockSet) {
 			}
 			return true
 		}
-		if pkgPath, typeName, ok := recvTypeName(fn); ok && maltPackage(pkgPath) {
-			if scatterMethods[pkgPath+"."+typeName+"."+fn.Name()] && len(held) > 0 {
+		if len(held) == 0 {
+			return true
+		}
+		if via, scatters := scattersFn(fn, w.pass.Facts); scatters {
+			if _, typeName, isMethod := recvTypeName(fn); isMethod {
 				for key, lockPos := range held {
 					w.pass.Reportf(call.Pos(),
 						"one-sided %s.%s while %s is still locked (acquired at %s); snapshot state, unlock, then scatter",
 						typeName, fn.Name(), key, w.pass.Fset.Position(lockPos))
+				}
+			} else {
+				for key, lockPos := range held {
+					w.pass.Reportf(call.Pos(),
+						"call to %s, which transitively scatters (via %s), while %s is still locked (acquired at %s); snapshot state, unlock, then scatter",
+						fn.Name(), shortKey(via), key, w.pass.Fset.Position(lockPos))
 				}
 			}
 		}

@@ -1,0 +1,92 @@
+// Package barrierdiverge seeds rank-divergent barrier entry for the
+// barrierdiverge analyzer: a barrier releases only when every live rank
+// enters it, so rank-conditional entry wedges the cluster.
+package barrierdiverge
+
+import (
+	"fmt"
+
+	"malt/internal/dstorm"
+	"malt/internal/fabric/tcpnet"
+)
+
+func leaderOnly(s *dstorm.Segment, rank int) {
+	if rank == 0 {
+		_ = s.Barrier() // want `depends on a rank condition \(rank == 0\)`
+	}
+}
+
+func elseOnly(s *dstorm.Segment, rank int) {
+	if rank == 0 {
+		fmt.Println("leader")
+	} else {
+		_ = s.Barrier() // want `depends on a rank condition`
+	}
+}
+
+func splitNames(n *tcpnet.Net, rank int) {
+	if rank%2 == 0 { // want `different names \(even vs odd\)`
+		_ = n.Barrier("even", rank)
+	} else {
+		_ = n.Barrier("odd", rank)
+	}
+}
+
+func perRankName(n *tcpnet.Net, rank int) {
+	_ = n.Barrier(fmt.Sprintf("b-%d", rank), rank) // want `barrier name is rank-dependent`
+}
+
+// sync funnels into Segment.Barrier, so the facts pass derives a
+// BarriersFact for it; reaching a barrier through a helper is recognized
+// the same as calling it directly.
+func sync(s *dstorm.Segment) {
+	_ = s.Barrier()
+}
+
+func viaHelper(s *dstorm.Segment, rank int) {
+	if rank == 0 {
+		sync(s) // want `depends on a rank condition`
+	}
+}
+
+// ---- negative cases: none of these may be flagged ----
+
+// Both arms enter the same named barrier: symmetric.
+func symmetric(n *tcpnet.Net, rank int) {
+	if rank == 0 {
+		_ = n.Barrier("sync", rank)
+	} else {
+		_ = n.Barrier("sync", rank)
+	}
+}
+
+// The non-barrier arm leaves the function: that rank is visibly gone (the
+// membership layer prunes it), not silently waiting elsewhere.
+func deadRankExit(s *dstorm.Segment, rank, dead int) error {
+	if rank == dead {
+		return nil
+	}
+	return s.Barrier()
+}
+
+// The barrier arm returns; the other ranks continue to their own barrier
+// below. Cross-statement pairing is out of scope, so this stays silent.
+func leaderFastPath(s *dstorm.Segment, rank int) error {
+	if rank == 0 {
+		return s.Barrier()
+	}
+	fmt.Println("worker path")
+	return s.Barrier()
+}
+
+// The condition is not rank-dependent.
+func retryGuard(s *dstorm.Segment, attempt int) {
+	if attempt < 3 {
+		_ = s.Barrier()
+	}
+}
+
+// A constant, shared name is fine even when other arguments mention rank.
+func sharedName(n *tcpnet.Net, rank int) {
+	_ = n.Barrier("epoch", rank)
+}

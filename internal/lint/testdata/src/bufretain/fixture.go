@@ -1,0 +1,99 @@
+// Package bufretain seeds donated-buffer hazards for the bufretain
+// analyzer, against the real fabric/dstorm APIs: a slice handed to the
+// fabric is the transport's until the enclosing Drain/Flush/Barrier.
+package bufretain
+
+import (
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+)
+
+func mutateAfterScatter(s *dstorm.Segment, buf []byte) {
+	_, _ = s.Scatter(buf, 1)
+	buf[0] = 0xFF // want `buf was handed to the fabric .* and is mutated`
+}
+
+func doublePost(s *dstorm.Segment, buf []byte) {
+	_, _ = s.Scatter(buf, 1)
+	_, _ = s.Scatter(buf, 2) // want `re-scattered via Scatter`
+}
+
+func loopReuse(s *dstorm.Segment, buf []byte) {
+	for i := uint64(0); i < 4; i++ {
+		_, _ = s.Scatter(buf, i) // want `re-scattered via Scatter`
+	}
+}
+
+func returnLive(s *dstorm.Segment, buf []byte) []byte {
+	_, _ = s.Scatter(buf, 1)
+	return buf // want `returned before a Drain/Flush/Barrier`
+}
+
+func copyInto(s *dstorm.Segment, buf, next []byte) {
+	_, _ = s.Scatter(buf, 1)
+	copy(buf, next) // want `copy writes through it`
+}
+
+func appendThrough(s *dstorm.Segment, buf []byte) []byte {
+	_, _ = s.Scatter(buf, 1)
+	out := append(buf, 0) // want `append may write its spare capacity in place`
+	return out
+}
+
+func fabricDirect(f *fabric.Fabric, buf []byte) {
+	_ = f.Write(0, 1, "k", buf)
+	buf[0] = 1 // want `buf was handed to the fabric .* and is mutated`
+}
+
+// post funnels into Segment.Scatter, so the facts pass derives
+// RetainsFact{0} for it; donating through it counts like donating to the
+// fabric directly.
+func post(s *dstorm.Segment, b []byte) {
+	_, _ = s.Scatter(b, 1)
+}
+
+func viaHelper(s *dstorm.Segment, buf []byte) {
+	post(s, buf)
+	buf[0] = 1 // want `buf was handed to the fabric .* and is mutated`
+}
+
+// ---- negative cases: none of these may be flagged ----
+
+// A Barrier closes the donation window.
+func drainedThenMutated(s *dstorm.Segment, buf []byte) {
+	_, _ = s.Scatter(buf, 1)
+	_ = s.Barrier()
+	buf[0] = 1
+}
+
+// Draining inside the loop makes per-iteration reuse safe.
+func loopDrained(s *dstorm.Segment, buf []byte) {
+	for i := uint64(0); i < 4; i++ {
+		_, _ = s.Scatter(buf, i)
+		_ = s.Barrier()
+	}
+}
+
+// Re-pointing the variable stops tracking it; the donated memory lives on
+// inside the fabric but this name no longer aliases it.
+func swapBuffer(s *dstorm.Segment, buf []byte) {
+	_, _ = s.Scatter(buf, 1)
+	buf = make([]byte, 8)
+	buf[0] = 1
+	_, _ = s.Scatter(buf, 2)
+}
+
+// A fresh buffer every iteration never meets its own back edge.
+func freshPerIteration(s *dstorm.Segment) {
+	for i := uint64(0); i < 4; i++ {
+		buf := make([]byte, 8)
+		buf[0] = byte(i)
+		_, _ = s.Scatter(buf, i)
+	}
+}
+
+// Reading a donated buffer is fine; only writes race the transport.
+func readBack(s *dstorm.Segment, buf []byte) byte {
+	_, _ = s.Scatter(buf, 1)
+	return buf[0]
+}

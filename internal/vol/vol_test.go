@@ -343,7 +343,11 @@ func TestScatterToSubsetVector(t *testing.T) {
 	if _, err := vecs[0].ScatterTo([]int{2}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := vecs[1].Gather(Sum); st.Updates != 0 {
+	st, err := vecs[1].Gather(Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 0 {
 		t.Fatal("rank 1 should receive nothing")
 	}
 	if _, err := vecs[2].Gather(Sum); err != nil {
@@ -370,6 +374,7 @@ func TestVectorAccessors(t *testing.T) {
 
 func TestVectorPeerItersAndSetIteration(t *testing.T) {
 	vecs := newVectors(t, 2, 1, Dense, Options{})
+	//maltlint:allow iterskew -- single-round test pins one stamp to assert PeerIters propagation, not an SSP loop
 	vecs[0].SetIteration(5)
 	if _, err := vecs[0].Scatter(0); err != nil { // 0 → use stored iteration
 		t.Fatal(err)
@@ -403,10 +408,18 @@ func TestVectorRemovePeer(t *testing.T) {
 	if _, err := vecs[0].Scatter(1); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := vecs[1].Gather(Sum); st.Updates != 0 {
+	st, err := vecs[1].Gather(Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 0 {
 		t.Fatal("removed peer still receives")
 	}
-	if st, _ := vecs[2].Gather(Sum); st.Updates != 1 {
+	st, err = vecs[2].Gather(Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 1 {
 		t.Fatal("remaining peer should receive")
 	}
 }
@@ -414,6 +427,7 @@ func TestVectorRemovePeer(t *testing.T) {
 func TestVectorGatherWeakCountsTorn(t *testing.T) {
 	// Weak gathers over a chunked writer may observe torn payloads; the
 	// stats must count them and the atomic gather must never see any.
+	//maltlint:allow queuelen -- the depth-1 ring forces overwrites so weak gathers can observe tearing; that pressure is the property under test
 	vecs := newVectors(t, 2, 8192, Dense, Options{QueueLen: 1, ChunkSize: 256})
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

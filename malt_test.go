@@ -71,6 +71,7 @@ func TestSparseVectorThroughPublicAPI(t *testing.T) {
 			}
 			if ctx.Rank() == 0 {
 				v.Data()[7] = 3.5
+				//maltlint:allow iterskew -- single-round API test; there is no second iteration to advance to
 				ctx.SetIteration(1)
 				if err := ctx.Scatter(v); err != nil {
 					return err
@@ -175,6 +176,7 @@ func TestModelParallelShards(t *testing.T) {
 			}
 			low.Data()[0] = float64(ctx.Rank() + 1)
 			high.Data()[0] = 10 * float64(ctx.Rank()+1)
+			//maltlint:allow iterskew -- single-round API test; there is no second iteration to advance to
 			ctx.SetIteration(1)
 			for _, v := range []*malt.Vector{low, high} {
 				if err := ctx.Scatter(v); err != nil {
@@ -216,6 +218,7 @@ func TestCustomDataflowThroughPublicAPI(t *testing.T) {
 				return err
 			}
 			v.Data()[0] = float64(ctx.Rank() + 1)
+			//maltlint:allow iterskew -- single-round API test; there is no second iteration to advance to
 			ctx.SetIteration(1)
 			if err := ctx.Scatter(v); err != nil {
 				return err
