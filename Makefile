@@ -1,4 +1,4 @@
-.PHONY: all build test race lint fmt bench
+.PHONY: all build test race lint fmt bench bench-baseline
 
 all: build lint test
 
@@ -25,3 +25,13 @@ fmt:
 
 bench:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The canonical -exp list for the CI bench-regression gate. Regenerate the
+# checked-in baseline with this target when a change legitimately moves the
+# modeled numbers, and review the diff: only the metrics your change
+# explains should move (elapsed_sec and wall_* churn is expected — they are
+# informational and never gated).
+BENCH_EXPERIMENTS = pipeline,gather,fig13,saturation,allreduce,ablation-queue,ablation-interleave,elastic,overlap
+
+bench-baseline:
+	go run ./cmd/maltbench -exp $(BENCH_EXPERIMENTS) -json > BENCH_BASELINE.json

@@ -55,6 +55,7 @@ func main() {
 		batchWait = flag.Duration("batchDelay", 0, "flush a destination's batch after this long (0 = default)")
 		gatherW   = flag.Int("gatherWorkers", 0, "parallel gather engine workers (0 = serial, -1 = default pool size; svm only)")
 		foldChunk = flag.Int("foldChunk", 0, "coordinate-chunk size for parallel folds (0 = default)")
+		bucketB   = flag.Int("bucketBytes", 0, "split gradient scatters into buckets of this many payload bytes so communication overlaps compute (0 = off; requires -sparse=false; svm only)")
 		transport = flag.String("transport", "inproc", "interconnect: inproc (simulated fabric) or tcp (one process per rank over real sockets; svm only)")
 		listen    = flag.String("listen", "", "this rank's host:port (tcp transport)")
 		peersStr  = flag.String("peers", "", "comma-separated host:port list for every rank; this rank = position of -listen in the list (tcp transport)")
@@ -152,6 +153,13 @@ func main() {
 		fmt.Printf("parallel gather: workers=%d foldChunk=%d (0 = default)\n", *gatherW, *foldChunk)
 	}
 
+	if *bucketB > 0 {
+		if *sparse {
+			log.Fatal("maltrun: -bucketBytes requires the dense wire format; add -sparse=false (sparse scatters are already deltas and are not bucketed)")
+		}
+		fmt.Printf("gradient bucketing: bucketBytes=%d (comm/compute overlap)\n", *bucketB)
+	}
+
 	opts := bench.SVMOpts{
 		DS: ds, Ranks: *ranks, CB: *cb,
 		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
@@ -162,6 +170,7 @@ func main() {
 		Pipeline:      pipe,
 		GatherWorkers: *gatherW,
 		FoldChunk:     *foldChunk,
+		BucketBytes:   *bucketB,
 	}
 	if tspec.tcp() {
 		tnet, err := dialTCP(tspec)
@@ -215,6 +224,13 @@ func main() {
 	if *gatherW != 0 {
 		fmt.Printf("gather engine: %d decode tasks fanned out, %d chunks folded, %d scratch hits\n",
 			agg.Count(trace.DecodeTasks), agg.Count(trace.ChunksFolded), agg.Count(trace.ScratchHits))
+	}
+	if *bucketB > 0 {
+		fmt.Printf("overlap: %d buckets sent, %.3fs comm hidden behind compute, %.3fs exposed (%.0f%% overlapped)\n",
+			agg.Count(trace.BucketsSent),
+			float64(agg.Count(trace.OverlappedNs))/1e9,
+			float64(agg.Count(trace.ExposedCommNs))/1e9,
+			100*agg.OverlappedFrac())
 	}
 
 	if script != nil {

@@ -112,6 +112,10 @@ type SVMOpts struct {
 	// FoldChunk is the coordinate-chunk size for parallel folds
 	// (0 = vol.DefaultFoldChunk).
 	FoldChunk int
+	// BucketBytes splits gradient scatters into byte-capped buckets pushed
+	// as soon as they are produced (comm/compute overlap; see
+	// core.Config.BucketBytes). 0 disables bucketing.
+	BucketBytes int
 	// Suspicion tunes the K-strikes failure detector (zero = defaults).
 	Suspicion fault.SuspicionConfig
 	// Jitter models per-machine compute-speed variance. The single-core
@@ -255,6 +259,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		Pipeline:       opts.Pipeline,
 		GatherWorkers:  opts.GatherWorkers,
 		FoldChunk:      opts.FoldChunk,
+		BucketBytes:    opts.BucketBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -358,16 +363,21 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 				switch {
 				case opts.Mode == GradAvg && !modelRound:
 					// Local per-example SGD over the batch; the scattered
-					// "gradient" is the accumulated model delta.
+					// "gradient" is the accumulated model delta, produced
+					// bucket by bucket so each bucket is on the wire while
+					// the next one is still being written (a plain
+					// compute-then-Scatter when bucketing is off).
 					ctx.Compute(func() {
 						copy(before, w)
 						tr.TrainEpoch(w, batch)
+					})
+					err := ctx.ScatterBucketed(v, func(lo, hi int) {
 						delta := v.Data()
-						for i := range delta {
+						for i := lo; i < hi; i++ {
 							delta[i] = w[i] - before[i]
 						}
 					})
-					if err := ctx.Scatter(v); err != nil {
+					if err != nil {
 						return err
 					}
 					if err := ctx.Advance(v); err != nil {

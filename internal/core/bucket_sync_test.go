@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"malt/internal/consistency"
+	"malt/internal/dstorm"
+	"malt/internal/fabric"
+	"malt/internal/vol"
+)
+
+// bucketSyncResult is one rank's view at the end of a bucketed training
+// schedule: its final local model, how many logical updates it folded, and
+// the reassembly counters.
+type bucketSyncResult struct {
+	data   []float64
+	folded int
+	perf   vol.BucketPerf
+}
+
+// runBucketSyncSchedule trains rounds of the SetIteration → ScatterBucketed
+// → Advance → Gather → Commit loop under the given consistency model and
+// returns every rank's result. A final barrier + gather drains stragglers
+// so ASP/SSP totals are conserved (the queue is deep enough that nothing
+// is overwritten).
+func runBucketSyncSchedule(t *testing.T, model consistency.Model, bucketBytes, ranks, dim, rounds int) []bucketSyncResult {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Ranks:          ranks,
+		Sync:           model,
+		StalenessBound: uint64(rounds), // SSP: lax enough that no update is filtered
+		QueueLen:       rounds + 1,
+		Pipeline:       &dstorm.PipelineConfig{},
+		GatherWorkers:  2,
+		BucketBytes:    bucketBytes,
+		Fabric:         fabric.Config{Delay: fabric.DelayNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	results := make([]bucketSyncResult, ranks)
+	res := c.Run(func(ctx *Context) error {
+		v, err := ctx.CreateVector("w", vol.Dense, dim)
+		if err != nil {
+			return err
+		}
+		defer v.Close()
+		if bucketBytes > 0 && !v.Bucketed() {
+			return fmt.Errorf("vector did not inherit cluster BucketBytes=%d", bucketBytes)
+		}
+		folded := 0
+		for round := 1; round <= rounds; round++ {
+			ctx.SetIteration(uint64(round))
+			err := ctx.ScatterBucketed(v, func(lo, hi int) {
+				d := v.Data()
+				for i := lo; i < hi; i++ {
+					d[i] = 1 / float64(i+31*ctx.Rank()+7*round)
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("round %d scatter: %w", round, err)
+			}
+			if err := ctx.Advance(v); err != nil {
+				return fmt.Errorf("round %d advance: %w", round, err)
+			}
+			st, err := ctx.Gather(v, vol.Sum)
+			if err != nil {
+				return fmt.Errorf("round %d gather: %w", round, err)
+			}
+			folded += st.Updates
+			if model == consistency.BSP && st.Updates != ranks-1 {
+				return fmt.Errorf("round %d: BSP folded %d updates, want %d", round, st.Updates, ranks-1)
+			}
+			if err := ctx.Commit(v); err != nil {
+				return fmt.Errorf("round %d commit: %w", round, err)
+			}
+		}
+		// Drain stragglers: ASP/SSP gathers are free-running, so some
+		// updates are still in flight (or queued) when the loop ends.
+		if err := ctx.Barrier(v); err != nil {
+			return err
+		}
+		st, err := ctx.Gather(v, vol.Sum)
+		if err != nil {
+			return err
+		}
+		folded += st.Updates
+		mu.Lock()
+		results[ctx.Rank()] = bucketSyncResult{
+			data:   append([]float64(nil), v.Data()...),
+			folded: folded,
+			perf:   v.BucketPerf(),
+		}
+		mu.Unlock()
+		return ctx.Barrier(v)
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestScatterBucketedSyncModes is the sync-mode axis of the determinism
+// sweep, at the runtime layer the trainers actually use:
+//
+//   - BSP: the bucketed pipeline is bitwise identical to the unbucketed
+//     serial path — reassembly restores whole updates and fold order.
+//   - ASP/SSP: exact folds are unordered, so the invariant is conservation:
+//     with a deep enough queue, every rank folds exactly rounds×(ranks-1)
+//     whole updates — no bucket lost, duplicated, or folded partially.
+func TestScatterBucketedSyncModes(t *testing.T) {
+	const (
+		ranks  = 4
+		dim    = 97 // odd: the last bucket is short
+		rounds = 4
+	)
+	t.Run("BSP-bitwise", func(t *testing.T) {
+		ref := runBucketSyncSchedule(t, consistency.BSP, 0, ranks, dim, rounds)
+		for _, bucketBytes := range []int{8 * 8, 8 * 24} {
+			got := runBucketSyncSchedule(t, consistency.BSP, bucketBytes, ranks, dim, rounds)
+			for r := range ref {
+				if got[r].folded != ref[r].folded {
+					t.Fatalf("bucketBytes=%d rank %d folded %d, unbucketed folded %d",
+						bucketBytes, r, got[r].folded, ref[r].folded)
+				}
+				for i := range ref[r].data {
+					if math.Float64bits(ref[r].data[i]) != math.Float64bits(got[r].data[i]) {
+						t.Fatalf("bucketBytes=%d rank %d coord %d: bucketed %x != unbucketed %x",
+							bucketBytes, r, i,
+							math.Float64bits(got[r].data[i]), math.Float64bits(ref[r].data[i]))
+					}
+				}
+			}
+		}
+	})
+	for _, tc := range []struct {
+		name string
+		sync consistency.Model
+	}{
+		{"ASP-conservation", consistency.ASP},
+		{"SSP-conservation", consistency.SSP},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			results := runBucketSyncSchedule(t, tc.sync, 8*16, ranks, dim, rounds)
+			want := rounds * (ranks - 1)
+			for r, got := range results {
+				if got.folded != want {
+					t.Fatalf("rank %d folded %d whole updates, want %d", r, got.folded, want)
+				}
+				if got.perf.Assembled != uint64(want) || got.perf.Evicted != 0 || got.perf.Duplicates != 0 {
+					t.Fatalf("rank %d perf %+v, want %d assembled and no evictions/duplicates",
+						r, got.perf, want)
+				}
+			}
+		})
+	}
+}

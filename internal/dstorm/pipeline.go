@@ -367,6 +367,32 @@ func (n *Node) Drain() error {
 	return nil
 }
 
+// PipelineOutstanding reports whether the pipeline currently holds work —
+// buffered records or batches handed to workers but not yet delivered.
+// Overlap accounting polls this at compute boundaries: "outstanding while
+// computing" is communication hidden behind compute, "outstanding at the
+// drain" is exposed. Always false when the pipeline is disabled (every
+// write completed synchronously). Racy by nature — a deposit may complete
+// between the two checks — which is fine for accounting.
+func (n *Node) PipelineOutstanding() bool {
+	n.pipeMu.Lock()
+	p := n.pipe
+	n.pipeMu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	pending := p.pendingRecs
+	p.mu.Unlock()
+	if pending > 0 {
+		return true
+	}
+	p.drainMu.Lock()
+	inflight := p.inflight
+	p.drainMu.Unlock()
+	return inflight > 0
+}
+
 // PipelineStats returns a snapshot of the coalescer's counters; zero value
 // when the pipeline was never enabled.
 func (n *Node) PipelineStats() PipelineStats {

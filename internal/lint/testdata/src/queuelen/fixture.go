@@ -17,7 +17,7 @@ func depthOnePointer() *vol.Options {
 }
 
 func depthOnePositional() vol.Options {
-	return vol.Options{1, 0, 0, 0, false} // want `depth-1 receive ring`
+	return vol.Options{1, 0, 0, 0, 0, false} // want `depth-1 receive ring`
 }
 
 // depthDefault and depthDeep are fine: only the pathological depth 1 is
