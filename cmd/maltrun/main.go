@@ -56,20 +56,22 @@ func main() {
 		gatherW   = flag.Int("gatherWorkers", 0, "parallel gather engine workers (0 = serial, -1 = default pool size; svm only)")
 		foldChunk = flag.Int("foldChunk", 0, "coordinate-chunk size for parallel folds (0 = default)")
 		bucketB   = flag.Int("bucketBytes", 0, "split gradient scatters into buckets of this many payload bytes so communication overlaps compute (0 = off; requires -sparse=false; svm only)")
-		transport = flag.String("transport", "inproc", "interconnect: inproc (simulated fabric) or tcp (one process per rank over real sockets; svm only)")
-		listen    = flag.String("listen", "", "this rank's host:port (tcp transport)")
-		peersStr  = flag.String("peers", "", "comma-separated host:port list for every rank; this rank = position of -listen in the list (tcp transport)")
-		rejoin    = flag.Bool("rejoin", false, "rejoin a running tcp cluster after a crash instead of rendezvousing: mint a fresh membership epoch, pull a state snapshot from a publishing survivor, and resume (tcp transport, non-zero rank)")
-		publish   = flag.Bool("publish", false, "publish this rank's recoverable state (model, iteration, optimizer scalars) every batch so it can donate snapshots to rejoining peers (tcp transport)")
+		transport = flag.String("transport", "inproc", "interconnect: inproc (simulated fabric), tcp (one process per rank over real sockets) or uds (one process per rank over Unix domain sockets; svm only)")
+		listen    = flag.String("listen", "", "this rank's host:port (tcp) or socket path (uds)")
+		peersStr  = flag.String("peers", "", "comma-separated host:port (tcp) or socket-path (uds) list for every rank; this rank = position of -listen in the list")
+		rejoin    = flag.Bool("rejoin", false, "rejoin a running tcp/uds cluster after a crash instead of rendezvousing: mint a fresh membership epoch, pull a state snapshot from a publishing survivor, and resume (non-zero rank)")
+		publish   = flag.Bool("publish", false, "publish this rank's recoverable state (model, iteration, optimizer scalars) every batch so it can donate snapshots to rejoining peers (tcp/uds transport)")
+		windowFr  = flag.Int("windowFrames", 0, "max unacked data frames per link before the sender stalls (0 = transport default, 1 = synchronous ack-per-frame; tcp/uds transport)")
+		windowBy  = flag.Int("windowBytes", 0, "max unacked payload bytes per link before the sender stalls (0 = transport default; tcp/uds transport)")
 	)
 	flag.Parse()
 
-	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr, *rejoin)
+	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr, *rejoin, *windowFr, *windowBy)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if tspec.tcp() && *app != "svm" {
-		log.Fatalf("maltrun: -transport=tcp supports only -app=svm (got %q)", *app)
+	if tspec.external() && *app != "svm" {
+		log.Fatalf("maltrun: -transport=%s supports only -app=svm (got %q)", tspec.kind, *app)
 	}
 
 	switch *app {
@@ -116,7 +118,7 @@ func main() {
 		log.Fatalf("unknown -mode %q", *modeStr)
 	}
 
-	if tspec.tcp() {
+	if tspec.external() {
 		// The peer list is the cluster: every process must derive the same
 		// shape, so -ranks is ignored in favor of len(-peers).
 		*ranks = len(tspec.peers)
@@ -172,8 +174,8 @@ func main() {
 		FoldChunk:     *foldChunk,
 		BucketBytes:   *bucketB,
 	}
-	if tspec.tcp() {
-		tnet, err := dialTCP(tspec)
+	if tspec.external() {
+		tnet, err := dialStream(tspec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -188,12 +190,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if tspec.tcp() {
+	if tspec.external() {
 		// Each process's exit-time membership view, so an operator (or the
 		// CI smoke) can assert the whole cluster healed after a rejoin.
 		fmt.Printf("survivors: %v\n", res.Cluster.Context(tspec.rank).Monitor().Survivors())
 	}
-	if tspec.tcp() && tspec.rank != 0 {
+	if tspec.external() && tspec.rank != 0 {
 		// Only rank 0's process samples the curve and owns the final
 		// model; the other processes report their local phase breakdown
 		// and traffic and exit.

@@ -4,54 +4,81 @@ import (
 	"fmt"
 	"strings"
 
+	"malt/internal/fabric/stream"
 	"malt/internal/fabric/tcpnet"
+	"malt/internal/fabric/udsnet"
 )
 
 // transportSpec is the validated result of the -transport/-listen/-peers
-// flag triple.
+// flag group, plus the data-window tuning knobs.
 type transportSpec struct {
-	kind   string // "inproc" or "tcp"
-	listen string
-	peers  []string
-	rank   int  // index of listen in peers (tcp only)
-	rejoin bool // skip rendezvous and join a running cluster (tcp only)
+	kind         string // "inproc", "tcp" or "uds"
+	listen       string
+	peers        []string
+	rank         int  // index of listen in peers (external transports only)
+	rejoin       bool // skip rendezvous and join a running cluster (external only)
+	windowFrames int  // data-window frame credit (0 = transport default)
+	windowBytes  int  // data-window byte credit (0 = transport default)
 }
 
-func (s *transportSpec) tcp() bool { return s.kind == "tcp" }
+// external reports whether the spec names a real multi-process transport
+// (one OS process per rank) rather than the simulated in-process fabric.
+func (s *transportSpec) external() bool { return s.kind != "inproc" }
 
-// validateTransportFlags checks the transport flag triple before anything
+// validateTransportFlags checks the transport flag group before anything
 // binds a socket or loads a dataset, so a mis-assembled cluster fails fast
 // with an actionable message on every rank.
-func validateTransportFlags(kind, listen, peers, chaosSpec string, rejoin bool) (*transportSpec, error) {
+func validateTransportFlags(kind, listen, peers, chaosSpec string, rejoin bool, windowFrames, windowBytes int) (*transportSpec, error) {
 	switch kind {
 	case "inproc":
 		if listen != "" || peers != "" {
-			return nil, fmt.Errorf("maltrun: -listen and -peers are only meaningful with -transport=tcp (got -transport=inproc)")
+			return nil, fmt.Errorf("maltrun: -listen and -peers are only meaningful with -transport=tcp or -transport=uds (got -transport=inproc)")
 		}
 		if rejoin {
-			return nil, fmt.Errorf("maltrun: -rejoin requires -transport=tcp (in-process runs rejoin via chaos join events)")
+			return nil, fmt.Errorf("maltrun: -rejoin requires -transport=tcp or -transport=uds (in-process runs rejoin via chaos join events)")
+		}
+		if windowFrames != 0 || windowBytes != 0 {
+			return nil, fmt.Errorf("maltrun: -windowFrames/-windowBytes tune the stream transports and are only meaningful with -transport=tcp or -transport=uds")
 		}
 		return &transportSpec{kind: kind}, nil
-	case "tcp":
+	case "tcp", "uds":
 	default:
-		return nil, fmt.Errorf("maltrun: unknown -transport %q (want inproc or tcp)", kind)
+		return nil, fmt.Errorf("maltrun: unknown -transport %q (want inproc, tcp or uds)", kind)
 	}
 	if listen == "" {
+		if kind == "uds" {
+			return nil, fmt.Errorf("maltrun: -transport=uds requires -listen (this process's socket path, e.g. -listen=/tmp/malt-r0.sock)")
+		}
 		return nil, fmt.Errorf("maltrun: -transport=tcp requires -listen (this process's host:port, e.g. -listen=127.0.0.1:7001)")
 	}
 	if peers == "" {
+		if kind == "uds" {
+			return nil, fmt.Errorf("maltrun: -transport=uds requires -peers (comma-separated socket-path list covering every rank, including this one)")
+		}
 		return nil, fmt.Errorf("maltrun: -transport=tcp requires -peers (comma-separated host:port list covering every rank, including this one)")
 	}
 	if chaosSpec != "" {
-		return nil, fmt.Errorf("maltrun: -chaos requires the simulated fabric and cannot be combined with -transport=tcp; run the chaos scenario with -transport=inproc")
+		return nil, fmt.Errorf("maltrun: -chaos requires the simulated fabric and cannot be combined with -transport=%s; run the chaos scenario with -transport=inproc", kind)
+	}
+	if windowFrames < 0 {
+		return nil, fmt.Errorf("maltrun: -windowFrames must be >= 0 (0 = default %d, 1 = synchronous ack-per-frame), got %d", stream.DefaultWindowFrames, windowFrames)
+	}
+	if windowBytes < 0 {
+		return nil, fmt.Errorf("maltrun: -windowBytes must be >= 0 (0 = default %d), got %d", stream.DefaultWindowBytes, windowBytes)
 	}
 	list := strings.Split(peers, ",")
-	spec := &transportSpec{kind: kind, listen: listen, rank: -1}
+	spec := &transportSpec{kind: kind, listen: listen, rank: -1, windowFrames: windowFrames, windowBytes: windowBytes}
 	seen := make(map[string]int, len(list))
 	for i, addr := range list {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			return nil, fmt.Errorf("maltrun: -peers entry %d is empty", i)
+		}
+		if kind == "uds" && strings.Contains(addr, ":") {
+			return nil, fmt.Errorf("maltrun: -peers entry %d (%q) looks like a host:port; -transport=uds peers are Unix socket paths (e.g. /tmp/malt-r%d.sock)", i, addr, i)
+		}
+		if kind == "tcp" && !strings.Contains(addr, ":") {
+			return nil, fmt.Errorf("maltrun: -peers entry %d (%q) has no port; -transport=tcp peers are host:port pairs (use -transport=uds for socket paths)", i, addr)
 		}
 		if prev, dup := seen[addr]; dup {
 			return nil, fmt.Errorf("maltrun: duplicate -peers address %q (positions %d and %d); every rank needs its own listen address", addr, prev, i)
@@ -74,26 +101,39 @@ func validateTransportFlags(kind, listen, peers, chaosSpec string, rejoin bool) 
 	return spec, nil
 }
 
-// dialTCP binds this rank's listener and blocks in the rank-0 rendezvous
-// until the whole peer list has assembled. In rejoin mode the rendezvous is
-// skipped: the cluster is already running, and admission happens later via
-// the epoch-stamped JOIN handshake with rank 0 (driven by cluster.Rejoin).
-func dialTCP(spec *transportSpec) (*tcpnet.Net, error) {
-	n, err := tcpnet.New(tcpnet.Config{Rank: spec.rank, Peers: spec.peers})
+// dialStream binds this rank's listener (TCP socket or Unix socket,
+// depending on the spec) and blocks in the rank-0 rendezvous until the
+// whole peer list has assembled. In rejoin mode the rendezvous is skipped:
+// the cluster is already running, and admission happens later via the
+// epoch-stamped JOIN handshake with rank 0 (driven by cluster.Rejoin).
+func dialStream(spec *transportSpec) (*stream.Net, error) {
+	cfg := stream.Config{
+		Rank:         spec.rank,
+		Peers:        spec.peers,
+		WindowFrames: spec.windowFrames,
+		WindowBytes:  spec.windowBytes,
+	}
+	var n *stream.Net
+	var err error
+	if spec.kind == "uds" {
+		n, err = udsnet.New(cfg)
+	} else {
+		n, err = tcpnet.New(cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if spec.rejoin {
-		fmt.Printf("tcp transport: rank %d of %d listening on %s; rejoining running cluster via %s\n",
-			spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
+		fmt.Printf("%s transport: rank %d of %d listening on %s; rejoining running cluster via %s\n",
+			spec.kind, spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
 		return n, nil
 	}
-	fmt.Printf("tcp transport: rank %d of %d listening on %s; waiting for rendezvous at %s\n",
-		spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
+	fmt.Printf("%s transport: rank %d of %d listening on %s; waiting for rendezvous at %s\n",
+		spec.kind, spec.rank, len(spec.peers), n.Addr(), spec.peers[0])
 	if err := n.Rendezvous(); err != nil {
 		n.Close()
 		return nil, err
 	}
-	fmt.Printf("tcp transport: cluster assembled (generation %d)\n", n.Generation())
+	fmt.Printf("%s transport: cluster assembled (generation %d)\n", spec.kind, n.Generation())
 	return n, nil
 }

@@ -7,6 +7,7 @@ import (
 
 func TestValidateTransportFlags(t *testing.T) {
 	peers := "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003"
+	udsPeers := "/tmp/malt-r0.sock,/tmp/malt-r1.sock,/tmp/malt-r2.sock"
 	cases := []struct {
 		name    string
 		kind    string
@@ -14,6 +15,8 @@ func TestValidateTransportFlags(t *testing.T) {
 		peers   string
 		chaos   string
 		rejoin  bool
+		winFr   int
+		winBy   int
 		wantErr string // substring of the error, empty = success
 		rank    int
 	}{
@@ -50,10 +53,40 @@ func TestValidateTransportFlags(t *testing.T) {
 			wantErr: "-rejoin is only valid for a non-zero rank"},
 		{name: "rejoin inproc", kind: "inproc", rejoin: true,
 			wantErr: "-rejoin requires -transport=tcp"},
+		{name: "uds rank 1", kind: "uds", listen: "/tmp/malt-r1.sock", peers: udsPeers, rank: 1},
+		{name: "uds without listen", kind: "uds", peers: udsPeers,
+			wantErr: "-transport=uds requires -listen"},
+		{name: "uds without peers", kind: "uds", listen: "/tmp/malt-r0.sock",
+			wantErr: "-transport=uds requires -peers"},
+		{name: "uds with host:port peers", kind: "uds", listen: "/tmp/malt-r0.sock",
+			peers:   "127.0.0.1:7001,127.0.0.1:7002",
+			wantErr: "looks like a host:port"},
+		{name: "uds listen not in peers", kind: "uds", listen: "/tmp/elsewhere.sock", peers: udsPeers,
+			wantErr: "does not appear in -peers"},
+		{name: "uds rejoin rank 2", kind: "uds", listen: "/tmp/malt-r2.sock", peers: udsPeers,
+			rejoin: true, rank: 2},
+		{name: "uds with chaos", kind: "uds", listen: "/tmp/malt-r0.sock", peers: udsPeers,
+			chaos:   "flaky=0.05",
+			wantErr: "-chaos requires the simulated fabric"},
+		{name: "tcp with path peers", kind: "tcp", listen: "/tmp/malt-r0.sock",
+			peers:   "/tmp/malt-r0.sock,/tmp/malt-r1.sock",
+			wantErr: "has no port"},
+		{name: "windowed tcp", kind: "tcp", listen: "127.0.0.1:7001", peers: peers,
+			winFr: 32, winBy: 1 << 20, rank: 0},
+		{name: "ack-per-frame tcp", kind: "tcp", listen: "127.0.0.1:7001", peers: peers,
+			winFr: 1, rank: 0},
+		{name: "negative windowFrames", kind: "tcp", listen: "127.0.0.1:7001", peers: peers,
+			winFr:   -1,
+			wantErr: "-windowFrames must be >= 0"},
+		{name: "negative windowBytes", kind: "uds", listen: "/tmp/malt-r0.sock", peers: udsPeers,
+			winBy:   -4096,
+			wantErr: "-windowBytes must be >= 0"},
+		{name: "window flags inproc", kind: "inproc", winFr: 8,
+			wantErr: "only meaningful with -transport=tcp or -transport=uds"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			spec, err := validateTransportFlags(tc.kind, tc.listen, tc.peers, tc.chaos, tc.rejoin)
+			spec, err := validateTransportFlags(tc.kind, tc.listen, tc.peers, tc.chaos, tc.rejoin, tc.winFr, tc.winBy)
 			if tc.wantErr != "" {
 				if err == nil {
 					t.Fatalf("want error containing %q, got nil", tc.wantErr)
@@ -69,11 +102,15 @@ func TestValidateTransportFlags(t *testing.T) {
 			if spec.kind != tc.kind {
 				t.Fatalf("kind = %q, want %q", spec.kind, tc.kind)
 			}
-			if tc.kind == "tcp" && spec.rank != tc.rank {
+			if tc.kind != "inproc" && spec.rank != tc.rank {
 				t.Fatalf("rank = %d, want %d", spec.rank, tc.rank)
 			}
 			if spec.rejoin != tc.rejoin {
 				t.Fatalf("rejoin = %v, want %v", spec.rejoin, tc.rejoin)
+			}
+			if spec.windowFrames != tc.winFr || spec.windowBytes != tc.winBy {
+				t.Fatalf("window = %d frames / %d bytes, want %d/%d",
+					spec.windowFrames, spec.windowBytes, tc.winFr, tc.winBy)
 			}
 		})
 	}

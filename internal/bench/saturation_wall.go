@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"malt/internal/fabric/stream"
+	"malt/internal/fabric/tcpnet"
+	"malt/internal/fabric/udsnet"
+)
+
+// saturation-wall: wall-clock saturation of the real stream transports.
+// Where "saturation" measures the simulated fabric's modeled wire, this
+// experiment drives actual sockets: one sender/receiver pair per arm, over
+// loopback TCP and Unix domain sockets, with the windowed data path versus
+// the synchronous ack-per-frame mode (WindowFrames=1), at 1KiB, 4KiB and
+// 64KiB frames. The point of write pipelining is visible in the 1KiB TCP
+// column: the acked mode pays a full loopback round trip per frame while
+// the windowed mode streams until credit runs out.
+//
+// Wall throughput is machine-dependent, so the MB/s numbers stay
+// informational. The gate keys off two 0/1 failure counters with wide
+// margins: windowed must beat acked by at least 3x on 1KiB TCP frames
+// (measured gaps are an order of magnitude), and UDS must reach at least
+// 0.85x of TCP's windowed 64KiB throughput on the same host (UDS normally
+// wins; the slack absorbs runner noise without letting a broken UDS path
+// through).
+func init() {
+	title := "transport wall-clock saturation: windowed vs ack-per-frame over loopback TCP and UDS"
+	register(Experiment{
+		ID:    "saturation-wall",
+		Title: title,
+		Run:   run("saturation-wall", title, runSaturationWall),
+	})
+}
+
+// satArm identifies one transport+mode combination of the sweep.
+type satArm struct {
+	network string // "tcp" or "uds"
+	mode    string // "acked" or "windowed"
+	window  int    // WindowFrames (1 = acked, 0 = transport default)
+}
+
+func runSaturationWall(o Options, r *Report) error {
+	sizes := []int{1 << 10, 4 << 10, 64 << 10}
+	frames := map[int]int{1 << 10: 4000, 4 << 10: 4000, 64 << 10: 1000}
+	if o.Quick {
+		frames = map[int]int{1 << 10: 800, 4 << 10: 800, 64 << 10: 200}
+	}
+	arms := []satArm{
+		{network: "tcp", mode: "acked", window: 1},
+		{network: "tcp", mode: "windowed", window: 0},
+		{network: "uds", mode: "acked", window: 1},
+		{network: "uds", mode: "windowed", window: 0},
+	}
+
+	r.Linef("%-5s %-9s %10s %10s %10s", "net", "mode", "1KiB MB/s", "4KiB MB/s", "64KiB MB/s")
+	mbps := make(map[string]float64) // "<net>/<mode>/<size>" → MB/s
+	for _, arm := range arms {
+		row := fmt.Sprintf("%-5s %-9s", arm.network, arm.mode)
+		for _, size := range sizes {
+			v, err := satWallTrial(arm, size, frames[size])
+			if err != nil {
+				return fmt.Errorf("%s/%s/%d: %w", arm.network, arm.mode, size, err)
+			}
+			mbps[satKey(arm.network, arm.mode, size)] = v
+			row += fmt.Sprintf(" %10.1f", v)
+			r.Metric(fmt.Sprintf("wall_mbps_%s_%s_%s", arm.network, arm.mode, satSizeName(size)), v)
+		}
+		r.Linef("%s", row)
+	}
+
+	// Gates: wide-margin 0/1 counters (Classify: *failed* → Correctness).
+	winTCP1k := mbps[satKey("tcp", "windowed", 1<<10)]
+	ackTCP1k := mbps[satKey("tcp", "acked", 1<<10)]
+	pipelineGain := speedup(winTCP1k, ackTCP1k)
+	r.Linef("windowed/acked speedup, 1KiB tcp: %.1fx (gate: >= 3x)", pipelineGain)
+	r.Metric("failed_pipelining_below_3x_tcp_1KiB", boolMetric(pipelineGain < 3))
+
+	winTCP64k := mbps[satKey("tcp", "windowed", 64<<10)]
+	winUDS64k := mbps[satKey("uds", "windowed", 64<<10)]
+	udsRatio := speedup(winUDS64k, winTCP64k)
+	r.Linef("uds/tcp windowed ratio, 64KiB: %.2fx (gate: >= 0.85x)", udsRatio)
+	r.Metric("failed_uds_below_tcp_64KiB", boolMetric(udsRatio < 0.85))
+	return nil
+}
+
+func satKey(network, mode string, size int) string {
+	return fmt.Sprintf("%s/%s/%d", network, mode, size)
+}
+
+// satSizeName names a frame size for metric keys.
+func satSizeName(size int) string {
+	switch size {
+	case 1 << 10:
+		return "1KiB"
+	case 4 << 10:
+		return "4KiB"
+	case 64 << 10:
+		return "64KiB"
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+func boolMetric(failed bool) float64 {
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// satWallTrial measures one arm: a 2-rank pair on the given transport,
+// rank 0 writing `frames` frames of `size` bytes to rank 1 and draining.
+// Heartbeats are disabled so the clock sees only data traffic. Returns
+// per-link payload throughput in MB/s (1e6 bytes).
+func satWallTrial(arm satArm, size, frames int) (float64, error) {
+	nets, cleanup, err := satPair(arm)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	if err := nets[1].Register(1, "sat", func(int, []byte) error { return nil }); err != nil {
+		return 0, err
+	}
+	payload := make([]byte, size)
+	warm := frames / 10
+	if warm < 10 {
+		warm = 10
+	}
+	for i := 0; i < warm; i++ {
+		//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+		if err := nets[0].Write(0, 1, "sat", payload); err != nil {
+			return 0, err
+		}
+	}
+	if err := nets[0].Drain(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+		if err := nets[0].Write(0, 1, "sat", payload); err != nil {
+			return 0, err
+		}
+	}
+	if err := nets[0].Drain(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(size) * float64(frames) / elapsed / 1e6, nil
+}
+
+// satPair builds the 2-rank sender/receiver pair for one arm.
+func satPair(arm satArm) ([]*stream.Net, func(), error) {
+	cfg := stream.Config{
+		WindowFrames:      arm.window,
+		DialTimeout:       5 * time.Second,
+		AckTimeout:        30 * time.Second,
+		RendezvousTimeout: 30 * time.Second,
+		BarrierTimeout:    30 * time.Second,
+		HeartbeatStrikes:  -1, // no probe traffic during the measurement
+	}
+	var cleanupDir string
+	newNet := tcpnet.New
+	if arm.network == "uds" {
+		dir, err := os.MkdirTemp("", "malt-satwall-")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanupDir = dir
+		cfg.Peers = []string{filepath.Join(dir, "r0.sock"), filepath.Join(dir, "r1.sock")}
+		newNet = udsnet.New
+	} else {
+		lns := make([]net.Listener, 2)
+		cfg.Peers = make([]string, 2)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			lns[i] = ln
+			cfg.Peers[i] = ln.Addr().String()
+		}
+		// Hand the pre-bound listeners over rank by rank below.
+		return satRendezvous(cfg, func(rank int) stream.Config {
+			c := cfg
+			c.Rank = rank
+			c.Listener = lns[rank]
+			return c
+		}, newNet, cleanupDir)
+	}
+	return satRendezvous(cfg, func(rank int) stream.Config {
+		c := cfg
+		c.Rank = rank
+		return c
+	}, newNet, cleanupDir)
+}
+
+func satRendezvous(cfg stream.Config, mk func(rank int) stream.Config, newNet func(stream.Config) (*stream.Net, error), dir string) ([]*stream.Net, func(), error) {
+	nets := make([]*stream.Net, 2)
+	cleanup := func() {
+		for _, n := range nets {
+			if n != nil {
+				n.Close()
+			}
+		}
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	for i := range nets {
+		n, err := newNet(mk(i))
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		nets[i] = n
+	}
+	errs := make(chan error, 2)
+	for _, n := range nets {
+		go func(n *stream.Net) { errs <- n.Rendezvous() }(n)
+	}
+	for range nets {
+		if err := <-errs; err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	return nets, cleanup, nil
+}

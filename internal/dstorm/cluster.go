@@ -208,9 +208,9 @@ type Node struct {
 }
 
 type sendReq struct {
-	to      int
-	key     string
-	payload []byte
+	to  int
+	key string
+	sb  *sendBuf // pooled payload copy, released after delivery
 }
 
 // Rank returns this endpoint's rank.
@@ -258,9 +258,10 @@ func (n *Node) drainSends(q chan sendReq, done chan struct{}) {
 	defer close(done)
 	for req := range q {
 		//maltlint:allow bufretain -- each queued request owns its payload (write copies before enqueueing), so successive iterations post distinct buffers
-		if err := n.writeWithRetry(req.to, req.key, req.payload); err != nil {
+		if err := n.writeWithRetry(req.to, req.key, req.sb.b); err != nil {
 			n.noteAsyncFailure(req.to)
 		}
+		req.sb.release()
 	}
 }
 
@@ -303,9 +304,7 @@ func (n *Node) write(to int, key string, payload []byte) error {
 	if mode == SendSync {
 		return n.writeWithRetry(to, key, payload)
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	q <- sendReq{to: to, key: key, payload: cp}
+	q <- sendReq{to: to, key: key, sb: newSendBuf(payload, 1)}
 	return nil
 }
 
@@ -320,12 +319,12 @@ func (n *Node) writeMulti(peers []int, key string, payload []byte) (failed []int
 	p := n.pipe
 	n.pipeMu.Unlock()
 	if p != nil {
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
-		if p.enqueue(peers, key, cp) {
+		sb := newSendBuf(payload, int32(len(peers)))
+		if p.enqueue(peers, key, sb) {
 			return nil
 		}
 		// Pipeline raced with DisablePipeline; fall through to direct sends.
+		sb.releaseN(int32(len(peers)))
 	}
 	for _, to := range peers {
 		//maltlint:allow bufretain -- fan-out re-posts the same read-only payload; write copies it in async mode and completes before returning in sync mode

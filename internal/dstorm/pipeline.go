@@ -138,10 +138,94 @@ type pendKey struct {
 // pendingBatch accumulates records for one bucket between flushes. gen
 // distinguishes this accumulation from earlier ones in the same bucket so a
 // late deadline timer never flushes a successor batch early.
+//
+// Batches are pooled: recs/bufs keep their capacity across uses, and run
+// is a closure bound once (at first allocation) that delivers whatever
+// bucket the batch currently carries — so a flush in steady state submits
+// a reused closure instead of allocating one.
 type pendingBatch struct {
-	recs  [][]byte
+	recs  [][]byte   // record views, aliasing the bufs' storage
+	bufs  []*sendBuf // refcounted owners of the records; released post-delivery
 	bytes int
 	gen   uint64
+
+	// Delivery binding, set by flushLocked before the batch leaves p.mu.
+	p   *pipeline
+	to  int
+	key string
+	run func()
+}
+
+var batchPool sync.Pool // of *pendingBatch; New inlined in getBatch to avoid an init cycle through run
+
+func getBatch(gen uint64) *pendingBatch {
+	if v := batchPool.Get(); v != nil {
+		b := v.(*pendingBatch)
+		b.gen = gen
+		return b
+	}
+	b := &pendingBatch{gen: gen}
+	b.run = func() { b.p.deliverBatch(b) }
+	return b
+}
+
+func putBatch(b *pendingBatch) {
+	for i := range b.recs {
+		b.recs[i] = nil
+	}
+	for i := range b.bufs {
+		b.bufs[i] = nil
+	}
+	b.recs = b.recs[:0]
+	b.bufs = b.bufs[:0]
+	b.bytes = 0
+	b.p = nil
+	b.key = ""
+	batchPool.Put(b)
+}
+
+// flushTimer is a reusable deadline timer for one bucket accumulation.
+// Timers are never cancelled — a stale firing is harmless because
+// flushIfGen checks the bucket generation — and a timer returns itself to
+// the pipeline's free list when it fires, so steady-state bucket creation
+// re-arms a pooled timer instead of allocating one (time.AfterFunc
+// allocates a timer and a closure per call).
+type flushTimer struct {
+	p   *pipeline
+	t   *time.Timer
+	k   pendKey // guarded by p.mu, written before arming
+	gen uint64
+}
+
+func (ft *flushTimer) fire() {
+	p := ft.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k, gen := ft.k, ft.gen
+	p.timers = append(p.timers, ft)
+	if p.closed {
+		return
+	}
+	if b := p.pending[k]; b != nil && b.gen == gen {
+		//maltlint:allow lockedscatter -- flushLocked only hands the batch to a worker channel; the fabric write runs on the pool goroutine after p.mu is released
+		p.flushLocked(k, b, flushDeadline)
+	}
+}
+
+// armTimerLocked schedules a deadline flush for a freshly created bucket.
+// Caller holds p.mu.
+func (p *pipeline) armTimerLocked(k pendKey, gen uint64) {
+	var ft *flushTimer
+	if n := len(p.timers); n > 0 {
+		ft = p.timers[n-1]
+		p.timers[n-1] = nil
+		p.timers = p.timers[:n-1]
+		ft.k, ft.gen = k, gen
+		ft.t.Reset(p.cfg.MaxDelay)
+		return
+	}
+	ft = &flushTimer{p: p, k: k, gen: gen}
+	ft.t = time.AfterFunc(p.cfg.MaxDelay, ft.fire)
 }
 
 // pipeline is the per-node send coalescer plus deposit worker pool (a
@@ -158,8 +242,9 @@ type pipeline struct {
 
 	mu          sync.Mutex
 	pending     map[pendKey]*pendingBatch
-	pendingRecs int    // records currently buffered, for QueuePeak
-	genSeq      uint64 // batch generation allocator
+	pendingRecs int           // records currently buffered, for QueuePeak
+	genSeq      uint64        // batch generation allocator
+	timers      []*flushTimer // free list of expired deadline timers
 	closed      bool
 
 	pool *par.Pool
@@ -182,27 +267,30 @@ func newPipeline(n *Node, cfg PipelineConfig) *pipeline {
 	return p
 }
 
-// enqueue accepts one encoded record for several destinations. The record
-// slice is shared across destinations (deposits only read it), so a fan-out
-// of k costs one copy, not k. Returns false when the pipeline has been
-// closed and the caller must deliver synchronously itself.
-func (p *pipeline) enqueue(peers []int, key string, rec []byte) bool {
+// enqueue accepts one pooled record copy for several destinations. The
+// buffer is shared across destinations (deposits only read it) with one
+// reference per destination, so a fan-out of k costs one copy, not k.
+// Returns false — without consuming any references — when the pipeline has
+// been closed and the caller must deliver synchronously itself.
+func (p *pipeline) enqueue(peers []int, key string, sb *sendBuf) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return false
 	}
+	rec := sb.b
 	for _, to := range peers {
 		k := pendKey{to: to, key: key}
 		b := p.pending[k]
 		if b == nil {
 			p.genSeq++
-			b = &pendingBatch{gen: p.genSeq}
+			//maltlint:allow lockedscatter -- getBatch only binds the deliver closure; deliverBatch runs on a pool worker after p.mu is released
+			b = getBatch(p.genSeq)
 			p.pending[k] = b
-			gen := b.gen
-			time.AfterFunc(p.cfg.MaxDelay, func() { p.flushIfGen(k, gen) })
+			p.armTimerLocked(k, b.gen)
 		}
 		b.recs = append(b.recs, rec)
+		b.bufs = append(b.bufs, sb)
 		b.bytes += len(rec)
 		p.pendingRecs++
 		p.stats.enqueued.Add(1)
@@ -220,20 +308,6 @@ func (p *pipeline) enqueue(peers []int, key string, rec []byte) bool {
 	return true
 }
 
-// flushIfGen is the deadline-timer callback: flush the bucket only if it
-// still holds the generation the timer was armed for.
-func (p *pipeline) flushIfGen(k pendKey, gen uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return
-	}
-	if b := p.pending[k]; b != nil && b.gen == gen {
-		//maltlint:allow lockedscatter -- flushLocked only hands the batch to a worker channel; the fabric write runs on the pool goroutine after p.mu is released
-		p.flushLocked(k, b, flushDeadline)
-	}
-}
-
 // flushLocked hands one bucket's batch to its sticky worker. Caller holds
 // p.mu. The channel send may block on a full worker queue (back-pressure).
 func (p *pipeline) flushLocked(k pendKey, b *pendingBatch, cause int) {
@@ -247,8 +321,8 @@ func (p *pipeline) flushLocked(k pendKey, b *pendingBatch, cause int) {
 	p.drainMu.Lock()
 	p.inflight++
 	p.drainMu.Unlock()
-	to, key, recs := k.to, k.key, b.recs
-	p.pool.Submit(to, func() { p.deliver(to, key, recs) })
+	b.p, b.to, b.key = p, k.to, k.key
+	p.pool.Submit(b.to, b.run)
 }
 
 // flushAllLocked flushes every non-empty bucket. Caller holds p.mu.
@@ -294,11 +368,17 @@ func (p *pipeline) stop() {
 
 // deliver posts one merged batch on a pool worker and settles the drain
 // accounting.
-func (p *pipeline) deliver(to int, key string, recs [][]byte) {
-	if err := p.node.writeBatchWithRetry(to, key, recs); err != nil {
+func (p *pipeline) deliverBatch(b *pendingBatch) {
+	if err := p.node.writeBatchWithRetry(b.to, b.key, b.recs); err != nil {
 		p.stats.failed.Add(1)
-		p.node.noteAsyncFailure(to)
+		p.node.noteAsyncFailure(b.to)
 	}
+	// The fabric serialized every record before returning; drop this
+	// batch's references and recycle the batch.
+	for _, sb := range b.bufs {
+		sb.release()
+	}
+	putBatch(b)
 	p.drainMu.Lock()
 	p.inflight--
 	if p.inflight == 0 {

@@ -584,6 +584,15 @@ type Stats struct {
 	injJitNs []atomic.Uint64 // chaos-injected extra wire time
 	coalRecs []atomic.Uint64 // records carried inside WriteBatch calls
 	coalOps  []atomic.Uint64 // WriteBatch calls (merged writes issued)
+
+	// Windowed-stream diagnostics (fabric/stream backends only; the
+	// simulated fabric never touches them). Deliberately excluded from
+	// Snapshot: in-flight gauges and stall counts depend on wall-clock
+	// scheduling, and Snapshot is a determinism contract.
+	inflFrames []atomic.Int64  // unacked data frames currently in flight
+	inflBytes  []atomic.Int64  // unacked payload bytes currently in flight
+	stalls     []atomic.Uint64 // sends that blocked on exhausted window credit
+	cumAcks    []atomic.Uint64 // cumulative acks received
 }
 
 // NewStats creates a zeroed per-link counter matrix for n ranks. Transport
@@ -600,6 +609,11 @@ func NewStats(n int) *Stats {
 		injJitNs: make([]atomic.Uint64, n*n),
 		coalRecs: make([]atomic.Uint64, n*n),
 		coalOps:  make([]atomic.Uint64, n*n),
+
+		inflFrames: make([]atomic.Int64, n*n),
+		inflBytes:  make([]atomic.Int64, n*n),
+		stalls:     make([]atomic.Uint64, n*n),
+		cumAcks:    make([]atomic.Uint64, n*n),
 	}
 }
 
@@ -635,6 +649,65 @@ func (s *Stats) AddCoalesced(from, to, records int) {
 	i := from*s.n + to
 	s.coalRecs[i].Add(uint64(records))
 	s.coalOps[i].Add(1)
+}
+
+// AddInFlight records one data frame of the given payload size entering
+// the from→to link's unacked window.
+func (s *Stats) AddInFlight(from, to, bytes int) {
+	i := from*s.n + to
+	s.inflFrames[i].Add(1)
+	s.inflBytes[i].Add(int64(bytes))
+}
+
+// SubInFlight retires one data frame from the from→to link's window (the
+// covering cumulative ack arrived, or the link reset).
+func (s *Stats) SubInFlight(from, to, bytes int) {
+	i := from*s.n + to
+	s.inflFrames[i].Add(-1)
+	s.inflBytes[i].Add(int64(-bytes))
+}
+
+// AddWindowStall records one send that found the from→to window's credit
+// exhausted and had to wait for a cumulative ack.
+func (s *Stats) AddWindowStall(from, to int) {
+	s.stalls[from*s.n+to].Add(1)
+}
+
+// AddCumAck records one cumulative ack received on the from→to link.
+func (s *Stats) AddCumAck(from, to int) {
+	s.cumAcks[from*s.n+to].Add(1)
+}
+
+// InFlightFrames returns the unacked data frames currently in flight on
+// the from→to link (zero on the simulated fabric).
+func (s *Stats) InFlightFrames(from, to int) int64 {
+	return s.inflFrames[from*s.n+to].Load()
+}
+
+// InFlightBytes returns the unacked payload bytes currently in flight on
+// the from→to link.
+func (s *Stats) InFlightBytes(from, to int) int64 {
+	return s.inflBytes[from*s.n+to].Load()
+}
+
+// WindowStalls returns how many sends blocked on exhausted window credit,
+// summed over all links.
+func (s *Stats) WindowStalls() uint64 {
+	var total uint64
+	for i := range s.stalls {
+		total += s.stalls[i].Load()
+	}
+	return total
+}
+
+// CumAcks returns how many cumulative acks this endpoint's links received,
+// summed over all links.
+func (s *Stats) CumAcks() uint64 {
+	var total uint64
+	for i := range s.cumAcks {
+		total += s.cumAcks[i].Load()
+	}
+	return total
 }
 
 // BytesSent returns the total payload bytes rank sent to all peers.
@@ -773,5 +846,9 @@ func (s *Stats) Reset() {
 		s.injJitNs[i].Store(0)
 		s.coalRecs[i].Store(0)
 		s.coalOps[i].Store(0)
+		s.inflFrames[i].Store(0)
+		s.inflBytes[i].Store(0)
+		s.stalls[i].Store(0)
+		s.cumAcks[i].Store(0)
 	}
 }

@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"bufio"
@@ -12,17 +12,22 @@ import (
 	"malt/internal/fabric"
 )
 
-// peerConn is one rank's persistent pooled connection to a peer. One
-// request (frame out, ack in) is in flight at a time — the per-link
-// serialization the simulated fabric's tcpConn also imposes. The
-// connection is dialed lazily and redialed after errors; a refused redial
-// is the transport's strongest death signal.
+// peerConn is one rank's persistent pooled control connection to a peer,
+// plus the windowed data link (window.go) that carries frameData. Control
+// frames get their own connection so a deep unacked data window can never
+// delay a ping or barrier past its deadline. One control request (frame
+// out, ack in) is in flight at a time — the per-link serialization the
+// simulated fabric's tcpConn also imposes. The connection is dialed lazily
+// and redialed after errors; a refused redial is the transport's strongest
+// death signal.
 type peerConn struct {
-	mu sync.Mutex // serializes round trips
+	mu sync.Mutex // serializes control round trips
 
 	cmu sync.Mutex // guards c/br so closeConn can interrupt an in-flight request
 	c   net.Conn
 	br  *bufio.Reader
+
+	data dataLink // windowed frameData path
 }
 
 // expectsAck reports whether a frame type is a round trip.
@@ -77,7 +82,7 @@ func (p *peerConn) conn(n *Net, to int, deadline time.Time) (net.Conn, *bufio.Re
 		timeout = until
 	}
 	d := net.Dialer{Timeout: timeout}
-	nc, err := d.Dial("tcp", n.cfg.Peers[to])
+	nc, err := d.Dial(n.cfg.Network, n.cfg.Peers[to])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,9 +96,9 @@ func (p *peerConn) conn(n *Net, to int, deadline time.Time) (net.Conn, *bufio.Re
 	return nc, nbr, nil
 }
 
-// closeConn drops the connection (if any) so the next request redials. It
-// is safe to call concurrently with an in-flight request, whose syscalls
-// then fail immediately.
+// closeConn drops the control and data connections (if any) so the next
+// request redials. It is safe to call concurrently with an in-flight
+// request, whose syscalls then fail immediately.
 func (p *peerConn) closeConn() {
 	p.cmu.Lock()
 	if p.c != nil {
@@ -101,6 +106,7 @@ func (p *peerConn) closeConn() {
 		p.c, p.br = nil, nil
 	}
 	p.cmu.Unlock()
+	p.data.close()
 }
 
 // errTimeout satisfies net.Error for the pre-dial deadline check.

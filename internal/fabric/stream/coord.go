@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"errors"
@@ -115,10 +115,17 @@ func (n *Net) released(name string) uint64 {
 // deposits the release, the waiter discovers it by reading its own state.
 func (n *Net) Barrier(name string, rank int) error {
 	if rank != n.cfg.Rank {
-		return fmt.Errorf("tcpnet: barrier for rank %d entered on rank %d", rank, n.cfg.Rank)
+		return fmt.Errorf("stream: barrier for rank %d entered on rank %d", rank, n.cfg.Rank)
 	}
 	if !n.Alive(rank) {
 		return fmt.Errorf("%w: barrier %q", fabric.ErrSenderDead, name)
+	}
+	// Drain every data window before entering: a barrier release must
+	// prove that every pre-barrier write deposited on its receiver, which
+	// is what the BSP superstep contract reads into Barrier. Deferred
+	// write errors surface here instead of on a later Write.
+	if err := n.Drain(); err != nil {
+		return fmt.Errorf("stream: barrier %q: deferred write error: %w", name, err)
 	}
 	seq := n.released(name)
 	deadline := time.Now().Add(n.cfg.BarrierTimeout)
@@ -138,7 +145,7 @@ func (n *Net) Barrier(name string, rank int) error {
 			return fmt.Errorf("%w: barrier %q: coordinator (rank 0) is dead", fabric.ErrUnreachable, name)
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("tcpnet: barrier %q timed out after %v on rank %d", name, n.cfg.BarrierTimeout, n.cfg.Rank)
+			return fmt.Errorf("stream: barrier %q timed out after %v on rank %d", name, n.cfg.BarrierTimeout, n.cfg.Rank)
 		}
 		time.Sleep(200 * time.Microsecond) //maltlint:allow rawsleep -- transport-internal release poll, deadline-bounded above; below dstorm so RetryPolicy cannot apply
 	}
@@ -159,7 +166,7 @@ func (n *Net) enterRemote(name string, deadline time.Time) error {
 			case statusDead:
 				return fmt.Errorf("%w: barrier %q: coordinator (rank 0) is dead", fabric.ErrUnreachable, name)
 			default:
-				return fmt.Errorf("tcpnet: barrier %q: unexpected coordinator reply", name)
+				return fmt.Errorf("stream: barrier %q: unexpected coordinator reply", name)
 			}
 		}
 		if !errors.Is(err, fabric.ErrTransient) || time.Now().After(deadline) {

@@ -1,6 +1,8 @@
-// Package tcpnet is a real TCP backend for the fabric.Transport contract:
-// it emulates MALT's one-sided RDMA writes over persistent pooled loopback
-// (or LAN) connections between OS processes.
+// Package stream is the framed-stream core shared by the real-socket
+// backends of the fabric.Transport contract: tcpnet (TCP) and udsnet (Unix
+// domain sockets) are thin wrappers that pick the network. It emulates
+// MALT's one-sided RDMA writes over persistent pooled connections between
+// OS processes.
 //
 // What the emulation preserves from the one-sided model:
 //
@@ -9,20 +11,28 @@
 //     of the NIC's DMA engine — that deposits frames directly into the
 //     registered WriteHandler ring. Receivers still discover data only by
 //     polling their own memory.
+//   - The sender never waits for the receiver inside a data write: frames
+//     are posted into a sliding window of unacked sequence numbers and the
+//     receiver's loop returns cumulative acks, so a write is a doorbell
+//     post, not a rendezvous (WindowFrames: 1 restores the legacy
+//     ack-per-frame round trip).
 //   - The error taxonomy: write deadlines and broken connections map onto
 //     fabric.ErrTransient, connection-refused onto fabric.ErrUnreachable,
 //     so dstorm.RetryPolicy and the K-strikes suspicion protocol run
-//     unchanged over real sockets.
+//     unchanged over real sockets. Deposit failures (unregistered key,
+//     handler error, epoch fence) ride back on the cumulative-ack status.
 //   - Liveness: refused dials and heartbeat strike-outs drive the same
 //     OnLivenessChange watchers the simulated fabric fires, so barrier
-//     pruning and fault-monitor rebuild work across processes.
+//     pruning and fault-monitor rebuild work across processes. Control
+//     frames (pings, barriers, membership) travel on a dedicated
+//     connection per peer, so a deep data window can never delay a ping
+//     past its deadline.
 //
 // What it does not preserve: true zero-copy RDMA (every write crosses the
-// kernel socket path and is acknowledged by the peer's receiver loop) and
-// the simulated fabric's deterministic cost model (Stats record measured
-// wall time instead). Chaos injection is a simulated-fabric feature and is
-// not supported here.
-package tcpnet
+// kernel socket path) and the simulated fabric's deterministic cost model
+// (Stats record measured wall time instead). Chaos injection is a
+// simulated-fabric feature and is not supported here.
+package stream
 
 import (
 	"encoding/binary"
@@ -35,8 +45,8 @@ import (
 // control plane (health probes, rendezvous, barrier coordination) that a
 // real deployment would run over the same sockets.
 const (
-	frameData           = byte(1)  // one-sided write: key + record batch, acked
-	frameAck            = byte(2)  // response: Records[0][0] is a status byte
+	frameData           = byte(1)  // one-sided write: key + record batch, covered by a cumulative ack
+	frameAck            = byte(2)  // control-plane response: Records[0][0] is a status byte
 	framePing           = byte(3)  // health probe, acked
 	frameHello          = byte(4)  // rendezvous: rank announces itself to rank 0
 	frameHelloAck       = byte(5)  // rendezvous reply: Gen carries the cluster generation
@@ -46,6 +56,7 @@ const (
 	frameJoin           = byte(9)  // rejoin request to rank 0; From is the joiner
 	frameJoinAck        = byte(10) // join reply: Gen is the minted epoch, Records[0] the base generation, Records[1] the alive member list (u32 each)
 	frameJoinAnnounce   = byte(11) // rank 0 → survivor: Records[0] is the u32 joiner, Gen its admission epoch; acked
+	frameAckCum         = byte(12) // cumulative data ack: Seq covers every data frame at or below it; Records[0][0] is the status of frame Seq
 )
 
 // Ack status bytes.
@@ -74,6 +85,11 @@ type Frame struct {
 	// frames whose epoch predates the sender's last admission, fencing
 	// writes from zombie processes of a previous incarnation.
 	Gen uint64
+	// Seq sequence-numbers data frames within one connection: the first
+	// data frame on a fresh connection carries 1 and each subsequent one
+	// increments it. A cumulative ack's Seq covers every data frame at or
+	// below it. Control frames carry 0.
+	Seq uint64
 	// Key names the registered memory (data) or the barrier (control).
 	Key string
 	// Records is the payload batch; control frames use Records[0] for
@@ -92,18 +108,18 @@ const (
 	// maxRecords bounds the record count of one batch.
 	maxRecords = 1 << 20
 
-	frameHeaderLen = 20 // type(1) reserved(1) keyLen(2) from(4) recCount(4) gen(8)
+	frameHeaderLen = 28 // type(1) reserved(1) keyLen(2) from(4) recCount(4) gen(8) seq(8)
 )
 
 // Codec errors.
 var (
 	// ErrFrameTruncated is returned when the buffer ends before the frame.
-	ErrFrameTruncated = errors.New("tcpnet: truncated frame")
+	ErrFrameTruncated = errors.New("stream: truncated frame")
 	// ErrFrameOversize is returned when a frame exceeds the codec limits.
-	ErrFrameOversize = errors.New("tcpnet: frame exceeds size limit")
+	ErrFrameOversize = errors.New("stream: frame exceeds size limit")
 	// ErrFrameCorrupt is returned when the frame's internal lengths are
 	// inconsistent.
-	ErrFrameCorrupt = errors.New("tcpnet: corrupt frame")
+	ErrFrameCorrupt = errors.New("stream: corrupt frame")
 )
 
 // encodedSize returns the body length of f, without the 4-byte prefix.
@@ -141,6 +157,8 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	dst = append(dst, u32[:]...)
 	binary.LittleEndian.PutUint64(u64[:], f.Gen)
 	dst = append(dst, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], f.Seq)
+	dst = append(dst, u64[:]...)
 	dst = append(dst, f.Key...)
 	for _, rec := range f.Records {
 		binary.LittleEndian.PutUint32(u32[:], uint32(len(rec)))
@@ -174,57 +192,77 @@ func DecodeFrame(b []byte) (*Frame, int, error) {
 	if len(b) < 4+body {
 		return nil, 0, ErrFrameTruncated
 	}
-	f, err := decodeBody(b[4 : 4+body])
-	if err != nil {
+	f := &Frame{}
+	if err := decodeBodyInto(f, b[4:4+body], nil); err != nil {
 		return nil, 0, err
 	}
 	return f, 4 + body, nil
 }
 
-// decodeBody parses a frame body; every length must account for the body
-// exactly.
-func decodeBody(b []byte) (*Frame, error) {
+// keyCache interns a connection's frame-key string: steady-state traffic
+// repeats a handful of keys, so re-materializing the string per frame
+// would be the receive loop's only allocation.
+type keyCache struct {
+	str string
+}
+
+func (kc *keyCache) intern(b []byte) string {
+	if kc == nil {
+		return string(b)
+	}
+	// The comparison does not allocate; the conversion materializes only
+	// on a miss.
+	if string(b) != kc.str {
+		kc.str = string(b)
+	}
+	return kc.str
+}
+
+// decodeBodyInto parses a frame body into f, reusing f.Records' capacity;
+// every length must account for the body exactly. Record slices alias b.
+func decodeBodyInto(f *Frame, b []byte, kc *keyCache) error {
 	if b[1] != 0 {
-		return nil, fmt.Errorf("%w: reserved byte is %#x", ErrFrameCorrupt, b[1])
+		return fmt.Errorf("%w: reserved byte is %#x", ErrFrameCorrupt, b[1])
 	}
 	keyLen := int(binary.LittleEndian.Uint16(b[2:4]))
 	recCount := int(binary.LittleEndian.Uint32(b[8:12]))
-	f := &Frame{
-		Type: b[0],
-		From: int(int32(binary.LittleEndian.Uint32(b[4:8]))),
-		Gen:  binary.LittleEndian.Uint64(b[12:20]),
-	}
+	f.Type = b[0]
+	f.From = int(int32(binary.LittleEndian.Uint32(b[4:8])))
+	f.Gen = binary.LittleEndian.Uint64(b[12:20])
+	f.Seq = binary.LittleEndian.Uint64(b[20:28])
+	f.Key = ""
+	f.Records = f.Records[:0]
 	if keyLen > MaxKeyLen {
-		return nil, fmt.Errorf("%w: key claims %d bytes (max %d)", ErrFrameOversize, keyLen, MaxKeyLen)
+		return fmt.Errorf("%w: key claims %d bytes (max %d)", ErrFrameOversize, keyLen, MaxKeyLen)
 	}
 	if recCount > maxRecords {
-		return nil, fmt.Errorf("%w: %d records (max %d)", ErrFrameOversize, recCount, maxRecords)
+		return fmt.Errorf("%w: %d records (max %d)", ErrFrameOversize, recCount, maxRecords)
 	}
 	rest := b[frameHeaderLen:]
 	if len(rest) < keyLen {
-		return nil, fmt.Errorf("%w: key overruns body", ErrFrameCorrupt)
+		return fmt.Errorf("%w: key overruns body", ErrFrameCorrupt)
 	}
-	f.Key = string(rest[:keyLen])
+	f.Key = kc.intern(rest[:keyLen])
 	rest = rest[keyLen:]
-	if recCount > 0 {
-		f.Records = make([][]byte, 0, recCount)
-		for i := 0; i < recCount; i++ {
-			if len(rest) < 4 {
-				return nil, fmt.Errorf("%w: record %d length overruns body", ErrFrameCorrupt, i)
-			}
-			recLen := int(binary.LittleEndian.Uint32(rest[:4]))
-			rest = rest[4:]
-			if recLen > len(rest) {
-				return nil, fmt.Errorf("%w: record %d overruns body", ErrFrameCorrupt, i)
-			}
-			f.Records = append(f.Records, rest[:recLen:recLen])
-			rest = rest[recLen:]
+	for i := 0; i < recCount; i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: record %d length overruns body", ErrFrameCorrupt, i)
 		}
+		recLen := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if recLen > len(rest) {
+			return fmt.Errorf("%w: record %d overruns body", ErrFrameCorrupt, i)
+		}
+		f.Records = append(f.Records, rest[:recLen:recLen])
+		rest = rest[recLen:]
+	}
+	if len(f.Records) == 0 {
+		f.Records = nil
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(rest))
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(rest))
 	}
-	return f, nil
+	return nil
 }
 
 // writeFrame writes the wire encoding of f to w.
@@ -239,23 +277,42 @@ func writeFrame(w io.Writer, f *Frame) error {
 
 // readFrame reads one frame from r. Record slices own their memory.
 func readFrame(r io.Reader) (*Frame, error) {
+	f := &Frame{}
+	var scratch []byte
+	if err := readFrameInto(r, f, &scratch, nil); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// readFrameInto reads one frame from r into f, reusing *scratch as the
+// body buffer (grown as needed) and f.Records' capacity — the zero-alloc
+// receive path. Record slices alias *scratch and are valid only until the
+// next call.
+func readFrameInto(r io.Reader, f *Frame, scratch *[]byte, kc *keyCache) error {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return nil, err
+		return err
 	}
 	body := int(binary.LittleEndian.Uint32(prefix[:]))
 	if body > MaxBody {
-		return nil, fmt.Errorf("%w: body claims %d bytes (max %d)", ErrFrameOversize, body, MaxBody)
+		return fmt.Errorf("%w: body claims %d bytes (max %d)", ErrFrameOversize, body, MaxBody)
 	}
 	if body < frameHeaderLen {
-		return nil, fmt.Errorf("%w: body claims %d bytes (min %d)", ErrFrameCorrupt, body, frameHeaderLen)
+		return fmt.Errorf("%w: body claims %d bytes (min %d)", ErrFrameCorrupt, body, frameHeaderLen)
 	}
-	buf := make([]byte, body)
+	buf := *scratch
+	if cap(buf) < body {
+		buf = make([]byte, body)
+		*scratch = buf
+	} else {
+		buf = buf[:body]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+		return fmt.Errorf("%w: %v", ErrFrameTruncated, err)
 	}
-	return decodeBody(buf)
+	return decodeBodyInto(f, buf, kc)
 }

@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"bytes"
@@ -25,20 +25,22 @@ func frameCases() []*Frame {
 		sparse[i] = rec
 	}
 	return []*Frame{
-		{Type: frameData, From: 0, Gen: 1, Key: "w0", Records: [][]byte{dense}},
-		{Type: frameData, From: 2, Gen: 1 << 60, Key: "grad/sparse", Records: sparse},
-		{Type: frameData, From: 1, Gen: 7, Key: "k", Records: [][]byte{{}, {1}, {}}},
+		{Type: frameData, From: 0, Gen: 1, Seq: 1, Key: "w0", Records: [][]byte{dense}},
+		{Type: frameData, From: 2, Gen: 1 << 60, Seq: 1 << 40, Key: "grad/sparse", Records: sparse},
+		{Type: frameData, From: 1, Gen: 7, Seq: 3, Key: "k", Records: [][]byte{{}, {1}, {}}},
 		{Type: frameData, From: 5, Gen: 9, Key: "empty-batch"},
 		{Type: framePing, From: 3, Gen: 0},
 		{Type: frameAck, From: 0, Gen: 42, Records: [][]byte{{statusOK}}},
+		{Type: frameAckCum, From: 1, Gen: 42, Seq: 1<<64 - 1, Records: [][]byte{{statusOK}}},
+		{Type: frameAckCum, From: 0, Gen: 9, Seq: 17, Records: [][]byte{{statusStaleEpoch}}},
 		{Type: frameProbe, From: 1, Gen: 3, Records: [][]byte{{2, 0, 0, 0}}},
 		{Type: frameBarrierEnter, From: 2, Gen: 11, Key: "step:17"},
-		{Type: frameData, From: 0, Gen: 1, Key: string(make([]byte, MaxKeyLen)), Records: [][]byte{{9}}},
+		{Type: frameData, From: 0, Gen: 1, Seq: 2, Key: string(make([]byte, MaxKeyLen)), Records: [][]byte{{9}}},
 	}
 }
 
 func framesEqual(a, b *Frame) bool {
-	if a.Type != b.Type || a.From != b.From || a.Gen != b.Gen || a.Key != b.Key {
+	if a.Type != b.Type || a.From != b.From || a.Gen != b.Gen || a.Seq != b.Seq || a.Key != b.Key {
 		return false
 	}
 	if len(a.Records) != len(b.Records) {
@@ -168,6 +170,61 @@ func TestFrameCorruptRejected(t *testing.T) {
 	binary.LittleEndian.PutUint32(short, frameHeaderLen-1)
 	if _, _, err := DecodeFrame(short); !errors.Is(err, ErrFrameCorrupt) {
 		t.Fatalf("sub-header body: want ErrFrameCorrupt, got %v", err)
+	}
+}
+
+// TestFrameSeqBytes pins the sequence number's wire position (the last 8
+// header bytes, appended after gen so pre-windowing offsets are stable):
+// patching those bytes changes only Seq, and the patched frame is still
+// canonical under re-encode.
+func TestFrameSeqBytes(t *testing.T) {
+	f := &Frame{Type: frameData, From: 1, Gen: 5, Seq: 9, Key: "w", Records: [][]byte{{1, 2, 3}}}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(b[4+frameHeaderLen-8:]); got != 9 {
+		t.Fatalf("seq bytes = %d, want 9", got)
+	}
+	binary.LittleEndian.PutUint64(b[4+frameHeaderLen-8:], 1<<33)
+	got, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("decode patched seq: %v", err)
+	}
+	if got.Seq != 1<<33 {
+		t.Fatalf("patched Seq = %d, want %d", got.Seq, uint64(1)<<33)
+	}
+	want := *f
+	want.Seq = 1 << 33
+	if !framesEqual(&want, got) {
+		t.Fatalf("patching seq altered other fields: %+v", got)
+	}
+	re, err := EncodeFrame(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, b[:n]) {
+		t.Fatal("patched frame is not canonical under re-encode")
+	}
+}
+
+// TestFrameAckCumShape pins the cumulative-ack wire form the ack reader
+// validates: exactly one single-byte status record plus the covered Seq.
+func TestFrameAckCumShape(t *testing.T) {
+	f := &Frame{Type: frameAckCum, From: 2, Gen: 3, Seq: 41, Records: [][]byte{{statusHandlerErr}}}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != frameAckCum || got.Seq != 41 {
+		t.Fatalf("ack cum decoded as type %d seq %d", got.Type, got.Seq)
+	}
+	if len(got.Records) != 1 || len(got.Records[0]) != 1 || got.Records[0][0] != statusHandlerErr {
+		t.Fatalf("ack cum records = %v, want single status byte", got.Records)
 	}
 }
 

@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"encoding/binary"
@@ -51,10 +51,10 @@ func (n *Net) Join(rank int) (uint64, error) {
 		return 0, err
 	}
 	if rank != n.cfg.Rank {
-		return 0, fmt.Errorf("tcpnet: rank %d cannot join on behalf of rank %d (only the local rank)", n.cfg.Rank, rank)
+		return 0, fmt.Errorf("stream: rank %d cannot join on behalf of rank %d (only the local rank)", n.cfg.Rank, rank)
 	}
 	if rank == 0 {
-		return 0, errors.New("tcpnet: rank 0 hosts the membership service and cannot rejoin")
+		return 0, errors.New("stream: rank 0 hosts the membership service and cannot rejoin")
 	}
 	deadline := time.Now().Add(n.cfg.RendezvousTimeout)
 	join := &Frame{Type: frameJoin, From: rank}
@@ -73,16 +73,16 @@ func (n *Net) Join(rank int) (uint64, error) {
 			case statusDead:
 				return 0, fmt.Errorf("%w: join: coordinator (rank 0) is dead", fabric.ErrUnreachable)
 			default:
-				err = fmt.Errorf("tcpnet: join: unexpected coordinator reply type %d", ack.Type)
+				err = fmt.Errorf("stream: join: unexpected coordinator reply type %d", ack.Type)
 			}
 		}
 		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("tcpnet: join with rank 0 (%s) timed out after %v: %w",
+			return 0, fmt.Errorf("stream: join with rank 0 (%s) timed out after %v: %w",
 				n.cfg.Peers[0], n.cfg.RendezvousTimeout, err)
 		}
 		select {
 		case <-n.done:
-			return 0, errors.New("tcpnet: closed during join")
+			return 0, errors.New("stream: closed during join")
 		case <-time.After(100 * time.Millisecond):
 		}
 	}
@@ -93,7 +93,7 @@ func (n *Net) Join(rank int) (uint64, error) {
 // floor of every standing member), Records[1] the alive member list.
 func (n *Net) adoptJoinAck(ack *Frame) (uint64, error) {
 	if len(ack.Records) != 2 || len(ack.Records[0]) != 8 || len(ack.Records[1])%4 != 0 {
-		return 0, errors.New("tcpnet: join: malformed join ack")
+		return 0, errors.New("stream: join: malformed join ack")
 	}
 	base := binary.LittleEndian.Uint64(ack.Records[0])
 	alive := make(map[int]bool, len(n.cfg.Peers))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stream
+
+const raceEnabled = false

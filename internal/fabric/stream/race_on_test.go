@@ -1,0 +1,8 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates, so allocation-count
+// assertions are meaningless under it.
+const raceEnabled = true

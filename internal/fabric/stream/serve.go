@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"bufio"
@@ -33,20 +33,72 @@ func (n *Net) acceptLoop(ln net.Listener) {
 func (n *Net) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Cumulative acks are small writes against the data flow; with
+		// Nagle on, a credit-replenishing ack can sit behind the peer's
+		// delayed ACK while the sender is window-blocked and silent —
+		// exactly the stall the window exists to avoid.
+		tc.SetNoDelay(true)
+	}
 	if !n.trackConn(conn) {
 		return
 	}
 	defer n.untrackConn(conn)
 	br := bufio.NewReader(conn)
+	// Per-connection receive state. The frame, body scratch and key cache
+	// are reused across frames (the zero-alloc receive path); the ack
+	// state implements cumulative-ack coalescing for data frames.
+	var (
+		f            Frame
+		scratch      []byte
+		kc           keyCache
+		lastSeq      uint64 // last data-frame sequence seen
+		unacked      int    // data frames deposited since the last cum ack
+		unackedBytes int
+		ackStatus    [1]byte
+		ackRecords   = [][]byte{ackStatus[:]}
+		ackFrame     = Frame{Type: frameAckCum}
+		ackScratch   []byte
+	)
 	for {
-		f, err := readFrame(br)
-		if err != nil {
+		if err := readFrameInto(br, &f, &scratch, &kc); err != nil {
 			return // EOF, peer reset, or a corrupt stream: drop the link
 		}
 		var reply *Frame
 		switch f.Type {
 		case frameData:
-			reply = n.ackFrame(n.deposit(f))
+			// The windowed data path: sequence numbers must be contiguous
+			// within a connection (the stream cannot reorder; a gap is a
+			// protocol error), and acks are cumulative — emitted when the
+			// read buffer drains, on a failure, or at the credit bounds.
+			if f.Seq != lastSeq+1 {
+				return
+			}
+			lastSeq = f.Seq
+			status := n.deposit(&f)
+			unacked++
+			for _, rec := range f.Records {
+				unackedBytes += len(rec)
+			}
+			if status != statusOK || br.Buffered() == 0 ||
+				unacked >= ackEveryFrames || unackedBytes >= ackEveryBytes {
+				ackStatus[0] = status
+				ackFrame.From = n.cfg.Rank
+				ackFrame.Gen = n.gen.Load()
+				ackFrame.Seq = f.Seq
+				ackFrame.Records = ackRecords
+				b, err := AppendFrame(ackScratch[:0], &ackFrame)
+				if err != nil {
+					return
+				}
+				ackScratch = b
+				conn.SetWriteDeadline(time.Now().Add(n.cfg.AckTimeout))
+				if _, err := conn.Write(b); err != nil {
+					return
+				}
+				unacked, unackedBytes = 0, 0
+			}
+			continue
 		case framePing:
 			// Liveness only: generation is irrelevant to "is this process
 			// up", and pings race the rendezvous during startup.
@@ -56,15 +108,15 @@ func (n *Net) serveConn(conn net.Conn) {
 				reply = n.ackFrame(statusOK)
 			}
 		case frameProbe:
-			reply = n.ackFrame(n.serveProbe(f))
+			reply = n.ackFrame(n.serveProbe(&f))
 		case frameHello:
 			ok := false
-			reply, ok = n.serveHello(f)
+			reply, ok = n.serveHello(&f)
 			if !ok {
 				return
 			}
 		case frameBarrierEnter:
-			reply = n.ackFrame(n.serveBarrierEnter(f))
+			reply = n.ackFrame(n.serveBarrierEnter(&f))
 		case frameBarrierRelease:
 			// Rank 0's epoch only grows, so any release at or above the
 			// coordinator's admission floor is current.
@@ -72,9 +124,9 @@ func (n *Net) serveConn(conn net.Conn) {
 				n.barrierReleased(f.Key)
 			}
 		case frameJoin:
-			reply = n.serveJoin(f)
+			reply = n.serveJoin(&f)
 		case frameJoinAnnounce:
-			reply = n.ackFrame(n.serveJoinAnnounce(f))
+			reply = n.ackFrame(n.serveJoinAnnounce(&f))
 		default:
 			return // unknown type: protocol error, drop the link
 		}

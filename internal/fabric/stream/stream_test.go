@@ -1,4 +1,4 @@
-package tcpnet
+package stream
 
 import (
 	"bufio"
@@ -15,8 +15,14 @@ import (
 
 // newTestCluster builds an n-rank loopback cluster in one process: each
 // rank pre-binds a :0 listener so the full peer list is known before any
-// Net is constructed, then all ranks rendezvous concurrently.
+// Net is constructed, then all ranks rendezvous concurrently. The default
+// (windowed) data path is in effect; tests that assert the legacy
+// synchronous semantics pass a mutate function setting WindowFrames: 1.
 func newTestCluster(t *testing.T, n int) []*Net {
+	return newTestClusterCfg(t, n, nil)
+}
+
+func newTestClusterCfg(t *testing.T, n int, mutate func(*Config)) []*Net {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -30,7 +36,7 @@ func newTestCluster(t *testing.T, n int) []*Net {
 	}
 	nets := make([]*Net, n)
 	for i := range nets {
-		nt, err := New(Config{
+		cfg := Config{
 			Rank:              i,
 			Peers:             addrs,
 			Listener:          lns[i],
@@ -39,7 +45,11 @@ func newTestCluster(t *testing.T, n int) []*Net {
 			RendezvousTimeout: 10 * time.Second,
 			BarrierTimeout:    10 * time.Second,
 			HeartbeatInterval: 10 * time.Millisecond,
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		nt, err := New(cfg)
 		if err != nil {
 			t.Fatalf("rank %d: New: %v", i, err)
 		}
@@ -126,6 +136,15 @@ func TestWriteDepositsIntoHandler(t *testing.T) {
 	if err := nets[2].WriteBatch(2, 1, "w", [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
 		t.Fatalf("write batch: %v", err)
 	}
+	// Windowed writes return before the deposit: drain both senders so the
+	// cumulative acks (which carry the deposit outcome and move the stats)
+	// have landed.
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("drain rank 0: %v", err)
+	}
+	if err := nets[2].Drain(); err != nil {
+		t.Fatalf("drain rank 2: %v", err)
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -148,8 +167,12 @@ func TestWriteDepositsIntoHandler(t *testing.T) {
 	}
 }
 
+// TestWriteErrors pins the legacy synchronous error semantics: with
+// WindowFrames: 1 every Write blocks for its covering ack and reports that
+// frame's deposit status directly, exactly like the old ack-per-frame
+// path. (TestWindowedDeferredErrors covers the pipelined reporting.)
 func TestWriteErrors(t *testing.T) {
-	nets := newTestCluster(t, 2)
+	nets := newTestClusterCfg(t, 2, func(c *Config) { c.WindowFrames = 1 })
 
 	if err := nets[0].Write(0, 1, "nope", []byte("x")); !errors.Is(err, fabric.ErrNotRegistered) {
 		t.Fatalf("unregistered key: want ErrNotRegistered, got %v", err)
@@ -278,7 +301,7 @@ func TestKillRemoteRejected(t *testing.T) {
 }
 
 func TestStaleEpochRejected(t *testing.T) {
-	nets := newTestCluster(t, 2)
+	nets := newTestClusterCfg(t, 2, func(c *Config) { c.WindowFrames = 1 })
 	if err := nets[1].Register(1, "w", func(int, []byte) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +425,7 @@ func TestJoinReadmitsKilledRank(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer zc.Close()
-	zombie := &Frame{Type: frameData, From: 2, Gen: base, Key: "w1", Records: [][]byte{[]byte("poison")}}
+	zombie := &Frame{Type: frameData, From: 2, Gen: base, Seq: 1, Key: "w1", Records: [][]byte{[]byte("poison")}}
 	if err := writeFrame(zc, zombie); err != nil {
 		t.Fatal(err)
 	}
@@ -410,8 +433,11 @@ func TestJoinReadmitsKilledRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ackStatus(ack) != statusStaleEpoch {
-		t.Fatalf("zombie write status = %d, want statusStaleEpoch", ackStatus(ack))
+	if ack.Type != frameAckCum || ack.Seq != 1 {
+		t.Fatalf("zombie write ack = type %d seq %d, want cumulative ack for seq 1", ack.Type, ack.Seq)
+	}
+	if len(ack.Records) != 1 || len(ack.Records[0]) != 1 || ack.Records[0][0] != statusStaleEpoch {
+		t.Fatalf("zombie write status = %v, want statusStaleEpoch", ack.Records)
 	}
 	if nets[1].StaleEpochRejected() == 0 {
 		t.Fatal("receiver did not count the fenced zombie write")

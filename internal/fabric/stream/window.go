@@ -1,0 +1,609 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// This file is the windowed data path: one dataLink per peer carries all
+// frameData traffic on its own connection, separate from the control-plane
+// connection (conn.go), so bulk data can never delay a ping or a barrier.
+//
+// Protocol: data frames are sequence-numbered per connection incarnation
+// (1, 2, 3, ...). The sender posts frames without waiting as long as it
+// holds window credit — at most WindowFrames unacked frames and
+// WindowBytes unacked payload bytes. The receiver's serve loop deposits
+// each frame and returns cumulative acks (frameAckCum): an ack with
+// sequence S and status OK means every frame at or below S deposited
+// successfully; a non-OK ack means frames below S deposited and frame S
+// itself failed with that status. There are no retransmissions — the
+// stream transport guarantees delivery and ordering — so the window exists
+// only for backpressure and for carrying deposit/epoch-fence status back.
+//
+// Error reporting is therefore deferred: a deposit failure surfaces on a
+// later Write to the same link (or at Drain/Barrier), mapped onto the same
+// fabric error taxonomy the legacy ack-per-frame path used. WindowFrames=1
+// restores the legacy behavior exactly: Write blocks for the covering ack
+// and returns that frame's status synchronously.
+//
+// Buffer ownership: a frame is encoded into a pooled buffer under the link
+// lock; the buffer returns to the pool only once the covering cumulative
+// ack (or a link reset) retires the frame — never while the kernel may
+// still read it.
+
+// Receiver-side ack coalescing: a cumulative ack is emitted when the read
+// buffer drains (no more pipelined input), or at the latest every
+// ackEveryFrames frames / ackEveryBytes payload bytes, or immediately on a
+// deposit failure. ackEveryBytes is half of DefaultWindowBytes so a busy
+// receiver replenishes the sender's credit in half-window units instead of
+// stalling it for a full drain.
+const (
+	ackEveryFrames = 16
+	ackEveryBytes  = DefaultWindowBytes / 2
+)
+
+// encPool recycles frame-encode buffers. Buffers are held from post until
+// the covering cumulative ack retires the frame.
+var encPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// waiterPool recycles the one-shot signal channels window waiters register
+// with the ack reader.
+var waiterPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// timerPool recycles the deadline timers of window waits.
+var timerPool = sync.Pool{}
+
+func timerGet(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func timerPut(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// pendingFrame is one posted-but-unacked data frame. busy marks a frame
+// whose encode buffer is on loan to the write loop (queued or inside a
+// writev): whoever retires the frame while busy must leave the buffer
+// alone — the write loop returns it to the pool itself.
+type pendingFrame struct {
+	seq    uint64
+	buf    *[]byte // pooled wire encoding; released on ack or reset
+	bytes  int     // payload bytes (sum of record lengths)
+	recs   int     // record count
+	batch  bool    // WriteBatch (counts toward coalescing stats)
+	busy   bool    // buffer owned by the write loop (queued or mid-writev)
+	key    string
+	sentAt time.Time
+}
+
+// outFrame is one encoded frame queued for the link's write loop.
+type outFrame struct {
+	seq uint64
+	buf *[]byte
+}
+
+// dataLink is one rank's windowed data connection to a peer.
+type dataLink struct {
+	n  *Net
+	to int
+
+	mu     sync.Mutex
+	c      net.Conn
+	incarn uint64 // bumped on every dial and reset; fences stale ack readers
+	seq    uint64 // last sequence number posted on this incarnation
+	ackSeq uint64 // highest cumulative ack received on this incarnation
+
+	// q is the outbound frame queue consumed by the write loop; wake (one
+	// channel per incarnation, captured by that incarnation's write loop)
+	// is signaled on enqueue and on reset. The queue depth is bounded by
+	// the window credit.
+	q    []outFrame
+	wake chan struct{}
+
+	// wdeadline is the write deadline currently armed on c. Arming a
+	// deadline is a timer operation; refreshing it only when more than half
+	// the ack timeout has drifted keeps it off the per-batch fast path
+	// while a blocking write still times out within [AckTimeout/2, AckTimeout].
+	wdeadline time.Time
+
+	inFrames int
+	inBytes  int
+	pending  []pendingFrame // FIFO of unacked frames; live region is [head:]
+	head     int
+
+	err error // sticky deferred error, consumed by the next send/wait/drain
+
+	frame   Frame           // reusable encode scratch, guarded by mu
+	one     [1][]byte       // reusable record slice for single-payload writes
+	waiters []chan struct{} // registered window waiters, signaled per ack
+}
+
+// post sends one data frame through the window. records == nil means a
+// single-record write carrying payload. In windowed mode it returns as
+// soon as the frame is on the socket with credit held; with WindowFrames=1
+// it blocks for the covering ack and returns that frame's status,
+// reproducing the legacy ack-per-frame semantics.
+func (d *dataLink) post(key string, payload []byte, records [][]byte, batch bool) error {
+	nbytes := len(payload)
+	for _, rec := range records {
+		nbytes += len(rec)
+	}
+	seq, incarn, err := d.send(key, payload, records, nbytes, batch)
+	if err != nil {
+		return err
+	}
+	if d.n.cfg.WindowFrames == 1 {
+		return d.waitFor(seq, incarn)
+	}
+	return nil
+}
+
+// send acquires window credit, encodes the frame into a pooled buffer,
+// registers it as pending, and hands it to the link's write loop — dialing
+// lazily. The socket write happens on the write loop's goroutine, never
+// here: a blocking write (full socket buffer on a saturated link) must not
+// stall the caller or the ack reader, and frames that accumulate while the
+// loop is inside a writev coalesce into the next writev — one syscall for
+// a burst of small frames. It returns the posted sequence number and the
+// connection incarnation that carries it.
+func (d *dataLink) send(key string, payload []byte, records [][]byte, nbytes int, batch bool) (uint64, uint64, error) {
+	n := d.n
+	deadline := time.Now().Add(n.cfg.AckTimeout)
+	d.mu.Lock()
+	for {
+		if d.err != nil {
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			return 0, 0, err
+		}
+		if d.c == nil {
+			if err := d.dialLocked(deadline); err != nil {
+				d.mu.Unlock()
+				cerr := classify("dial", d.to, err)
+				if errors.Is(cerr, fabric.ErrUnreachable) {
+					n.markDead(d.to)
+				}
+				return 0, 0, cerr
+			}
+			continue // re-check state on the fresh incarnation
+		}
+		if d.inFrames == 0 || (d.inFrames < n.cfg.WindowFrames && d.inBytes+nbytes <= n.cfg.WindowBytes) {
+			break
+		}
+		n.stats.AddWindowStall(n.cfg.Rank, d.to)
+		if !d.waitLocked(deadline) {
+			d.resetLocked(fmt.Errorf("%w: window credit to rank %d timed out", fabric.ErrTransient, d.to))
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			return 0, 0, err
+		}
+	}
+	// Credit held: assign the sequence number, encode, and register the
+	// pending frame in one critical section so pending stays seq-sorted.
+	d.seq++
+	seq, incarn := d.seq, d.incarn
+	recs := records
+	if recs == nil {
+		d.one[0] = payload
+		recs = d.one[:]
+	}
+	d.frame.Type = frameData
+	d.frame.From = n.cfg.Rank
+	d.frame.Gen = n.gen.Load()
+	d.frame.Seq = seq
+	d.frame.Key = key
+	d.frame.Records = recs
+	bp := encPool.Get().(*[]byte)
+	b, err := AppendFrame((*bp)[:0], &d.frame)
+	nrecs := len(recs)
+	d.frame.Key = ""
+	d.frame.Records = nil
+	d.one[0] = nil
+	if err != nil {
+		d.seq--
+		d.mu.Unlock()
+		encPool.Put(bp)
+		return 0, 0, err // oversize frame: caller error, link unaffected
+	}
+	*bp = b
+	d.pending = append(d.pending, pendingFrame{
+		seq: seq, buf: bp, bytes: nbytes, recs: nrecs, batch: batch, busy: true,
+		key: key, sentAt: time.Now(),
+	})
+	d.inFrames++
+	d.inBytes += nbytes
+	n.stats.AddInFlight(n.cfg.Rank, d.to, nbytes)
+	d.q = append(d.q, outFrame{seq: seq, buf: bp})
+	wake := d.wake
+	d.mu.Unlock()
+	select {
+	case wake <- struct{}{}:
+	default: // a wakeup is already pending; the loop drains the whole queue
+	}
+	return seq, incarn, nil
+}
+
+// writeLoop is the link's single socket writer for one connection
+// incarnation: it drains the outbound queue into writev batches. Batching
+// is opportunistic — frames enqueued while a writev blocks ride the next
+// one — so a stream of small writes costs one syscall per burst rather
+// than one per frame, and the queue empties completely on every pass (no
+// explicit flush is ever needed for liveness). Buffer ownership: queued
+// frames are busy; after a writev the loop either clears busy (frame still
+// pending) or returns the buffer itself (frame already retired by an ack
+// or reset that skipped it).
+func (d *dataLink) writeLoop(c net.Conn, incarn uint64, wake chan struct{}) {
+	n := d.n
+	var batch []outFrame
+	var iov [][]byte
+	for {
+		d.mu.Lock()
+		for d.incarn == incarn && len(d.q) == 0 {
+			d.mu.Unlock()
+			select {
+			case <-wake:
+			case <-n.done:
+				return
+			}
+			d.mu.Lock()
+		}
+		if d.incarn != incarn {
+			d.mu.Unlock()
+			return // reset retired the queue; nothing is on loan to us
+		}
+		batch = append(batch[:0], d.q...)
+		d.q = d.q[:0]
+		deadline := time.Now().Add(n.cfg.AckTimeout)
+		refresh := deadline.Sub(d.wdeadline) > n.cfg.AckTimeout/2
+		if refresh {
+			d.wdeadline = deadline
+		}
+		d.mu.Unlock()
+
+		if refresh {
+			c.SetWriteDeadline(deadline)
+		}
+		iov = iov[:0]
+		for _, of := range batch {
+			iov = append(iov, *of.buf)
+		}
+		bufs := net.Buffers(iov) // WriteTo advances bufs; iov keeps the array
+		_, werr := bufs.WriteTo(c)
+
+		d.mu.Lock()
+		if d.incarn != incarn {
+			// Reset raced the writev; every batch frame was retired with
+			// its busy buffer left on loan to us.
+			for _, of := range batch {
+				encPool.Put(of.buf)
+			}
+			d.mu.Unlock()
+			return
+		}
+		if werr != nil {
+			cerr := classify("write", d.to, werr)
+			d.resetLocked(cerr) // frames already in flight have unknown fate
+			for _, of := range batch {
+				encPool.Put(of.buf)
+			}
+			d.mu.Unlock()
+			return
+		}
+		for _, of := range batch {
+			if of.seq <= d.ackSeq {
+				// The cumulative ack outran this bookkeeping (the receiver
+				// replied while the writev was still in progress); the ack
+				// reader popped the frame and left the busy buffer to us.
+				encPool.Put(of.buf)
+			} else {
+				// Sequence numbers are consecutive and pending is FIFO, so
+				// the frame's slot is a direct index from the head.
+				d.pending[d.head+int(of.seq-d.pending[d.head].seq)].busy = false
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// dialLocked dials the data connection and starts its ack reader. Callers
+// hold d.mu.
+func (d *dataLink) dialLocked(deadline time.Time) error {
+	n := d.n
+	timeout := n.cfg.DialTimeout
+	if until := time.Until(deadline); until < timeout {
+		if until <= 0 {
+			return fmt.Errorf("deadline exceeded before dial: %w", errTimeout{})
+		}
+		timeout = until
+	}
+	dl := net.Dialer{Timeout: timeout}
+	c, err := dl.Dial(n.cfg.Network, n.cfg.Peers[d.to])
+	if err != nil {
+		return err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	d.c = c
+	d.incarn++
+	d.seq, d.ackSeq = 0, 0
+	d.wdeadline = time.Time{}
+	d.wake = make(chan struct{}, 1)
+	go d.readAcks(c, d.incarn)
+	go d.writeLoop(c, d.incarn, d.wake)
+	return nil
+}
+
+// readAcks is the per-connection ack reader: it advances the window on
+// every cumulative ack, releases retired encode buffers to the pool,
+// records transfer stats at ack time, and parks deposit failures as the
+// link's sticky error. A read failure resets the link.
+func (d *dataLink) readAcks(c net.Conn, incarn uint64) {
+	n := d.n
+	br := bufio.NewReader(c)
+	var f Frame
+	var scratch []byte
+	for {
+		if err := readFrameInto(br, &f, &scratch, nil); err != nil {
+			d.failConn(incarn, classify("read ack", d.to, err))
+			return
+		}
+		if f.Type != frameAckCum || len(f.Records) != 1 || len(f.Records[0]) != 1 {
+			d.failConn(incarn, fmt.Errorf("%w: rank %d sent a malformed cumulative ack", fabric.ErrTransient, d.to))
+			return
+		}
+		status := f.Records[0][0]
+		d.mu.Lock()
+		if d.incarn != incarn {
+			d.mu.Unlock()
+			return // link was reset under us; a fresh reader owns it now
+		}
+		now := time.Now()
+		for d.head < len(d.pending) && d.pending[d.head].seq <= f.Seq {
+			pf := &d.pending[d.head]
+			d.inFrames--
+			d.inBytes -= pf.bytes
+			n.stats.SubInFlight(n.cfg.Rank, d.to, pf.bytes)
+			if status != statusOK && pf.seq == f.Seq {
+				// AddFailed is charged when the write that consumes the
+				// sticky error observes it, matching the legacy path.
+				if d.err == nil {
+					d.err = d.ackError(pf.key, status)
+				}
+			} else {
+				n.stats.AddTransfer(n.cfg.Rank, d.to, pf.bytes, now.Sub(pf.sentAt))
+				if pf.batch {
+					n.stats.AddCoalesced(n.cfg.Rank, d.to, pf.recs)
+				}
+			}
+			if !pf.busy { // busy: the writer still owns the buffer and returns it
+				encPool.Put(pf.buf)
+			}
+			pf.buf = nil
+			pf.key = ""
+			d.head++
+		}
+		if d.head == len(d.pending) {
+			d.pending = d.pending[:0]
+			d.head = 0
+		}
+		if f.Seq > d.ackSeq {
+			d.ackSeq = f.Seq
+		}
+		n.stats.AddCumAck(n.cfg.Rank, d.to)
+		d.signalLocked()
+		d.mu.Unlock()
+	}
+}
+
+// ackError maps a non-OK cumulative-ack status onto the fabric taxonomy —
+// the same mapping the legacy synchronous write used.
+func (d *dataLink) ackError(key string, status byte) error {
+	switch status {
+	case statusNotRegistered:
+		return fmt.Errorf("%w: %q on rank %d", fabric.ErrNotRegistered, key, d.to)
+	case statusHandlerErr:
+		return fmt.Errorf("stream: write handler for %q on rank %d failed", key, d.to)
+	case statusStaleEpoch:
+		return fmt.Errorf("%w: rank %d fenced this sender's epoch; rejoin required", fabric.ErrStaleEpoch, d.to)
+	case statusDead:
+		return fmt.Errorf("%w: rank %d is dead", fabric.ErrUnreachable, d.to)
+	default:
+		return fmt.Errorf("stream: rank %d replied with unknown status", d.to)
+	}
+}
+
+// failConn resets the link on behalf of the ack reader, unless a newer
+// incarnation already took over.
+func (d *dataLink) failConn(incarn uint64, err error) {
+	d.mu.Lock()
+	if d.incarn == incarn {
+		d.resetLocked(err)
+	}
+	d.mu.Unlock()
+}
+
+// resetLocked drops the data connection and retires every in-flight frame
+// with unknown fate: buffers return to the pool, the window empties, and —
+// if frames were actually pending — err becomes the sticky deferred error.
+// Callers hold d.mu.
+func (d *dataLink) resetLocked(err error) {
+	if d.c != nil {
+		d.c.Close()
+		d.c = nil
+	}
+	d.incarn++
+	hadPending := d.head < len(d.pending)
+	// Queued-but-unwritten frames are owned by the queue (the write loop
+	// has not popped them), so their buffers are returned here; their
+	// pending entries stay busy so the retire loop below skips them. Frames
+	// the loop holds mid-writev are not in the queue and the loop returns
+	// their buffers itself.
+	for i, of := range d.q {
+		encPool.Put(of.buf)
+		d.q[i].buf = nil
+	}
+	d.q = d.q[:0]
+	for d.head < len(d.pending) {
+		pf := &d.pending[d.head]
+		d.n.stats.SubInFlight(d.n.cfg.Rank, d.to, pf.bytes)
+		if !pf.busy { // busy: the write loop still owns the buffer and returns it
+			encPool.Put(pf.buf)
+		}
+		pf.buf = nil
+		pf.key = ""
+		d.head++
+	}
+	if d.wake != nil {
+		select { // rouse the old write loop so it observes the reset and exits
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+	d.pending = d.pending[:0]
+	d.head = 0
+	d.inFrames, d.inBytes = 0, 0
+	if err != nil && hadPending && d.err == nil {
+		d.err = err
+	}
+	d.signalLocked()
+}
+
+// close drops the connection and clears the window without recording an
+// error: used by Kill/Close, where the shutdown itself is the story.
+func (d *dataLink) close() {
+	d.mu.Lock()
+	d.resetLocked(nil)
+	d.mu.Unlock()
+}
+
+// signalLocked wakes every registered waiter (non-blocking: each waiter
+// channel holds at most one pending signal). Callers hold d.mu.
+func (d *dataLink) signalLocked() {
+	for _, w := range d.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitLocked releases d.mu, waits for a window signal until the deadline,
+// and reacquires d.mu. It returns false on timeout or endpoint shutdown.
+func (d *dataLink) waitLocked(deadline time.Time) bool {
+	w := waiterPool.Get().(chan struct{})
+	d.waiters = append(d.waiters, w)
+	d.mu.Unlock()
+	t := timerGet(time.Until(deadline))
+	ok := false
+	select {
+	case <-w:
+		ok = true
+	case <-t.C:
+	case <-d.n.done:
+	}
+	timerPut(t)
+	d.mu.Lock()
+	for i, reg := range d.waiters {
+		if reg == w {
+			last := len(d.waiters) - 1
+			d.waiters[i] = d.waiters[last]
+			d.waiters[last] = nil
+			d.waiters = d.waiters[:last]
+			break
+		}
+	}
+	select { // drain a signal that raced the deregistration
+	case <-w:
+	default:
+	}
+	waiterPool.Put(w)
+	return ok
+}
+
+// waitFor blocks until the cumulative ack covers seq on the given
+// incarnation (or the link reset), consuming and returning the sticky
+// deferred error. This is the synchronous tail of WindowFrames=1 mode.
+func (d *dataLink) waitFor(seq, incarn uint64) error {
+	deadline := time.Now().Add(d.n.cfg.AckTimeout)
+	d.mu.Lock()
+	for {
+		if d.err != nil {
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			return err
+		}
+		if d.incarn != incarn || d.ackSeq >= seq {
+			d.mu.Unlock()
+			return nil
+		}
+		if !d.waitLocked(deadline) {
+			d.resetLocked(fmt.Errorf("%w: ack from rank %d timed out", fabric.ErrTransient, d.to))
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("%w: ack from rank %d timed out", fabric.ErrTransient, d.to)
+			}
+			return err
+		}
+	}
+}
+
+// drain blocks until the window is empty, consuming and returning the
+// sticky deferred error. Barrier entry drains every link first, so a
+// barrier release proves every pre-barrier write deposited.
+func (d *dataLink) drain() error {
+	deadline := time.Now().Add(d.n.cfg.AckTimeout)
+	d.mu.Lock()
+	for {
+		if d.err != nil {
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			return err
+		}
+		if d.inFrames == 0 {
+			d.mu.Unlock()
+			return nil
+		}
+		if !d.waitLocked(deadline) {
+			d.resetLocked(fmt.Errorf("%w: drain of link to rank %d timed out", fabric.ErrTransient, d.to))
+			err := d.err
+			d.err = nil
+			d.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("%w: drain of link to rank %d timed out", fabric.ErrTransient, d.to)
+			}
+			return err
+		}
+	}
+}
+
+// discard clears the link and its sticky error without reporting: used for
+// links to peers already known dead, whose failures have been accounted.
+func (d *dataLink) discard() {
+	d.mu.Lock()
+	d.resetLocked(nil)
+	d.err = nil
+	d.mu.Unlock()
+}

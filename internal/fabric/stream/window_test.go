@@ -1,0 +1,407 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malt/internal/fabric"
+)
+
+// newUnixTestCluster is newTestCluster over Unix domain sockets: peer
+// addresses are socket paths under the test's temp dir. No pre-bound
+// listeners are needed — the paths are known before any Net exists.
+func newUnixTestCluster(t *testing.T, n int, mutate func(*Config)) []*Net {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("r%d.sock", i))
+	}
+	nets := make([]*Net, n)
+	for i := range nets {
+		cfg := Config{
+			Rank:              i,
+			Peers:             addrs,
+			Network:           NetworkUnix,
+			DialTimeout:       time.Second,
+			AckTimeout:        2 * time.Second,
+			RendezvousTimeout: 10 * time.Second,
+			BarrierTimeout:    10 * time.Second,
+			HeartbeatInterval: 10 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		nt, err := New(cfg)
+		if err != nil {
+			t.Fatalf("rank %d: New: %v", i, err)
+		}
+		nets[i] = nt
+	}
+	t.Cleanup(func() {
+		for _, nt := range nets {
+			nt.Close()
+		}
+	})
+	errs := make(chan error, n)
+	for _, nt := range nets {
+		go func(nt *Net) { errs <- nt.Rendezvous() }(nt)
+	}
+	for range nets {
+		if err := <-errs; err != nil {
+			t.Fatalf("rendezvous: %v", err)
+		}
+	}
+	return nets
+}
+
+// TestWindowedDeferredErrors exercises the pipelined error contract: a
+// windowed Write returns before the deposit, so a deposit failure surfaces
+// on Drain (or a later Write) mapped onto the same fabric taxonomy the
+// synchronous path uses — and the sticky error is consumed exactly once.
+func TestWindowedDeferredErrors(t *testing.T) {
+	nets := newTestCluster(t, 2)
+
+	// Unregistered key: the write itself is accepted into the window.
+	if err := nets[0].Write(0, 1, "nope", []byte("x")); err != nil {
+		t.Fatalf("windowed write to unregistered key: %v", err)
+	}
+	if err := nets[0].Drain(); !errors.Is(err, fabric.ErrNotRegistered) {
+		t.Fatalf("drain after unregistered write: want ErrNotRegistered, got %v", err)
+	}
+	// Consumed: the link is clean again.
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("drain after consuming error: %v", err)
+	}
+
+	// Handler failure maps to the generic handler error.
+	if err := nets[1].Register(1, "boom", func(int, []byte) error { return errors.New("kaput") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 1, "boom", []byte("x")); err != nil {
+		t.Fatalf("windowed write to failing handler: %v", err)
+	}
+	err := nets[0].Drain()
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("write handler")) {
+		t.Fatalf("drain after handler failure: want handler error, got %v", err)
+	}
+
+	// A healthy write after the error still lands: the window recovered.
+	got := make(chan []byte, 1)
+	if err := nets[1].Register(1, "ok", func(_ int, p []byte) error {
+		got <- append([]byte(nil), p...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 1, "ok", []byte("fine")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "fine" {
+			t.Fatalf("deposited %q, want %q", p, "fine")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovery write never deposited")
+	}
+}
+
+// TestWindowedStaleEpochDeferred pins the epoch fence on the pipelined
+// path: the receiver rejects the zombie frame and the sender learns it at
+// Drain as ErrStaleEpoch.
+func TestWindowedStaleEpochDeferred(t *testing.T) {
+	nets := newTestCluster(t, 2)
+	if err := nets[1].Register(1, "w", func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	nets[0].gen.Store(nets[0].gen.Load() - 1)
+	if err := nets[0].Write(0, 1, "w", []byte("x")); err != nil {
+		t.Fatalf("windowed stale write: %v", err)
+	}
+	if err := nets[0].Drain(); !errors.Is(err, fabric.ErrStaleEpoch) {
+		t.Fatalf("drain after stale write: want ErrStaleEpoch, got %v", err)
+	}
+	if got := nets[1].StaleEpochRejected(); got != 1 {
+		t.Fatalf("receiver StaleEpochRejected() = %d, want 1", got)
+	}
+}
+
+// TestWindowBackpressure forces credit exhaustion with a tiny window and
+// checks that every frame still deposits in order, stalls are counted, and
+// the in-flight gauges return to zero after drain.
+func TestWindowBackpressure(t *testing.T) {
+	nets := newTestClusterCfg(t, 2, func(c *Config) {
+		c.WindowFrames = 2
+		c.WindowBytes = 4096
+	})
+	var deposited atomic.Int64
+	var lastLen atomic.Int64
+	if err := nets[1].Register(1, "bulk", func(_ int, p []byte) error {
+		deposited.Add(1)
+		lastLen.Store(int64(len(p)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 2048)
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+		if err := nets[0].Write(0, 1, "bulk", payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := deposited.Load(); got != frames {
+		t.Fatalf("deposited %d frames, want %d", got, frames)
+	}
+	if got := lastLen.Load(); got != int64(len(payload)) {
+		t.Fatalf("last deposit %d bytes, want %d", got, len(payload))
+	}
+	st := nets[0].Stats()
+	if st.WindowStalls() == 0 {
+		t.Fatal("tiny window never stalled; backpressure not engaged")
+	}
+	if st.CumAcks() == 0 {
+		t.Fatal("no cumulative acks recorded")
+	}
+	if f, b := st.InFlightFrames(0, 1), st.InFlightBytes(0, 1); f != 0 || b != 0 {
+		t.Fatalf("in-flight after drain = %d frames / %d bytes, want 0/0", f, b)
+	}
+}
+
+// TestFloodDoesNotStarveControlPlane is the control-plane priority
+// regression: bulk data saturates the data link while heartbeats run on
+// the dedicated control connection with a short probe budget. A shared
+// connection would queue probes behind megabytes of frames and blow the
+// ack timeout into K strikes; the split must yield zero suspicion.
+func TestFloodDoesNotStarveControlPlane(t *testing.T) {
+	var events atomic.Int64
+	nets := newTestClusterCfg(t, 2, func(c *Config) {
+		c.AckTimeout = 300 * time.Millisecond
+		c.HeartbeatInterval = 10 * time.Millisecond
+		c.HeartbeatStrikes = 3
+	})
+	for _, nt := range nets {
+		nt.OnLivenessChange(func(int, bool) { events.Add(1) })
+	}
+	if err := nets[1].Register(1, "flood", func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	stop := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(stop) {
+		//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+		if err := nets[0].Write(0, 1, "flood", payload); err != nil {
+			t.Fatalf("flood write: %v", err)
+		}
+	}
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// A direct probe mid-traffic must also answer inside the short budget.
+	if err := nets[0].Ping(0, 1); err != nil {
+		t.Fatalf("ping during flood aftermath: %v", err)
+	}
+	if got := events.Load(); got != 0 {
+		t.Fatalf("liveness watcher fired %d times during flood, want 0 (spurious suspicion)", got)
+	}
+	for r := 0; r < 2; r++ {
+		if !nets[0].Alive(r) || !nets[1].Alive(r) {
+			t.Fatalf("rank %d suspected during flood", r)
+		}
+	}
+}
+
+// TestSendSteadyStateAllocs locks in the zero-alloc send path: once pools
+// are warm, a windowed Write must not allocate. Heartbeats are disabled so
+// background probe traffic cannot pollute the measurement.
+func TestSendSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc counts are meaningless")
+	}
+	nets := newTestClusterCfg(t, 2, func(c *Config) {
+		c.HeartbeatStrikes = -1
+	})
+	if err := nets[1].Register(1, "hot", func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	// Warm the pools: encode buffers, pending slice, receiver scratch,
+	// key-cache interning.
+	for i := 0; i < 2000; i++ {
+		//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+		if err := nets[0].Write(0, 1, "hot", payload); err != nil {
+			t.Fatalf("warmup write %d: %v", i, err)
+		}
+	}
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("warmup drain: %v", err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := nets[0].Write(0, 1, "hot", payload); err != nil {
+			t.Fatalf("measured write: %v", err)
+		}
+	})
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("post-measure drain: %v", err)
+	}
+	if avg >= 1 {
+		t.Fatalf("steady-state Write allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestUnixClusterWriteAndBarrier runs the core data-plane contract over
+// the Unix-socket flavor: deposits land, batches coalesce, barriers
+// release — same protocol, different transport.
+func TestUnixClusterWriteAndBarrier(t *testing.T) {
+	nets := newUnixTestCluster(t, 3, nil)
+	var sum atomic.Int64
+	if err := nets[1].Register(1, "w", func(_ int, p []byte) error {
+		sum.Add(int64(len(p)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[0].Write(0, 1, "w", []byte("abcd")); err != nil {
+		t.Fatalf("uds write: %v", err)
+	}
+	if err := nets[2].WriteBatch(2, 1, "w", [][]byte{[]byte("ef"), []byte("gh")}); err != nil {
+		t.Fatalf("uds write batch: %v", err)
+	}
+	if err := nets[0].Drain(); err != nil {
+		t.Fatalf("uds drain rank 0: %v", err)
+	}
+	if err := nets[2].Drain(); err != nil {
+		t.Fatalf("uds drain rank 2: %v", err)
+	}
+	if got := sum.Load(); got != 8 {
+		t.Fatalf("deposited %d payload bytes, want 8", got)
+	}
+	errs := make(chan error, len(nets))
+	for _, nt := range nets {
+		go func(nt *Net) { errs <- nt.Barrier("uds-step", nt.Rank()) }(nt)
+	}
+	for range nets {
+		if err := <-errs; err != nil {
+			t.Fatalf("uds barrier: %v", err)
+		}
+	}
+}
+
+// TestUnixClusterSyncErrors pins the WindowFrames=1 legacy semantics on
+// the Unix flavor too: error mapping is transport-independent.
+func TestUnixClusterSyncErrors(t *testing.T) {
+	nets := newUnixTestCluster(t, 2, func(c *Config) { c.WindowFrames = 1 })
+	if err := nets[0].Write(0, 1, "nope", []byte("x")); !errors.Is(err, fabric.ErrNotRegistered) {
+		t.Fatalf("uds unregistered write: want ErrNotRegistered, got %v", err)
+	}
+}
+
+// BenchmarkStreamWrite measures the send path per-op cost and allocation
+// count in-process over loopback TCP: windowed vs ack-per-frame, small vs
+// large payloads. The windowed/1KiB case is the headline: the legacy path
+// pays a full RTT per frame there.
+func BenchmarkStreamWrite(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		window int
+		size   int
+	}{
+		{"acked/1KiB", 1, 1 << 10},
+		{"windowed/1KiB", 0, 1 << 10},
+		{"acked/64KiB", 1, 64 << 10},
+		{"windowed/64KiB", 0, 64 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			nets := newBenchCluster(b, bc.window)
+			if err := nets[1].Register(1, "bench", func(int, []byte) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, bc.size)
+			for i := 0; i < 100; i++ { // warm pools before measuring
+				//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+				if err := nets[0].Write(0, 1, "bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := nets[0].Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(bc.size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				//maltlint:allow bufretain -- stream.Write copies the payload into a pooled frame buffer before returning; reuse cannot race the wire
+				if err := nets[0].Write(0, 1, "bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := nets[0].Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// newBenchCluster builds a 2-rank loopback TCP pair with heartbeats
+// disabled so probe traffic stays out of the measurement.
+func newBenchCluster(b *testing.B, windowFrames int) []*Net {
+	b.Helper()
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("rank %d: listen: %v", i, err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nets := make([]*Net, 2)
+	for i := range nets {
+		nt, err := New(Config{
+			Rank:              i,
+			Peers:             addrs,
+			Listener:          listeners[i],
+			WindowFrames:      windowFrames,
+			DialTimeout:       time.Second,
+			AckTimeout:        5 * time.Second,
+			RendezvousTimeout: 10 * time.Second,
+			BarrierTimeout:    10 * time.Second,
+			HeartbeatStrikes:  -1,
+		})
+		if err != nil {
+			b.Fatalf("rank %d: New: %v", i, err)
+		}
+		nets[i] = nt
+	}
+	b.Cleanup(func() {
+		for _, nt := range nets {
+			nt.Close()
+		}
+	})
+	errs := make(chan error, 2)
+	for _, nt := range nets {
+		go func(nt *Net) { errs <- nt.Rendezvous() }(nt)
+	}
+	for range nets {
+		if err := <-errs; err != nil {
+			b.Fatalf("rendezvous: %v", err)
+		}
+	}
+	return nets
+}

@@ -1,0 +1,38 @@
+// Package udsnet is the Unix-domain-socket flavor of the shared
+// framed-stream transport (internal/fabric/stream). It serves the
+// realistic single-host topology — several OS processes on one machine —
+// without the TCP/IP stack in the path: same frame protocol, same windowed
+// write pipelining, same control-plane split, but peer addresses are
+// socket paths instead of host:port pairs.
+package udsnet
+
+import (
+	"os"
+
+	"malt/internal/fabric/stream"
+)
+
+// Net is one rank's endpoint of a Unix-socket cluster; see stream.Net.
+type Net = stream.Net
+
+// Config describes one rank of a Unix-socket cluster; see stream.Config.
+// Peers entries are socket paths. The Network field is forced to unix by
+// New.
+type Config = stream.Config
+
+// New binds this rank's Unix socket and starts its receiver loop. A stale
+// socket file left by a previous incarnation of this rank (a crashed
+// process does not unlink its socket) is removed before binding; a path
+// occupied by a non-socket file is left alone so the bind fails loudly
+// instead of destroying data. The returned Net is not usable for data
+// operations until Rendezvous (or Join) has completed.
+func New(cfg Config) (*Net, error) {
+	cfg.Network = stream.NetworkUnix
+	if cfg.Listener == nil && cfg.Rank >= 0 && cfg.Rank < len(cfg.Peers) {
+		path := cfg.Peers[cfg.Rank]
+		if fi, err := os.Stat(path); err == nil && fi.Mode()&os.ModeSocket != 0 {
+			os.Remove(path)
+		}
+	}
+	return stream.New(cfg)
+}
