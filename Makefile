@@ -31,7 +31,7 @@ bench:
 # modeled numbers, and review the diff: only the metrics your change
 # explains should move (elapsed_sec and wall_* churn is expected — they are
 # informational and never gated).
-BENCH_EXPERIMENTS = pipeline,gather,fig13,saturation,saturation-wall,allreduce,ablation-queue,ablation-interleave,elastic,overlap
+BENCH_EXPERIMENTS = pipeline,gather,fig13,saturation,saturation-wall,allreduce,ablation-queue,ablation-interleave,elastic,overlap,compression
 
 bench-baseline:
 	go run ./cmd/maltbench -exp $(BENCH_EXPERIMENTS) -json > BENCH_BASELINE.json

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"malt/internal/compress"
+)
+
+// validateCompressFlags turns the -compress* flag triple into a
+// compress.Options, rejecting incoherent combinations before any goroutine
+// starts (the same fail-early contract as validateTransportFlags). An empty
+// codec with the other knobs at their zero values means compression is off.
+func validateCompressFlags(codec string, ratio float64, adapt, sparse bool) (compress.Options, error) {
+	if codec == "" {
+		if ratio != 0 {
+			return compress.Options{}, fmt.Errorf("maltrun: -compressRatio is only meaningful with -compress (pick a codec: %s)", strings.Join(compress.Names(), ", "))
+		}
+		if adapt {
+			return compress.Options{}, fmt.Errorf("maltrun: -compressAdapt is only meaningful with -compress (pick a ratio-driven codec: topk or hybrid)")
+		}
+		return compress.Options{}, nil
+	}
+	if sparse {
+		return compress.Options{}, fmt.Errorf("maltrun: -compress requires the dense wire format; add -sparse=false (sparse scatters are already top-k deltas)")
+	}
+	opts := compress.Options{Codec: codec, Ratio: ratio, Adapt: adapt}
+	if err := opts.Validate(); err != nil {
+		return compress.Options{}, fmt.Errorf("maltrun: %w", err)
+	}
+	return opts, nil
+}

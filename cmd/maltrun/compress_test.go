@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateCompressFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		codec   string
+		ratio   float64
+		adapt   bool
+		sparse  bool
+		wantErr string // substring of the error, empty = success
+	}{
+		{name: "off by default", codec: "", sparse: true},
+		{name: "topk dense", codec: "topk"},
+		{name: "topk custom ratio", codec: "topk", ratio: 0.25},
+		{name: "int8 dense", codec: "int8"},
+		{name: "hybrid adaptive", codec: "hybrid", ratio: 0.1, adapt: true},
+		{name: "none codec", codec: "none"},
+		{name: "unknown codec", codec: "zstd",
+			wantErr: `unknown codec "zstd"`},
+		{name: "sparse wire format", codec: "topk", sparse: true,
+			wantErr: "requires the dense wire format"},
+		{name: "ratio without codec", ratio: 0.25,
+			wantErr: "-compressRatio is only meaningful with -compress"},
+		{name: "adapt without codec", adapt: true,
+			wantErr: "-compressAdapt is only meaningful with -compress"},
+		{name: "ratio above one", codec: "topk", ratio: 2,
+			wantErr: "ratio must be in (0, 1]"},
+		{name: "negative ratio", codec: "topk", ratio: -0.5,
+			wantErr: "ratio must be in (0, 1]"},
+		{name: "adapt on fixed-rate codec", codec: "int8", adapt: true,
+			wantErr: "adaptive ratios require a ratio-driven codec"},
+		{name: "adapt on none codec", codec: "none", adapt: true,
+			wantErr: "adaptive ratios require a ratio-driven codec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts, err := validateCompressFlags(tc.codec, tc.ratio, tc.adapt, tc.sparse)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got nil (opts %+v)", tc.wantErr, opts)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if opts.Enabled() != (tc.codec != "") {
+				t.Fatalf("Enabled() = %v for codec %q", opts.Enabled(), tc.codec)
+			}
+			if tc.codec != "" {
+				if opts.Codec != tc.codec || opts.Ratio != tc.ratio || opts.Adapt != tc.adapt {
+					t.Fatalf("opts = %+v, want codec=%q ratio=%g adapt=%v", opts, tc.codec, tc.ratio, tc.adapt)
+				}
+			}
+		})
+	}
+}

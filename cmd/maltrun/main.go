@@ -63,12 +63,22 @@ func main() {
 		publish   = flag.Bool("publish", false, "publish this rank's recoverable state (model, iteration, optimizer scalars) every batch so it can donate snapshots to rejoining peers (tcp/uds transport)")
 		windowFr  = flag.Int("windowFrames", 0, "max unacked data frames per link before the sender stalls (0 = transport default, 1 = synchronous ack-per-frame; tcp/uds transport)")
 		windowBy  = flag.Int("windowBytes", 0, "max unacked payload bytes per link before the sender stalls (0 = transport default; tcp/uds transport)")
+		compCodec = flag.String("compress", "", "gradient compression codec: none|topk|int8|hybrid (empty = off; requires -sparse=false; svm only)")
+		compRatio = flag.Float64("compressRatio", 0, "fraction of coordinates the ratio-driven codecs ship, in (0,1] (0 = default 0.125)")
+		compAdapt = flag.Bool("compressAdapt", false, "adapt each link's compression ratio from fabric health signals (requires -compress=topk or hybrid)")
 	)
 	flag.Parse()
 
 	tspec, err := validateTransportFlags(*transport, *listen, *peersStr, *chaosStr, *rejoin, *windowFr, *windowBy)
 	if err != nil {
 		log.Fatal(err)
+	}
+	compOpts, err := validateCompressFlags(*compCodec, *compRatio, *compAdapt, *sparse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if compOpts.Enabled() && *app != "svm" {
+		log.Fatalf("maltrun: -compress supports only -app=svm (got %q)", *app)
 	}
 	if tspec.external() && *app != "svm" {
 		log.Fatalf("maltrun: -transport=%s supports only -app=svm (got %q)", tspec.kind, *app)
@@ -162,6 +172,10 @@ func main() {
 		fmt.Printf("gradient bucketing: bucketBytes=%d (comm/compute overlap)\n", *bucketB)
 	}
 
+	if compOpts.Enabled() {
+		fmt.Printf("gradient compression: codec=%s ratio=%g adapt=%v\n", compOpts.Codec, compOpts.Ratio, compOpts.Adapt)
+	}
+
 	opts := bench.SVMOpts{
 		DS: ds, Ranks: *ranks, CB: *cb,
 		Dataflow: flow, Sync: sync, Cutoff: 16, Bound: 4,
@@ -173,6 +187,7 @@ func main() {
 		GatherWorkers: *gatherW,
 		FoldChunk:     *foldChunk,
 		BucketBytes:   *bucketB,
+		Compress:      compOpts,
 	}
 	if tspec.external() {
 		tnet, err := dialStream(tspec)
@@ -226,6 +241,17 @@ func main() {
 	if *gatherW != 0 {
 		fmt.Printf("gather engine: %d decode tasks fanned out, %d chunks folded, %d scratch hits\n",
 			agg.Count(trace.DecodeTasks), agg.Count(trace.ChunksFolded), agg.Count(trace.ScratchHits))
+	}
+	if compOpts.Enabled() {
+		pre, post := agg.Count(trace.BytesPrecompress), agg.Count(trace.BytesPostcompress)
+		reduction := 0.0
+		if post > 0 {
+			reduction = float64(pre) / float64(post)
+		}
+		fmt.Printf("compression: %.1f MB raw -> %.1f MB shipped (%.1fx), residual L1 %.3f, tightest link ratio 1/%.1f\n",
+			float64(pre)/(1<<20), float64(post)/(1<<20), reduction,
+			float64(agg.Count(trace.ResidualNorm))/1e6,
+			float64(agg.Count(trace.RatioPerLink))/1e3)
 	}
 	if *bucketB > 0 {
 		fmt.Printf("overlap: %d buckets sent, %.3fs comm hidden behind compute, %.3fs exposed (%.0f%% overlapped)\n",

@@ -54,10 +54,10 @@ func TestReportHelpers(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"ablation-interleave", "ablation-queue", "allreduce", "elastic",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "gather", "overlap", "pipeline", "saturation", "saturation-wall",
-		"table2", "table3"}
+	want := []string{"ablation-interleave", "ablation-queue", "allreduce", "compression",
+		"elastic", "fig10", "fig11", "fig12", "fig13", "fig14", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "gather", "overlap", "pipeline", "saturation",
+		"saturation-wall", "table2", "table3"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"malt/internal/chaos"
+	"malt/internal/compress"
 	"malt/internal/consistency"
 	"malt/internal/core"
 	"malt/internal/data"
@@ -116,6 +117,10 @@ type SVMOpts struct {
 	// as soon as they are produced (comm/compute overlap; see
 	// core.Config.BucketBytes). 0 disables bucketing.
 	BucketBytes int
+	// Compress enables lossy gradient compression with per-link
+	// error-feedback residuals on every dense vector (see
+	// core.Config.Compress). Dense-only: incompatible with Sparse.
+	Compress compress.Options
 	// Suspicion tunes the K-strikes failure detector (zero = defaults).
 	Suspicion fault.SuspicionConfig
 	// Jitter models per-machine compute-speed variance. The single-core
@@ -186,6 +191,14 @@ func (o *SVMOpts) setDefaults() error {
 	}
 	if o.ModelSyncEvery == 0 {
 		o.ModelSyncEvery = 10
+	}
+	if o.Compress.Enabled() {
+		if o.Sparse {
+			return fmt.Errorf("bench: Compress requires the dense wire format (drop Sparse)")
+		}
+		if err := o.Compress.Validate(); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
 	}
 	return nil
 }
@@ -260,6 +273,7 @@ func RunSVM(opts SVMOpts) (*RunStats, error) {
 		GatherWorkers:  opts.GatherWorkers,
 		FoldChunk:      opts.FoldChunk,
 		BucketBytes:    opts.BucketBytes,
+		Compress:       opts.Compress,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,226 @@
+package compress
+
+import "fmt"
+
+// LinkSignals is the slice of per-link counters the adaptive controller
+// reads. *fabric.Stats satisfies it; tests supply fakes.
+type LinkSignals interface {
+	// LinkBytes returns payload bytes sent from→to.
+	LinkBytes(from, to int) uint64
+	// LinkModelNs returns modeled wire nanoseconds accumulated from→to.
+	LinkModelNs(from, to int) uint64
+	// FailedWritesLink returns ErrUnreachable failures from→to.
+	FailedWritesLink(from, to int) uint64
+	// WindowStallsLink returns credit-exhausted send stalls from→to.
+	WindowStallsLink(from, to int) uint64
+	// InjectedDropsLink returns chaos-injected transient drops from→to.
+	InjectedDropsLink(from, to int) uint64
+	// InjectedJitterLink returns chaos-injected extra wire ns from→to.
+	InjectedJitterLink(from, to int) uint64
+}
+
+// congestionFactor is how much more expensive (modeled ns per byte) a link
+// must be than the cheapest active link this interval to count as
+// saturated.
+const congestionFactor = 3.0
+
+// Controller adapts each outgoing link's compression ratio from observed
+// LinkSignals deltas. Every AdaptEvery-th Tick it snapshots each link's
+// counters, diffs them against the previous snapshot, and re-picks:
+//
+//   - pressure (chaos drops, failed writes, window stalls, injected jitter,
+//     or ns/byte ≥ congestionFactor × the cheapest link's) → halve the
+//     ratio, floored at MinRatio: a blacked-out or saturated link ships the
+//     fewest coordinates, and error feedback carries the rest until it
+//     heals;
+//   - no pressure → relax by 1.5×, capped at the base Ratio, so a healed
+//     link drifts back to near-lossless.
+//
+// The controller is owned by one sender goroutine, like State.
+type Controller struct {
+	sig   LinkSignals
+	self  int
+	base  float64
+	min   float64
+	every int
+
+	calls int
+	links map[int]*ctlLink
+
+	adaptations uint64
+	hardest     float64
+	tightest    float64
+}
+
+// ctlLink is one outgoing link's ratio plus its last counter snapshot.
+type ctlLink struct {
+	ratio                                float64
+	bytes, modelNs                       uint64
+	failed, stalls, drops, jitNs, inited uint64
+}
+
+// ControllerPerf is the controller's accounting snapshot.
+type ControllerPerf struct {
+	// Adaptations counts ratio changes (tightening or relaxing).
+	Adaptations uint64
+	// HardestRatio is the smallest per-link ratio currently in force
+	// (== the base ratio when every link is healthy or none exist).
+	HardestRatio float64
+	// TightestRatio is the smallest per-link ratio that was ever in
+	// force — the adaptive peak. Unlike HardestRatio it survives
+	// post-pressure relaxation, so an end-of-run harvest still shows
+	// how hard a transient blackout squeezed its link.
+	TightestRatio float64
+}
+
+// NewController builds an adaptive controller for rank self's outgoing
+// links. opts must name a ratio-driven codec with Adapt set.
+func NewController(opts Options, sig LinkSignals, self int) (*Controller, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !o.Adapt {
+		return nil, fmt.Errorf("compress: controller requires Adapt")
+	}
+	if sig == nil {
+		return nil, fmt.Errorf("compress: controller requires link signals")
+	}
+	return &Controller{
+		sig:      sig,
+		self:     self,
+		base:     o.Ratio,
+		min:      o.MinRatio,
+		every:    o.AdaptEvery,
+		links:    make(map[int]*ctlLink),
+		hardest:  o.Ratio,
+		tightest: o.Ratio,
+	}, nil
+}
+
+// snapshot records peer's current counters as ls's delta baseline.
+func (c *Controller) snapshot(ls *ctlLink, peer int) {
+	ls.bytes = c.sig.LinkBytes(c.self, peer)
+	ls.modelNs = c.sig.LinkModelNs(c.self, peer)
+	ls.failed = c.sig.FailedWritesLink(c.self, peer)
+	ls.stalls = c.sig.WindowStallsLink(c.self, peer)
+	ls.drops = c.sig.InjectedDropsLink(c.self, peer)
+	ls.jitNs = c.sig.InjectedJitterLink(c.self, peer)
+	ls.inited = 1
+}
+
+// Ratio returns the current compression ratio for the self→peer link.
+func (c *Controller) Ratio(peer int) float64 {
+	if ls := c.links[peer]; ls != nil {
+		return ls.ratio
+	}
+	return c.base
+}
+
+// Tick is called once per scatter with the current destination set; every
+// AdaptEvery-th call it re-picks each link's ratio from counter deltas.
+func (c *Controller) Tick(peers []int) {
+	c.calls++
+	if c.calls%c.every != 0 {
+		// Snapshot links on first sight even between re-picks: pressure
+		// that lands before a link's first full interval must surface as
+		// a delta at the next re-pick, not vanish into its baseline.
+		// (Matters on slow scatter cadences — a wall-clock blackout can
+		// come and go before the AdaptEvery-th scatter otherwise.)
+		for _, peer := range peers {
+			if peer == c.self || c.links[peer] != nil {
+				continue
+			}
+			ls := &ctlLink{ratio: c.base}
+			c.snapshot(ls, peer)
+			c.links[peer] = ls
+		}
+		return
+	}
+
+	// Snapshot and diff each link, then find the cheapest ns/byte among
+	// links that moved data this interval — the congestion baseline.
+	type delta struct {
+		ls        *ctlLink
+		pressured bool
+		nsPerByte float64
+		bytes     uint64
+		peer      int
+	}
+	deltas := make([]delta, 0, len(peers))
+	cheapest := -1.0
+	for _, peer := range peers {
+		if peer == c.self {
+			continue
+		}
+		ls := c.links[peer]
+		if ls == nil {
+			ls = &ctlLink{ratio: c.base}
+			c.links[peer] = ls
+		}
+		bytes := c.sig.LinkBytes(c.self, peer)
+		modelNs := c.sig.LinkModelNs(c.self, peer)
+		failed := c.sig.FailedWritesLink(c.self, peer)
+		stalls := c.sig.WindowStallsLink(c.self, peer)
+		drops := c.sig.InjectedDropsLink(c.self, peer)
+		jitNs := c.sig.InjectedJitterLink(c.self, peer)
+
+		d := delta{ls: ls, peer: peer}
+		if ls.inited != 0 {
+			d.bytes = bytes - ls.bytes
+			d.pressured = failed > ls.failed || stalls > ls.stalls ||
+				drops > ls.drops || jitNs > ls.jitNs
+			if d.bytes > 0 {
+				d.nsPerByte = float64(modelNs-ls.modelNs) / float64(d.bytes)
+				if cheapest < 0 || d.nsPerByte < cheapest {
+					cheapest = d.nsPerByte
+				}
+			}
+		}
+		ls.bytes, ls.modelNs = bytes, modelNs
+		ls.failed, ls.stalls, ls.drops, ls.jitNs = failed, stalls, drops, jitNs
+		ls.inited = 1
+		deltas = append(deltas, d)
+	}
+
+	for _, d := range deltas {
+		pressured := d.pressured
+		if !pressured && cheapest > 0 && d.bytes > 0 &&
+			d.nsPerByte >= congestionFactor*cheapest {
+			pressured = true
+		}
+		want := d.ls.ratio
+		if pressured {
+			want = max(d.ls.ratio/2, c.min)
+		} else {
+			want = min(d.ls.ratio*1.5, c.base)
+		}
+		if want != d.ls.ratio {
+			d.ls.ratio = want
+			c.adaptations++
+		}
+	}
+
+	c.hardest = c.base
+	for _, ls := range c.links {
+		if ls.ratio < c.hardest {
+			c.hardest = ls.ratio
+		}
+	}
+	if c.hardest < c.tightest {
+		c.tightest = c.hardest
+	}
+}
+
+// DropPeer forgets peer's ratio and snapshot; a rejoined incarnation starts
+// fresh at the base ratio.
+func (c *Controller) DropPeer(peer int) { delete(c.links, peer) }
+
+// Perf returns the controller's accounting snapshot.
+func (c *Controller) Perf() ControllerPerf {
+	return ControllerPerf{
+		Adaptations:   c.adaptations,
+		HardestRatio:  c.hardest,
+		TightestRatio: c.tightest,
+	}
+}

@@ -1,0 +1,138 @@
+package compress
+
+import "math"
+
+// State is one vector's compression state: a residual vector per
+// destination link (error feedback), one reusable Plan, and wire-byte
+// accounting. A State belongs to a single sender goroutine — vol already
+// serializes scatters per vector — so it needs no locking.
+type State struct {
+	opts  Options
+	codec Codec
+	dim   int
+
+	links map[int]*linkState
+	plan  Plan
+	acc   []float64 // residual-corrected update being planned
+	cur   *linkState
+	perf  Perf
+}
+
+// linkState is the per-destination residual.
+type linkState struct {
+	residual []float64
+}
+
+// Perf is the state's cumulative accounting, harvested per rank into
+// trace counters.
+type Perf struct {
+	// BytesPre counts raw (uncompressed) bytes the compressed scatters
+	// would have shipped: 8·dim per destination per update.
+	BytesPre uint64
+	// BytesPost counts frame bytes actually produced.
+	BytesPost uint64
+	// Frames counts frames produced.
+	Frames uint64
+}
+
+// NewState validates opts and builds a State for dim-coordinate updates.
+func NewState(opts Options, dim int) (*State, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c, err := Lookup(o.Codec)
+	if err != nil {
+		return nil, err
+	}
+	return &State{
+		opts:  o,
+		codec: c,
+		dim:   dim,
+		links: make(map[int]*linkState),
+		acc:   make([]float64, dim),
+	}, nil
+}
+
+// Options returns the validated (defaults-filled) options.
+func (s *State) Options() Options { return s.opts }
+
+// Codec returns the state's codec.
+func (s *State) Codec() Codec { return s.codec }
+
+// MaxFrameBytes bounds the frame size for an n-coordinate range.
+func (s *State) MaxFrameBytes(n int) int { return MaxFrameBytes(s.codec, n) }
+
+// Begin starts one compressed update to peer: it forms the
+// residual-corrected update acc = data + residual(peer), plans it at the
+// given ratio, and stores the exact new residual acc − Recon. Subsequent
+// EncodeRange calls slice the planned update until the next Begin.
+//
+// Conservation invariant (tested bitwise): after Begin,
+// Recon[i] + residual[i] == data[i] + oldResidual[i] for every i — the
+// quantizing codecs only use power-of-two scales, so the subtraction is
+// exact (Sterbenz), and dropped coordinates carry their full value.
+func (s *State) Begin(peer int, data []float64, ratio float64) {
+	ls := s.links[peer]
+	if ls == nil {
+		ls = &linkState{residual: make([]float64, s.dim)}
+		s.links[peer] = ls
+	}
+	for i, v := range data {
+		s.acc[i] = v + ls.residual[i]
+	}
+	s.codec.Plan(&s.plan, s.acc, ratio)
+	for i := range ls.residual {
+		ls.residual[i] = s.acc[i] - s.plan.Recon[i]
+	}
+	s.cur = ls
+	s.perf.BytesPre += uint64(8 * s.dim)
+}
+
+// EncodeRange appends the frame for coordinates [lo, hi) of the update
+// begun by the last Begin call.
+func (s *State) EncodeRange(dst []byte, lo, hi int) []byte {
+	n := len(dst)
+	dst = AppendFrame(dst, &s.plan, lo, hi)
+	s.perf.BytesPost += uint64(len(dst) - n)
+	s.perf.Frames++
+	return dst
+}
+
+// Recon exposes the current plan's reconstruction (what every receiver of
+// the update begun by the last Begin will decode).
+func (s *State) Recon() []float64 { return s.plan.Recon }
+
+// DropPeer evicts peer's residual. Called when a peer is confirmed dead or
+// rejoins across an epoch bump: a rejoined incarnation starts from the
+// transferred snapshot, so replaying mass dropped against its previous
+// life would poison it.
+func (s *State) DropPeer(peer int) { delete(s.links, peer) }
+
+// Residual returns peer's residual vector (nil if the link has none), for
+// tests and diagnostics.
+func (s *State) Residual(peer int) []float64 {
+	if ls := s.links[peer]; ls != nil {
+		return ls.residual
+	}
+	return nil
+}
+
+// ResidualNorm returns the L1 norm of all per-link residuals — the total
+// gradient mass currently deferred by error feedback. Non-finite entries
+// are skipped so one Inf residual does not wipe the telemetry.
+func (s *State) ResidualNorm() float64 {
+	var sum float64
+	for _, ls := range s.links {
+		for _, v := range ls.residual {
+			a := math.Abs(v)
+			if !math.IsInf(a, 0) && !math.IsNaN(a) {
+				sum += a
+			}
+		}
+	}
+	return sum
+}
+
+// Perf returns the cumulative accounting snapshot.
+func (s *State) Perf() Perf { return s.perf }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"malt/internal/compress"
 	"malt/internal/consistency"
 	"malt/internal/data"
 	"malt/internal/dataflow"
@@ -66,6 +67,15 @@ type Config struct {
 	// Receivers reassemble buckets into whole updates before folding, so
 	// results stay bitwise identical to the unbucketed path.
 	BucketBytes int
+	// Compress selects gradient compression with per-destination
+	// error-feedback residuals for Dense vectors created via Context
+	// (inherited into vol.Options.Compress; see internal/compress).
+	// Scatters ship codec frames — top-k sparsified and/or
+	// int8-quantized — and the dropped mass is carried into the next
+	// update, so wire bytes shrink while convergence holds. With Adapt
+	// set, each link re-picks its ratio from observed fabric.Stats
+	// pressure signals. The zero value disables compression.
+	Compress compress.Options
 	// Fabric tunes the simulated interconnect (zero value = defaults).
 	// Ignored when Transport is set.
 	Fabric fabric.Config
@@ -304,6 +314,13 @@ func (c *Cluster) runRank(r int, fn func(ctx *Context) error) RankResult {
 		ctx.timer.AddCount(trace.ChunksFolded, gp.ChunksFolded)
 		ctx.timer.AddCount(trace.ScratchHits, gp.ScratchHits)
 		ctx.timer.AddCount(trace.BucketsSent, v.BucketPerf().FragmentsSent)
+		if v.Compressed() {
+			cp := v.CompressPerf()
+			ctx.timer.AddCount(trace.BytesPrecompress, cp.BytesPre)
+			ctx.timer.AddCount(trace.BytesPostcompress, cp.BytesPost)
+			ctx.timer.AddCount(trace.ResidualNorm, cp.ResidualNormMicro)
+			ctx.timer.MaxCount(trace.RatioPerLink, cp.HardestInvRatioMilli)
+		}
 	}
 	if c.cfg.Pipeline != nil {
 		// Drain before snapshotting so the counters reflect only
@@ -430,6 +447,9 @@ func (ctx *Context) CreateVectorOpts(name string, typ vol.Type, dim int, opts vo
 	if opts.BucketBytes == 0 && typ == vol.Dense {
 		opts.BucketBytes = ctx.cluster.cfg.BucketBytes
 	}
+	if !opts.Compress.Enabled() && typ == vol.Dense {
+		opts.Compress = ctx.cluster.cfg.Compress
+	}
 	if ctx.Rejoining() {
 		// The standing members passed this vector's creation barrier long
 		// ago; a rejoining rank registers and proceeds.
@@ -497,18 +517,22 @@ func (ctx *Context) Scatter(v *vol.Vector) error {
 // ablation knob rather than a code fork in the trainer.
 func (ctx *Context) ScatterBucketed(v *vol.Vector, compute func(lo, hi int)) error {
 	n := v.Buckets()
+	if v.Compressed() {
+		// Error-feedback planning is whole-update (the residual-corrected
+		// top-k selection needs every coordinate), so per-bucket
+		// interleaving is impossible: run compute over every bucket range
+		// first — still charged to the compute phase, with overlap credit
+		// while the pipeline drains earlier work — then push the planned
+		// frames in one scatter (fragmented on the wire when bucketed).
+		for b := 0; b < n; b++ {
+			lo, hi := v.BucketRange(b)
+			ctx.computeBucket(compute, lo, hi)
+		}
+		return ctx.Scatter(v)
+	}
 	for b := 0; b < n; b++ {
 		lo, hi := v.BucketRange(b)
-		if compute != nil {
-			outstanding := ctx.node.PipelineOutstanding()
-			start := time.Now()
-			compute(lo, hi)
-			d := time.Since(start)
-			ctx.timer.Add(trace.Compute, d)
-			if outstanding {
-				ctx.timer.AddCount(trace.OverlappedNs, uint64(d))
-			}
-		}
+		ctx.computeBucket(compute, lo, hi)
 		err := ctx.timer.TimeErr(trace.Scatter, func() error {
 			var failed []int
 			var serr error
@@ -528,6 +552,22 @@ func (ctx *Context) ScatterBucketed(v *vol.Vector, compute func(lo, hi int)) err
 		}
 	}
 	return nil
+}
+
+// computeBucket runs compute over one bucket range, charging the compute
+// phase and crediting overlap while the send pipeline holds in-flight work.
+func (ctx *Context) computeBucket(compute func(lo, hi int), lo, hi int) {
+	if compute == nil {
+		return
+	}
+	outstanding := ctx.node.PipelineOutstanding()
+	start := time.Now()
+	compute(lo, hi)
+	d := time.Since(start)
+	ctx.timer.Add(trace.Compute, d)
+	if outstanding {
+		ctx.timer.AddCount(trace.OverlappedNs, uint64(d))
+	}
 }
 
 // Gather folds arrived updates into v with udf under the cluster's

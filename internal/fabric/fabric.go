@@ -771,6 +771,29 @@ func (s *Stats) LinkBytes(from, to int) uint64 {
 	return s.bytes[from*s.n+to].Load()
 }
 
+// LinkModelNs returns the modeled wire nanoseconds accumulated on one
+// directed link (data + control).
+func (s *Stats) LinkModelNs(from, to int) uint64 {
+	return s.modelNs[from*s.n+to].Load()
+}
+
+// FailedWritesLink returns the ErrUnreachable failures on one directed link.
+func (s *Stats) FailedWritesLink(from, to int) uint64 {
+	return s.failed[from*s.n+to].Load()
+}
+
+// WindowStallsLink returns the credit-exhausted send stalls on one directed
+// link (stream backends only; zero on the simulated fabric).
+func (s *Stats) WindowStallsLink(from, to int) uint64 {
+	return s.stalls[from*s.n+to].Load()
+}
+
+// InjectedJitterLink returns the chaos-injected extra wire nanoseconds on
+// one directed link.
+func (s *Stats) InjectedJitterLink(from, to int) uint64 {
+	return s.injJitNs[from*s.n+to].Load()
+}
+
 // InjectedDrops returns the number of operations the chaos layer dropped
 // with ErrTransient across all links.
 func (s *Stats) InjectedDrops() uint64 {

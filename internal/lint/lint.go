@@ -204,7 +204,7 @@ func Run(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, e
 
 // All returns the maltlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew, EpochCmp, BufRetain, BarrierDiverge}
+	return []*Analyzer{ErrIsCmp, LockedScatter, AtomicMix, FoldPurity, RawSleep, GatherDrop, QueueLen, IterSkew, EpochCmp, BufRetain, BarrierDiverge, ResFeedback}
 }
 
 // analyzerNames returns the set of names an allow annotation may use.

@@ -24,6 +24,7 @@ func TestIterSkew(t *testing.T)       { linttest.Run(t, lint.IterSkew, "iterskew
 func TestEpochCmp(t *testing.T)       { linttest.Run(t, lint.EpochCmp, "epochcmp") }
 func TestBufRetain(t *testing.T)      { linttest.Run(t, lint.BufRetain, "bufretain") }
 func TestBarrierDiverge(t *testing.T) { linttest.Run(t, lint.BarrierDiverge, "barrierdiverge") }
+func TestResFeedback(t *testing.T)    { linttest.Run(t, lint.ResFeedback, "resfeedback") }
 
 // TestAllow runs an arbitrary analyzer over the allow fixture: well-formed
 // annotations must suppress, malformed ones must surface as hard "allow"
@@ -37,7 +38,7 @@ func TestAll(t *testing.T) {
 		"erriscmp": true, "lockedscatter": true, "atomicmix": true,
 		"foldpurity": true, "rawsleep": true, "gatherdrop": true,
 		"queuelen": true, "iterskew": true, "epochcmp": true,
-		"bufretain": true, "barrierdiverge": true,
+		"bufretain": true, "barrierdiverge": true, "resfeedback": true,
 	}
 	got := lint.All()
 	if len(got) != len(want) {

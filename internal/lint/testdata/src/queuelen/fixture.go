@@ -2,7 +2,10 @@
 // analyzer.
 package queuelen
 
-import "malt/internal/vol"
+import (
+	"malt/internal/compress"
+	"malt/internal/vol"
+)
 
 func depthOne() vol.Options {
 	return vol.Options{QueueLen: 1} // want `depth-1 receive ring`
@@ -17,7 +20,7 @@ func depthOnePointer() *vol.Options {
 }
 
 func depthOnePositional() vol.Options {
-	return vol.Options{1, 0, 0, 0, 0, false} // want `depth-1 receive ring`
+	return vol.Options{1, 0, 0, 0, 0, compress.Options{}, false} // want `depth-1 receive ring`
 }
 
 // depthDefault and depthDeep are fine: only the pathological depth 1 is

@@ -85,6 +85,20 @@ const (
 	// OverlappedNs is nanoseconds of compute during which the send pipeline
 	// held in-flight work — communication hidden behind compute.
 	OverlappedNs
+	// BytesPrecompress is the raw bytes compressed scatters would have
+	// shipped uncompressed (8·dim per destination per update).
+	BytesPrecompress
+	// BytesPostcompress is the compressed frame bytes actually shipped.
+	BytesPostcompress
+	// ResidualNorm is the final L1 norm of the error-feedback residuals in
+	// micro-units (×1e6), summed over links — gradient mass still deferred
+	// when the run ended.
+	ResidualNorm
+	// RatioPerLink is 1000 / the tightest (smallest) adaptive per-link
+	// compression ratio that was ever in force, so tightening raises it
+	// and post-blackout relaxation does not erase the peak. Merged with
+	// Max, not summed: the cluster-wide value is the worst link anywhere.
+	RatioPerLink
 	numCounters
 )
 
@@ -109,6 +123,14 @@ func (c Counter) String() string {
 		return "exposed_comm_ns"
 	case OverlappedNs:
 		return "overlapped_ns"
+	case BytesPrecompress:
+		return "bytes_precompress"
+	case BytesPostcompress:
+		return "bytes_postcompress"
+	case ResidualNorm:
+		return "residual_norm"
+	case RatioPerLink:
+		return "ratio_per_link"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}
@@ -116,7 +138,7 @@ func (c Counter) String() string {
 
 // Counters lists all counters in display order.
 func Counters() []Counter {
-	return []Counter{WritesSaved, BytesMerged, QueuePeak, DecodeTasks, ChunksFolded, ScratchHits, BucketsSent, ExposedCommNs, OverlappedNs}
+	return []Counter{WritesSaved, BytesMerged, QueuePeak, DecodeTasks, ChunksFolded, ScratchHits, BucketsSent, ExposedCommNs, OverlappedNs, BytesPrecompress, BytesPostcompress, ResidualNorm, RatioPerLink}
 }
 
 // Timer accumulates time per phase and event counts per counter.
@@ -196,13 +218,13 @@ func (t *Timer) OverlappedFrac() float64 {
 }
 
 // Merge adds another timer's totals into t (aggregating ranks). Peak-style
-// counters (QueuePeak) take the max instead of summing.
+// counters (QueuePeak, RatioPerLink) take the max instead of summing.
 func (t *Timer) Merge(other *Timer) {
 	for p := Phase(0); p < numPhases; p++ {
 		t.total[p] += other.total[p]
 	}
 	for c := Counter(0); c < numCounters; c++ {
-		if c == QueuePeak {
+		if c == QueuePeak || c == RatioPerLink {
 			if other.counts[c] > t.counts[c] {
 				t.counts[c] = other.counts[c]
 			}

@@ -70,10 +70,11 @@ type bucketAsm struct {
 // bucketState is a bucketed vector's receive-side reassembly state plus the
 // sender-side split geometry.
 type bucketState struct {
-	coords  int                // coordinates per full-size fragment
-	buckets int                // fragments per logical update
-	asm     map[int]*bucketAsm // sender rank → active assembly
-	free    []*bucketAsm       // recycled assemblies (buffers reused)
+	coords     int                // coordinates per full-size fragment
+	buckets    int                // fragments per logical update
+	compressed bool               // fragments carry codec frames, not raw floats
+	asm        map[int]*bucketAsm // sender rank → active assembly
+	free       []*bucketAsm       // recycled assemblies (buffers reused)
 	// retired holds assemblies evicted mid-drain. They cannot go straight to
 	// free: decode tasks planned before the eviction still alias them, so
 	// recycling the buffer within the same gather would race. The gather
@@ -145,7 +146,14 @@ func (bs *bucketState) decodeFragHeader(dim int, payload []byte) (fragHeader, er
 		return fragHeader{}, fmt.Errorf("vol: bucket fragment header out of range (lo=%d count=%d buckets=%d, vector dim=%d buckets=%d)",
 			h.lo, h.count, h.buckets, dim, bs.buckets)
 	}
-	if len(payload) != bucketHeaderSize+8*h.count {
+	if bs.compressed {
+		// Compressed fragments carry a variable-length codec frame; the
+		// frame decoder validates its own body exactly. Just require that
+		// a frame is present at all.
+		if len(payload) == bucketHeaderSize {
+			return fragHeader{}, fmt.Errorf("vol: compressed bucket fragment has no frame")
+		}
+	} else if len(payload) != bucketHeaderSize+8*h.count {
 		return fragHeader{}, fmt.Errorf("vol: bucket fragment %d bytes, header says %d coords", len(payload), h.count)
 	}
 	if h.lo%bs.coords != 0 {

@@ -1,37 +1,26 @@
 package vol
 
 import (
-	"math"
-	"sort"
-
+	"malt/internal/compress"
 	"malt/internal/ml/linalg"
 )
 
 // TopK returns a sparse update holding the k largest-magnitude entries of
 // data — the gradient-compression filter the paper lists among the network
 // optimizations that further reduce traffic (§6.2, citing the parameter
-// server's filters). Scattering TopK(delta, k) instead of the full delta
-// trades convergence accuracy for a fixed wire budget; the dropped mass
-// should be carried forward by the caller (see TopKResidual).
+// server's filters).
+//
+// Deprecated: use Options.Compress with the "topk" codec, which adds
+// per-destination error-feedback residuals, deterministic tie-breaking and
+// NaN/Inf handling (compress.SelectTopK), framing, and adaptive per-link
+// ratios. This wrapper remains for callers that want a standalone sparse
+// filter; it now routes through compress.SelectTopK, so selection is
+// deterministic (ties break to the lower index, non-finite entries always
+// ship) and k <= 0, k >= dim and all-zero inputs behave sanely.
 func TopK(data []float64, k int) *linalg.SparseVector {
-	if k <= 0 {
+	idx := compress.SelectTopK(data, k, nil)
+	if len(idx) == 0 {
 		return &linalg.SparseVector{}
-	}
-	if k >= len(data) {
-		return linalg.FromDense(data)
-	}
-	idx := make([]int32, 0, len(data))
-	for i, v := range data {
-		if v != 0 {
-			idx = append(idx, int32(i))
-		}
-	}
-	if len(idx) > k {
-		sort.Slice(idx, func(a, b int) bool {
-			return math.Abs(data[idx[a]]) > math.Abs(data[idx[b]])
-		})
-		idx = idx[:k]
-		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
 	}
 	out := &linalg.SparseVector{
 		Idx: idx,
@@ -45,8 +34,12 @@ func TopK(data []float64, k int) *linalg.SparseVector {
 
 // TopKResidual splits data into the top-k sparse update and leaves the
 // residual (the dropped entries) in data, zeroing what was selected. The
-// standard error-feedback pattern: the caller accumulates the residual
-// into the next batch's delta so compression drops nothing permanently.
+// manual error-feedback pattern: the caller accumulates the residual into
+// the next batch's delta so compression drops nothing permanently.
+//
+// Deprecated: use Options.Compress with the "topk" codec — the vector then
+// maintains one residual per destination automatically, which this
+// single-residual pattern cannot express.
 func TopKResidual(data []float64, k int) *linalg.SparseVector {
 	sv := TopK(data, k)
 	for _, ix := range sv.Idx {

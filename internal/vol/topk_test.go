@@ -31,6 +31,77 @@ func TestTopKEdgeCases(t *testing.T) {
 	}
 }
 
+// TestTopKTable pins the edge cases the pre-compress implementation
+// mishandled: ties were broken by sort.Slice's unstable order and NaN
+// comparisons made the comparator intransitive. TopK now routes through
+// compress.SelectTopK, so ties break to the lower index and non-finite
+// entries always ship.
+func TestTopKTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []float64
+		k       int
+		wantIdx []int32
+		wantVal []float64
+	}{
+		{"k zero", []float64{3, 1}, 0, nil, nil},
+		{"k negative", []float64{3, 1}, -2, nil, nil},
+		{"k equals dim", []float64{1, -2, 3}, 3, []int32{0, 1, 2}, []float64{1, -2, 3}},
+		{"k exceeds dim skips zeros", []float64{1, 0, 3}, 10, []int32{0, 2}, []float64{1, 3}},
+		{"all zeros", []float64{0, 0, 0}, 2, nil, nil},
+		{"ties break to lower index", []float64{2, -2, 2, -2}, 2, []int32{0, 1}, []float64{2, -2}},
+		{"ties across sign", []float64{-7, 7}, 1, []int32{0}, []float64{-7}},
+		{"NaN always ships", []float64{9, math.NaN(), 1}, 1, []int32{1}, []float64{math.NaN()}},
+		{"Inf outranks finite", []float64{math.MaxFloat64, math.Inf(-1)}, 1, []int32{1}, []float64{math.Inf(-1)}},
+		{"NaN and Inf tie by index", []float64{1, math.NaN(), math.Inf(1)}, 2, []int32{1, 2}, []float64{math.NaN(), math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sv := TopK(tc.data, tc.k)
+			if sv.NNZ() != len(tc.wantIdx) {
+				t.Fatalf("NNZ = %d, want %d (%v / %v)", sv.NNZ(), len(tc.wantIdx), sv.Idx, sv.Val)
+			}
+			for i := range tc.wantIdx {
+				if sv.Idx[i] != tc.wantIdx[i] {
+					t.Errorf("Idx[%d] = %d, want %d", i, sv.Idx[i], tc.wantIdx[i])
+				}
+				want := tc.wantVal[i]
+				if math.IsNaN(want) {
+					if !math.IsNaN(sv.Val[i]) {
+						t.Errorf("Val[%d] = %v, want NaN", i, sv.Val[i])
+					}
+				} else if sv.Val[i] != want {
+					t.Errorf("Val[%d] = %v, want %v", i, sv.Val[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKDeterministicOnTies: selection is a pure function of the input
+// even when many magnitudes tie (the old sort.Slice comparator was
+// unstable, so tied inputs could select different indices run to run).
+func TestTopKDeterministicOnTies(t *testing.T) {
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = 1.5 // everything ties
+	}
+	first := TopK(data, 50)
+	for trial := 0; trial < 10; trial++ {
+		sv := TopK(data, 50)
+		for i := range first.Idx {
+			if sv.Idx[i] != first.Idx[i] {
+				t.Fatalf("trial %d: Idx[%d] = %d, want %d", trial, i, sv.Idx[i], first.Idx[i])
+			}
+		}
+	}
+	for i, ix := range first.Idx {
+		if ix != int32(i) {
+			t.Fatalf("tied selection should take the lowest indices: Idx[%d] = %d", i, ix)
+		}
+	}
+}
+
 func TestTopKResidualErrorFeedback(t *testing.T) {
 	data := []float64{4, 1, -3, 0.5}
 	sv := TopKResidual(data, 2)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"malt/internal/compress"
 	"malt/internal/dataflow"
 	"malt/internal/dstorm"
 	"malt/internal/ml/linalg"
@@ -61,6 +62,15 @@ type Options struct {
 	// update — it is scaled by the fragment count internally. Rejected for
 	// Sparse vectors (sparse scatters are already deltas).
 	BucketBytes int
+	// Compress selects gradient compression with per-destination
+	// error-feedback residuals (see compress.go and internal/compress).
+	// Scatters ship codec frames instead of raw floats — per destination,
+	// because each link's residual differs — and receivers decode before
+	// reassembly/fold. Composes with BucketBytes (fragments carry frame
+	// slices of one globally planned update, so folds stay bitwise
+	// identical to unbucketed at any bucket size). Rejected for Sparse
+	// vectors. The zero value disables compression.
+	Compress compress.Options
 	// SkipCreationBarrier forwards to
 	// dstorm.SegmentOptions.SkipCreationBarrier: register without the
 	// collective creation barrier (elastic-membership rejoin only).
@@ -161,6 +171,11 @@ type Vector struct {
 	fragTasks []fragTask   // per-gather planned fragment decodes
 	readyAsm  []readyUpd   // per-gather completed assemblies, in fold order
 	doneAsm   []*bucketAsm // assemblies to recycle after the fold
+
+	// Compression state (nil unless Options.Compress names a codec; see
+	// compress.go).
+	comp    *compState
+	peerBuf []int // reusable single-destination slice for per-peer sends
 }
 
 // readyUpd is one completed logical update awaiting the fold.
@@ -204,6 +219,32 @@ func Create(node *dstorm.Node, name string, typ Type, dim int, graph *dataflow.G
 		}
 		queueLen *= bs.buckets
 	}
+	var comp *compState
+	if opts.Compress.Enabled() {
+		if typ != Dense {
+			return nil, errors.New("vol: Compress requires a Dense vector (sparse scatters are already deltas)")
+		}
+		st, err := compress.NewState(opts.Compress, dim)
+		if err != nil {
+			return nil, err
+		}
+		comp = &compState{st: st}
+		if opts.Compress.Adapt {
+			ctl, err := compress.NewController(opts.Compress, node.Cluster().Fabric().Stats(), node.Rank())
+			if err != nil {
+				return nil, err
+			}
+			comp.ctl = ctl
+		}
+		// Ring slots hold frames, not raw floats; size for the codec's
+		// worst case (a frame can exceed 8·dim at ratio 1).
+		if bs != nil {
+			bs.compressed = true
+			objSize = bucketHeaderSize + st.MaxFrameBytes(bs.coords)
+		} else {
+			objSize = st.MaxFrameBytes(dim)
+		}
+	}
 	seg, err := node.CreateSegment("vol/"+name, dstorm.SegmentOptions{
 		ObjectSize:          objSize,
 		QueueLen:            queueLen,
@@ -224,6 +265,7 @@ func Create(node *dstorm.Node, name string, typ Type, dim int, graph *dataflow.G
 		foldChunk: opts.FoldChunk,
 		encBuf:    make([]byte, objSize),
 		bucket:    bs,
+		comp:      comp,
 	}, nil
 }
 
@@ -261,6 +303,9 @@ func (v *Vector) SetIteration(iter uint64) { v.seg.SetIteration(iter) }
 // goes out as Buckets() fragments back to back; with the send pipeline
 // enabled the fragments drain in the background while the trainer moves on.
 func (v *Vector) Scatter(iter uint64) ([]int, error) {
+	if v.comp != nil {
+		return v.scatterCompressed(nil, iter)
+	}
 	if v.bucket != nil {
 		return v.scatterBuckets(nil, iter)
 	}
@@ -275,6 +320,9 @@ func (v *Vector) Scatter(iter uint64) ([]int, error) {
 // giving per-call dataflow control (paper Table 1: scatter takes an
 // optional dataflow argument).
 func (v *Vector) ScatterTo(peers []int, iter uint64) ([]int, error) {
+	if v.comp != nil {
+		return v.scatterCompressed(peers, iter)
+	}
 	if v.bucket != nil {
 		return v.scatterBuckets(peers, iter)
 	}
@@ -330,6 +378,9 @@ func (v *Vector) ScatterBucket(b int, peers []int, iter uint64) ([]int, error) {
 	if v.bucket == nil {
 		return nil, errors.New("vol: ScatterBucket requires a bucketed vector (Options.BucketBytes)")
 	}
+	if v.comp != nil {
+		return nil, errors.New("vol: ScatterBucket is unavailable on a compressed vector (error-feedback planning is whole-update); use Scatter or ScatterBucketed")
+	}
 	if b < 0 || b >= v.bucket.buckets {
 		return nil, fmt.Errorf("vol: bucket %d out of range [0,%d)", b, v.bucket.buckets)
 	}
@@ -353,9 +404,21 @@ func (v *Vector) ScatterBucket(b int, peers []int, iter uint64) ([]int, error) {
 // compute produces bucket b+1. The classic DDP overlap. On an unbucketed
 // vector it degenerates to compute(0, Dim) followed by a whole Scatter.
 func (v *Vector) ScatterBucketed(iter uint64, compute func(lo, hi int)) ([]int, error) {
-	if v.bucket == nil {
+	if v.bucket == nil || v.comp != nil {
+		// A compressed update is planned whole (the residual-corrected
+		// top-k selection needs every coordinate), so per-bucket
+		// compute/send interleaving is impossible: run compute to
+		// completion, then scatter — still fragmented on the wire when
+		// bucketed, so the send pipeline drains frames in the background.
 		if compute != nil {
-			compute(0, v.dim)
+			if v.bucket == nil {
+				compute(0, v.dim)
+			} else {
+				for b := 0; b < v.bucket.buckets; b++ {
+					lo, hi := v.bucket.bucketRange(v.dim, b)
+					compute(lo, hi)
+				}
+			}
 		}
 		return v.Scatter(iter)
 	}
@@ -588,7 +651,24 @@ func (v *Vector) gatherBucketed(udf UDF, mode dstorm.GatherMode, weak bool) (Gat
 			return stats, herr
 		}
 		if t := v.bucket.planFragment(v.dim, u.From, u.Iter, h, u.Data); t != nil {
-			v.fragTasks = append(v.fragTasks, *t)
+			if v.comp != nil {
+				// Compressed fragments decode here in stage 1, not on the
+				// pool: the frame decoder can fail (torn or corrupt
+				// frames) and only this serial stage has error handling.
+				dst := t.asm.data[t.h.lo : t.h.lo+t.h.count]
+				if derr := compress.Decode(dst, t.h.lo, t.payload[bucketHeaderSize:]); derr != nil {
+					// Roll the deposit back so a retried fragment can
+					// still land in this assembly.
+					t.asm.seen[t.h.lo/v.bucket.coords] = false
+					t.asm.got--
+					if weak && u.Torn {
+						continue
+					}
+					return stats, derr
+				}
+			} else {
+				v.fragTasks = append(v.fragTasks, *t)
+			}
 			if a := v.bucket.completeAsm(u.From); a != nil {
 				v.readyAsm = append(v.readyAsm, readyUpd{from: u.From, a: a})
 			}
@@ -658,6 +738,9 @@ func (v *Vector) gatherBucketed(udf UDF, mode dstorm.GatherMode, weak bool) (Gat
 // decodeInto decodes one raw payload into an update slot's scratch. Sparse
 // updates are densified so every UDF sees a uniform dense view.
 func (v *Vector) decodeInto(s *updScratch, payload []byte) error {
+	if v.comp != nil {
+		return compress.Decode(s.dense, 0, payload)
+	}
 	switch v.typ {
 	case Sparse:
 		if err := decodeSparseInto(&s.sv, payload); err != nil {
@@ -736,13 +819,24 @@ func (v *Vector) Drain() error { return v.seg.Node().Drain() }
 // Flush posts the pipeline's partial batches without waiting for delivery.
 func (v *Vector) Flush() { v.seg.Node().Flush() }
 
-// RemovePeer drops a failed rank from the vector's send/receive lists.
-func (v *Vector) RemovePeer(rank int) { v.seg.RemovePeer(rank) }
+// RemovePeer drops a failed rank from the vector's send/receive lists. On a
+// compressed vector the peer's error-feedback residual is evicted too: the
+// deferred mass was owed to an incarnation that no longer exists.
+func (v *Vector) RemovePeer(rank int) {
+	v.seg.RemovePeer(rank)
+	v.dropCompressPeer(rank)
+}
 
 // RestorePeer re-admits a rejoined rank to the vector's send/receive lists
 // (at its original dataflow position, with a fresh receive queue). The
-// inverse of RemovePeer; idempotent.
-func (v *Vector) RestorePeer(rank int) { v.seg.RestorePeer(rank) }
+// inverse of RemovePeer; idempotent. Compression residuals for the rank are
+// evicted (again — RemovePeer already did) so the rejoined incarnation
+// starts from a clean slate: it received a state snapshot, not our backlog,
+// and replaying pre-death residual mass would poison it.
+func (v *Vector) RestorePeer(rank int) {
+	v.seg.RestorePeer(rank)
+	v.dropCompressPeer(rank)
+}
 
 // Close releases the underlying segment.
 func (v *Vector) Close() error { return v.seg.Close() }
